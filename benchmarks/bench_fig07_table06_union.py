@@ -1,0 +1,169 @@
+"""Fig. 7 + Table VI -- union search: BLEND's native union plan (one SC
+seeker per column + Counter) vs Starmie, on TUS/SANTOS-style lakes.
+
+Fig. 7 (runtime): Starmie's in-memory ANN wins on most lakes; BLEND
+(Column) is roughly an order of magnitude faster than BLEND (Row).
+
+Table VI (quality): Starmie's semantic embeddings edge out BLEND at small
+k; BLEND's syntactic overlap catches up at k=20 and wins for larger k
+(embedding recall degrades faster than value-overlap recall).
+"""
+
+from __future__ import annotations
+
+import statistics
+
+import pytest
+
+from repro import Blend
+from repro.baselines import StarmieIndex
+from repro.eval import (
+    average_precision_at_k,
+    precision_at_k,
+    recall_at_k,
+    render_series_chart,
+    render_table,
+    timed,
+)
+from repro.lake.generators import make_union_benchmark
+
+LAKES = {
+    "santos_like": dict(num_seeds=8, partitions_per_seed=4, rows_per_seed=80, distractor_tables=40, seed=81),
+    "santos_large_like": dict(num_seeds=12, partitions_per_seed=5, rows_per_seed=120, distractor_tables=80, seed=82),
+    "tus_like": dict(num_seeds=6, partitions_per_seed=12, rows_per_seed=120, distractor_tables=40, seed=83),
+    "tus_large_like": dict(num_seeds=8, partitions_per_seed=16, rows_per_seed=160, distractor_tables=60, seed=84),
+}
+KS = (2, 5, 10, 20)
+PER_COLUMN_K = 100
+
+
+@pytest.fixture(scope="module")
+def deployments():
+    setups = {}
+    for lake_name, config in LAKES.items():
+        bench = make_union_benchmark(name=lake_name, **config)
+        blends = {}
+        for backend in ("row", "column"):
+            blend = Blend(bench.lake, backend=backend)
+            blend.build_index()
+            blends[backend] = blend
+        starmie = StarmieIndex(bench.lake)
+        setups[lake_name] = (bench, blends, starmie)
+    return setups
+
+
+def _union_search(system, setup, query_name, k):
+    bench, blends, starmie = setup
+    query_table = bench.lake.by_name(query_name)
+    query_id = bench.lake.id_of(query_name)
+    if system == "starmie":
+        return starmie.search(query_table, k=k, exclude_table_id=query_id).table_ids()
+    return blends[system].union_search(query_table, k=k, per_column_k=PER_COLUMN_K).table_ids()
+
+
+@pytest.mark.parametrize("lake_name", list(LAKES))
+@pytest.mark.parametrize("system", ["starmie", "row", "column"])
+def test_union_runtime(benchmark, deployments, lake_name, system):
+    setup = deployments[lake_name]
+    query = setup[0].queries[0]
+    benchmark(lambda: _union_search(system, setup, query, 10))
+
+
+def test_fig07_report(benchmark, deployments, report_writer):
+    def sweep():
+        series = {"STARMIE": [], "BLEND (Row)": [], "BLEND (Column)": []}
+        for lake_name in LAKES:
+            setup = deployments[lake_name]
+            for label, system in (
+                ("STARMIE", "starmie"),
+                ("BLEND (Row)", "row"),
+                ("BLEND (Column)", "column"),
+            ):
+                samples = []
+                for query in setup[0].queries[:3]:
+                    _union_search(system, setup, query, 10)  # warm
+                    samples.append(
+                        timed(lambda: _union_search(system, setup, query, 10))[1]
+                    )
+                series[label].append(statistics.fmean(samples))
+        return series
+
+    series = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    report_writer(
+        "fig07_union_runtime",
+        render_series_chart(
+            "Fig. 7 (reproduction): union-search runtime per lake",
+            list(LAKES),
+            series,
+            log_note=True,
+        ),
+    )
+    # Shape: the column store beats the row store on every lake (the
+    # paper's 10x gap reflects PostgreSQL's page/disk overheads; two
+    # in-memory Python executors compress it to ~1.5-2x -- EXPERIMENTS.md).
+    # Starmie's position depends on the encoder substitution and is
+    # reported, not asserted.
+    for row_time, column_time in zip(series["BLEND (Row)"], series["BLEND (Column)"]):
+        assert column_time < row_time
+
+
+def test_table06_report(benchmark, deployments, report_writer):
+    def evaluate():
+        results = {}
+        for lake_name in ("santos_like", "tus_like", "tus_large_like"):
+            setup = deployments[lake_name]
+            bench = setup[0]
+            per_system = {}
+            for system in ("column", "starmie"):
+                metrics = {}
+                for k in KS:
+                    precisions, recalls, aps = [], [], []
+                    for query in bench.queries:
+                        truth = bench.ground_truth(query)
+                        retrieved = _union_search(system, setup, query, k)
+                        precisions.append(precision_at_k(retrieved, truth, k))
+                        recalls.append(recall_at_k(retrieved, truth, k))
+                        aps.append(average_precision_at_k(retrieved, truth, k))
+                    metrics[k] = (
+                        statistics.fmean(precisions),
+                        statistics.fmean(recalls),
+                        statistics.fmean(aps),
+                    )
+                per_system[system] = metrics
+            results[lake_name] = per_system
+        return results
+
+    results = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+
+    rows = []
+    for lake_name, per_system in results.items():
+        for system, label in (("column", "BLEND"), ("starmie", "STARMIE")):
+            row = [lake_name, label]
+            for k in KS:
+                p, r, m = per_system[system][k]
+                row.append(f"{p*100:.0f}/{r*100:.0f}/{m*100:.0f}")
+            rows.append(row)
+    report_writer(
+        "table06_union_quality",
+        render_table(
+            "TABLE VI (reproduction): union-search quality (P@k/Recall/MAP %)",
+            ["Lake", "System"] + [f"k={k}" for k in KS],
+            rows,
+            note="family ground truth; k scaled to family sizes (paper: k=10..100)",
+        ),
+    )
+
+    # Shape: BLEND competitive with Starmie overall -- ahead on the
+    # SANTOS-style lake at every k, and within 15 % recall at the largest
+    # k on the TUS-style lakes. (The paper's high-k crossover in BLEND's
+    # favour is muted here: the hashing encoder substitution makes our
+    # Starmie partially syntactic too -- see EXPERIMENTS.md.)
+    for k in KS:
+        assert (
+            results["santos_like"]["column"][k][2]
+            >= results["santos_like"]["starmie"][k][2]
+        )
+    for lake_name in ("tus_like", "tus_large_like"):
+        blend_recall = results[lake_name]["column"][KS[-1]][1]
+        starmie_recall = results[lake_name]["starmie"][KS[-1]][1]
+        assert blend_recall >= starmie_recall * 0.85

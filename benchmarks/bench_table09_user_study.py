@@ -1,0 +1,31 @@
+"""Table IX -- the user study: regenerate the statistics table from the
+recorded (reconstructed) participant responses.
+
+The study itself cannot be re-run offline; what IS reproducible is the
+aggregation pipeline -- raw responses in, the published table out (see
+repro.userstudy and DESIGN.md's substitution notes).
+"""
+
+from __future__ import annotations
+
+from repro.userstudy import ALL_PARTICIPANTS, render_table_ix, summarize
+
+
+def test_table09_report(benchmark, report_writer):
+    text = benchmark(lambda: render_table_ix(ALL_PARTICIPANTS))
+    report_writer("table09_user_study", text)
+
+    # The published headline numbers must come out of the aggregation.
+    for expected in (
+        "27.5%",  # Q1 research average
+        "100%",  # Q4 scripts (research) / Q7 unanimity
+        "94%",  # Q5 Python overall
+        "89%",  # Q9 BLEND for complex tasks
+    ):
+        assert expected in text
+
+
+def test_summaries_structure(benchmark):
+    summaries = benchmark(lambda: summarize(ALL_PARTICIPANTS))
+    assert len(summaries) == 9
+    assert all(summary.rows for summary in summaries)

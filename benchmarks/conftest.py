@@ -1,0 +1,33 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.
+Besides pytest-benchmark's timing output, each module writes its
+paper-style report to ``benchmarks/results/<artefact>.txt`` via
+:func:`write_report` (these files are what EXPERIMENTS.md quotes).
+
+Benchmarks run with laptop-scale lakes (hundreds of tables) -- the goal
+is reproducing each experiment's *shape* (who wins, by what factor, where
+crossovers fall), not the paper's absolute server-scale numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_report(name: str, text: str) -> None:
+    """Persist a paper-style report and echo it to stdout."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    sys.stdout.write(f"\n{text}\n[report written to {path}]\n")
+
+
+@pytest.fixture(scope="session")
+def report_writer():
+    return write_report

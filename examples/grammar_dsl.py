@@ -1,0 +1,40 @@
+"""The discovery-language grammar of paper §IV-C as a textual DSL.
+
+The same find_dep_heads task as examples/quickstart.py, written as one
+grammar expression instead of imperative plan.add() calls:
+
+    $ python examples/grammar_dsl.py
+"""
+
+from repro import Blend, parse_plan
+
+from quickstart import build_fig1_lake
+
+
+def main() -> None:
+    lake = build_fig1_lake()
+    blend = Blend(lake, backend="column")
+    blend.build_index()
+
+    # expression ::= seeker(Q) | combiner(expression(,expression)+)
+    expression = "∩(\\(MC($pos), MC($neg)), SC($departments))"
+    plan = parse_plan(
+        expression,
+        bindings={
+            "pos": [("HR", "Firenze")],
+            "neg": [("IT", "Tom Riddle")],
+            "departments": ["HR", "Marketing", "Finance", "IT", "R&D", "Sales"],
+        },
+        k=10,
+    )
+    print("expression:", expression)
+    print("parsed plan:", plan)
+
+    run = blend.run(plan)
+    print("optimized order:", " -> ".join(run.order))
+    print("answer:", [lake.name_of(t) for t in run.output.table_ids()],
+          "(T3 holds the up-to-date department heads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Packaging metadata.
+
+Kept in setup.py (not [project] in pyproject.toml) because the offline
+execution environment lacks the `wheel` package: with a [project] table,
+pip insists on the PEP 517 path and fails at `bdist_wheel`. The legacy
+`setup.py develop` path works with plain setuptools.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "BLEND: A Unified Data Discovery System - full Python reproduction (ICDE 2025)"
+    ),
+    long_description=open("README.md").read() if __import__("os").path.exists("README.md") else "",
+    long_description_content_type="text/markdown",
+    license="MIT",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+)

@@ -1,0 +1,25 @@
+"""BLEND: A Unified Data Discovery System -- full Python reproduction.
+
+Public API re-exports: ``Blend``, ``Plan``, ``Seekers``, ``Combiners``,
+``DataLake``, ``Table``, and the embedded ``Database`` engine.
+"""
+
+from .core import Blend, Combiners, Plan, ResultList, Seekers, TableHit, parse_plan
+from .engine import Database
+from .lake import DataLake, Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Blend",
+    "Combiners",
+    "Plan",
+    "parse_plan",
+    "ResultList",
+    "Seekers",
+    "TableHit",
+    "Database",
+    "DataLake",
+    "Table",
+    "__version__",
+]

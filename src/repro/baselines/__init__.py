@@ -1,0 +1,41 @@
+"""Standalone baseline systems the paper compares BLEND against, each
+built from scratch: JOSIE, MATE, the QCR sketch index, DataXFormer's
+inverted index, Starmie, DeepJoin, and the ad-hoc federated pipelines of
+Table III."""
+
+from .dataxformer import DataXFormerIndex
+from .deepjoin import DeepJoinIndex
+from .embeddings import cosine_similarity, embed_column, embed_tokens, embed_values
+from .federation import (
+    TASK_PROFILES,
+    feature_discovery_baseline,
+    imputation_baseline,
+    loc_of,
+    multi_objective_baseline,
+    negative_examples_baseline,
+)
+from .hnsw import HnswIndex
+from .josie import JosieIndex
+from .mate import MateIndex
+from .qcr import QcrIndex
+from .starmie import StarmieIndex
+
+__all__ = [
+    "DataXFormerIndex",
+    "DeepJoinIndex",
+    "cosine_similarity",
+    "embed_column",
+    "embed_tokens",
+    "embed_values",
+    "TASK_PROFILES",
+    "feature_discovery_baseline",
+    "imputation_baseline",
+    "loc_of",
+    "multi_objective_baseline",
+    "negative_examples_baseline",
+    "HnswIndex",
+    "JosieIndex",
+    "MateIndex",
+    "QcrIndex",
+    "StarmieIndex",
+]

@@ -1,0 +1,215 @@
+"""Ad-hoc federated pipelines for the complex tasks of Table III.
+
+Each function below is the paper's "Baseline" column: gluing standalone
+discovery systems (MATE, JOSIE, QCR, Starmie) together with application
+code. They are deliberately written the way a practitioner without a
+unified system would write them -- per-system result handling, manual
+validation loops, manual set algebra -- because Table III's LOC metric
+measures exactly this integration burden. :func:`loc_of` counts the
+effective source lines of any implementation so the benchmark compares
+*measured* line counts, not the paper's constants.
+
+System/index counts per task (the paper's last two Table III rows) are
+encoded in :data:`TASK_PROFILES`.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..core.results import ResultList, TableHit
+from ..lake.datalake import DataLake
+from ..lake.table import Cell, Table, normalize_cell
+from .josie import JosieIndex
+from .mate import MateIndex
+from .qcr import QcrIndex
+from .starmie import StarmieIndex
+
+
+def loc_of(*functions: Callable) -> int:
+    """Effective lines of code: non-blank, non-comment, non-docstring
+    source lines summed over *functions*."""
+    total = 0
+    for function in functions:
+        source = inspect.getsource(function)
+        in_docstring = False
+        docstring_delimiter = None
+        for raw_line in source.splitlines():
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            if in_docstring:
+                if docstring_delimiter in line:
+                    in_docstring = False
+                continue
+            if line.startswith(('"""', "'''")):
+                delimiter = line[:3]
+                if line.count(delimiter) == 1:
+                    in_docstring = True
+                    docstring_delimiter = delimiter
+                continue
+            total += 1
+    return total
+
+
+@dataclass(frozen=True)
+class TaskProfile:
+    """The '# of Systems' and '# of Indexes' rows of Table III."""
+
+    name: str
+    baseline_systems: int
+    baseline_indexes: str
+    blend_systems: int = 1
+    blend_indexes: str = "Single"
+
+
+TASK_PROFILES = {
+    "negative_examples": TaskProfile("With Negative Examples", 1, "Multi"),
+    "imputation": TaskProfile("Data Imputation", 2, "Multi"),
+    "feature_discovery": TaskProfile("Feature Discovery", 2, "Multi"),
+    "multi_objective": TaskProfile("Multi-Objective Discovery", 3, "Multi"),
+}
+
+
+# ---------------------------------------------------------------------------
+# Task 1: data discovery with negative examples (MATE + application code)
+# ---------------------------------------------------------------------------
+
+
+def negative_examples_baseline(
+    mate: MateIndex,
+    lake: DataLake,
+    positive_rows: Sequence[Sequence[Cell]],
+    negative_rows: Sequence[Sequence[Cell]],
+    k: int = 10,
+) -> ResultList:
+    """MATE filters tables by the positive examples; application code then
+    validates every row of every remaining table against the negative
+    examples -- the row-by-row loop the paper identifies as the
+    bottleneck."""
+    candidates = mate.search(positive_rows, k=10 * k)
+    negative_tuples = []
+    for row in negative_rows:
+        tokens = tuple(normalize_cell(value) for value in row)
+        if all(token is not None for token in tokens):
+            negative_tuples.append(tokens)
+    width = len(negative_tuples[0]) if negative_tuples else 0
+    surviving = []
+    for hit in candidates:
+        table = lake.by_id(hit.table_id)
+        contaminated = False
+        for row in table.rows:
+            row_tokens = [normalize_cell(value) for value in row]
+            present = set(token for token in row_tokens if token is not None)
+            for negative_tuple in negative_tuples:
+                if all(token in present for token in negative_tuple):
+                    contaminated = True
+                    break
+            if contaminated:
+                break
+        if not contaminated:
+            surviving.append(hit)
+        if len(surviving) == k:
+            break
+    return ResultList(surviving)
+
+
+# ---------------------------------------------------------------------------
+# Task 2: example-based data imputation (MATE + JOSIE + application glue)
+# ---------------------------------------------------------------------------
+
+
+def imputation_baseline(
+    mate: MateIndex,
+    josie: JosieIndex,
+    example_rows: Sequence[Sequence[Cell]],
+    query_values: Sequence[Cell],
+    k: int = 10,
+) -> ResultList:
+    """MATE finds tables containing the complete example rows, JOSIE finds
+    tables joinable on the incomplete rows' keys; application code aligns
+    the two systems' outputs and intersects them."""
+    complete = mate.search(example_rows, k=10 * k)
+    partial = josie.search(list(query_values), k=10 * k)
+    complete_ids = {hit.table_id: hit.score for hit in complete}
+    merged = []
+    for hit in partial:
+        if hit.table_id in complete_ids:
+            merged.append(
+                TableHit(hit.table_id, hit.score + complete_ids[hit.table_id])
+            )
+    merged.sort(key=lambda hit: (-hit.score, hit.table_id))
+    return ResultList(merged[:k])
+
+
+# ---------------------------------------------------------------------------
+# Task 3: multicollinearity-aware feature discovery (QCR rounds + MATE)
+# ---------------------------------------------------------------------------
+
+
+def feature_discovery_baseline(
+    qcr: QcrIndex,
+    mate: MateIndex,
+    join_rows: Sequence[Sequence[Cell]],
+    keys: Sequence[Cell],
+    target: Sequence[Cell],
+    features: Sequence[Sequence[Cell]],
+    k: int = 10,
+) -> ResultList:
+    """Round one of QCR finds tables correlating with the target; one more
+    QCR round per existing feature finds multicollinear tables, which are
+    filtered out; MATE checks joinability on the composite key; the final
+    output is the intersection."""
+    correlated = qcr.search(keys, target, k=30 * k)
+    kept = {hit.table_id: hit.score for hit in correlated}
+    for feature in features:
+        collinear = qcr.search(keys, feature, k=30 * k)
+        for hit in collinear:
+            kept.pop(hit.table_id, None)
+    joinable = mate.search(join_rows, k=30 * k)
+    joinable_ids = {hit.table_id for hit in joinable}
+    merged = [
+        TableHit(table_id, score)
+        for table_id, score in kept.items()
+        if table_id in joinable_ids
+    ]
+    merged.sort(key=lambda hit: (-hit.score, hit.table_id))
+    return ResultList(merged[:k])
+
+
+# ---------------------------------------------------------------------------
+# Task 4: multi-objective discovery (JOSIE + Starmie + QCR)
+# ---------------------------------------------------------------------------
+
+
+def multi_objective_baseline(
+    josie: JosieIndex,
+    starmie: StarmieIndex,
+    qcr: QcrIndex,
+    keywords: Sequence[Cell],
+    examples: Table,
+    join_key_column: str,
+    target_column: str,
+    k: int = 10,
+) -> ResultList:
+    """Keyword search via JOSIE (attribute-agnostic join search), union
+    search via Starmie, correlation search via QCR; application code
+    merges three differently-shaped result sets."""
+    keyword_hits = josie.search(list(keywords), k=k)
+    union_hits = starmie.search(examples, k=k)
+    correlation_hits = qcr.search(
+        examples.column_values(join_key_column),
+        examples.column_values(target_column),
+        k=k,
+    )
+    scores: dict[int, float] = {}
+    for result in (keyword_hits, union_hits, correlation_hits):
+        for hit in result:
+            scores[hit.table_id] = scores.get(hit.table_id, 0.0) + hit.score
+    merged = sorted(
+        (TableHit(table_id, score) for table_id, score in scores.items()),
+        key=lambda hit: (-hit.score, hit.table_id),
+    )
+    return ResultList(merged[: 4 * k])

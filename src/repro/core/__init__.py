@@ -1,0 +1,39 @@
+"""BLEND's core: seekers, combiners, the Plan API, the optimizer, and the
+execution engine."""
+
+from .combiners import Combiner, Combiners, combiner_by_name, register_combiner
+from .executor import NodeRun, PlanExecutor, PlanRunResult
+from .optimizer import CostModel, ExecutionPlan, Optimizer
+from .plan import Plan, PlanNode
+from .results import ResultList, TableHit
+from .semantic import SemanticIndex, SemanticSeeker
+from .grammar import parse_plan
+from .seekers import Rewrite, Seeker, SeekerContext, Seekers
+from .system import Blend, multi_objective_plan, union_search_plan
+
+__all__ = [
+    "Combiner",
+    "Combiners",
+    "combiner_by_name",
+    "register_combiner",
+    "NodeRun",
+    "PlanExecutor",
+    "PlanRunResult",
+    "CostModel",
+    "ExecutionPlan",
+    "Optimizer",
+    "Plan",
+    "PlanNode",
+    "ResultList",
+    "SemanticIndex",
+    "SemanticSeeker",
+    "TableHit",
+    "parse_plan",
+    "Rewrite",
+    "Seeker",
+    "SeekerContext",
+    "Seekers",
+    "Blend",
+    "multi_objective_plan",
+    "union_search_plan",
+]

@@ -1,0 +1,182 @@
+"""Combiner operators (paper §IV-B): set composition of seeker results.
+
+Combiners receive table collections (seeker or combiner outputs) and merge
+them with a set operation. Users can register new combiners at runtime
+(``register_combiner``), as the paper allows.
+
+Score semantics (scores are operator-local; "higher is better"):
+
+* ``Intersect`` -- tables present in *all* inputs; scored by the sum of
+  their per-input scores.
+* ``Union`` -- tables present in *any* input; scored by the sum of scores
+  where present.
+* ``Difference`` -- tables of the first input absent from the second;
+  first input's scores and order are kept.
+* ``Counter`` -- tables scored by how many inputs contain them (the
+  union-search aggregator of §VII-A).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence
+
+from ..errors import CombinerError
+from .results import ResultList, TableHit
+
+
+class Combiner:
+    """Base class for set-composition operators."""
+
+    kind: str = "?"
+    min_inputs: int = 2
+    max_inputs: Optional[int] = None  # None = unbounded
+    commutative: bool = False
+    rewrite_mode: Optional[str] = None  # predicate kind injected into siblings
+
+    def __init__(self, k: int = 10) -> None:
+        if k < 0:
+            raise CombinerError("k must be non-negative")
+        self.k = k
+
+    def validate_arity(self, count: int) -> None:
+        if count < self.min_inputs:
+            raise CombinerError(
+                f"{self.kind} combiner needs at least {self.min_inputs} inputs, got {count}"
+            )
+        if self.max_inputs is not None and count > self.max_inputs:
+            raise CombinerError(
+                f"{self.kind} combiner accepts at most {self.max_inputs} inputs, got {count}"
+            )
+
+    def combine(self, inputs: Sequence[ResultList]) -> ResultList:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(k={self.k})"
+
+
+class Intersect(Combiner):
+    """Tables present in every input."""
+
+    kind = "Intersect"
+    commutative = True
+    rewrite_mode = "intersect"
+
+    def combine(self, inputs: Sequence[ResultList]) -> ResultList:
+        self.validate_arity(len(inputs))
+        common = set(inputs[0].table_ids())
+        for result in inputs[1:]:
+            common &= set(result.table_ids())
+        scored = [
+            TableHit(
+                table_id,
+                sum(result.score_of(table_id) or 0.0 for result in inputs),
+            )
+            for table_id in common
+        ]
+        return ResultList(
+            sorted(scored, key=lambda hit: (-hit.score, hit.table_id))
+        ).top(self.k)
+
+
+class Union(Combiner):
+    """Tables present in any input."""
+
+    kind = "Union"
+    commutative = True
+    rewrite_mode = None  # paper: "Union: No rewriting"
+
+    def combine(self, inputs: Sequence[ResultList]) -> ResultList:
+        self.validate_arity(len(inputs))
+        scores: dict[int, float] = {}
+        for result in inputs:
+            for hit in result:
+                scores[hit.table_id] = scores.get(hit.table_id, 0.0) + hit.score
+        return ResultList(
+            sorted(
+                (TableHit(table_id, score) for table_id, score in scores.items()),
+                key=lambda hit: (-hit.score, hit.table_id),
+            )
+        ).top(self.k)
+
+
+class Difference(Combiner):
+    """Tables of the first input not in the second (non-commutative,
+    exactly two inputs)."""
+
+    kind = "Difference"
+    min_inputs = 2
+    max_inputs = 2
+    commutative = False
+    rewrite_mode = "difference"
+
+    def combine(self, inputs: Sequence[ResultList]) -> ResultList:
+        self.validate_arity(len(inputs))
+        keep, drop = inputs
+        dropped = set(drop.table_ids())
+        return ResultList(hit for hit in keep if hit.table_id not in dropped).top(self.k)
+
+
+class Counter(Combiner):
+    """Tables ranked by the number of inputs containing them.
+
+    The union-search plan feeds one SC seeker per query column into a
+    Counter: tables matching many columns rank above tables matching one,
+    which is exactly column-overlap unionability.
+    """
+
+    kind = "Counter"
+    min_inputs = 1
+    commutative = True
+    rewrite_mode = None
+
+    def combine(self, inputs: Sequence[ResultList]) -> ResultList:
+        self.validate_arity(len(inputs))
+        counts: dict[int, int] = {}
+        tie_scores: dict[int, float] = {}
+        for result in inputs:
+            for hit in result:
+                counts[hit.table_id] = counts.get(hit.table_id, 0) + 1
+                tie_scores[hit.table_id] = tie_scores.get(hit.table_id, 0.0) + hit.score
+        ranked = sorted(
+            counts,
+            key=lambda table_id: (-counts[table_id], -tie_scores[table_id], table_id),
+        )
+        return ResultList(
+            TableHit(table_id, float(counts[table_id])) for table_id in ranked
+        ).top(self.k)
+
+
+class Combiners:
+    """The paper's API namespace: ``Combiners.Intersect(k=10)`` etc."""
+
+    Intersect = Intersect
+    Union = Union
+    Difference = Difference
+    Counter = Counter
+
+
+_REGISTRY: dict[str, type[Combiner]] = {
+    "intersect": Intersect,
+    "union": Union,
+    "difference": Difference,
+    "counter": Counter,
+}
+
+
+def register_combiner(name: str, combiner_class: type[Combiner]) -> None:
+    """Register a user-defined combiner ("the user can introduce new
+    combiners to the system", §IV-B). Name lookup is case-insensitive."""
+    if not issubclass(combiner_class, Combiner):
+        raise CombinerError("combiner classes must derive from Combiner")
+    key = name.lower()
+    if key in _REGISTRY and _REGISTRY[key] is not combiner_class:
+        raise CombinerError(f"combiner name {name!r} is already registered")
+    _REGISTRY[key] = combiner_class
+
+
+def combiner_by_name(name: str) -> type[Combiner]:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise CombinerError(f"unknown combiner: {name!r}") from None

@@ -1,0 +1,30 @@
+"""The two-phase plan optimizer: execution groups, rule ranking, learned
+cost estimation, and the rewrite schedule."""
+
+from .cost_model import (
+    CostModel,
+    LinearModel,
+    SeekerFeatures,
+    TrainingReport,
+    extract_features,
+    train_cost_model,
+)
+from .groups import ExecutionGroup, identify_groups
+from .planner import ExecutionPlan, Optimizer, RewriteSpec
+from .rules import rank_seekers, rule_rank
+
+__all__ = [
+    "CostModel",
+    "LinearModel",
+    "SeekerFeatures",
+    "TrainingReport",
+    "extract_features",
+    "train_cost_model",
+    "ExecutionGroup",
+    "identify_groups",
+    "ExecutionPlan",
+    "Optimizer",
+    "RewriteSpec",
+    "rank_seekers",
+    "rule_rank",
+]

@@ -1,0 +1,95 @@
+"""Execution-group (EG) identification (paper §VII-B).
+
+An execution group is a set of seekers whose relative order may change
+without altering the plan's output. Per the paper, only seekers feeding
+the same **Intersection** combiner form a reorderable EG (Difference is
+non-commutative; Union and Counter gain nothing from reordering).
+Difference still yields a *fixed-order* group -- the subtrahend runs
+first so the minuend's query can be rewritten with ``TableId NOT IN``.
+
+A seeker consumed by more than one combiner is never grouped: rewriting
+its SQL for one consumer would corrupt the other consumer's input
+(Theorem 1 safety).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..combiners import Difference, Intersect
+from ..plan import Plan, PlanNode
+
+
+@dataclass(frozen=True)
+class ExecutionGroup:
+    """Seekers attached to one combiner node.
+
+    ``reorderable`` is True for Intersection groups (rule + cost ranking
+    applies); Difference groups have a fixed execution order (subtrahend
+    first) encoded by ``fixed_order``.
+
+    ``prior_inputs`` lists the combiner's *non-seeker* inputs (sub-plan
+    results). For Intersection they are additional rewrite sources: their
+    results are plain reads, so even shared sub-plans can safely restrict
+    the group's seekers once they have executed.
+    """
+
+    combiner_name: str
+    seeker_names: tuple[str, ...]
+    rewrite_mode: str  # "intersect" | "difference"
+    reorderable: bool
+    fixed_order: tuple[str, ...] = ()
+    prior_inputs: tuple[str, ...] = ()
+
+
+def identify_groups(plan: Plan) -> list[ExecutionGroup]:
+    """All EGs of *plan*, in combiner insertion order."""
+    groups: list[ExecutionGroup] = []
+    for node in plan.nodes():
+        if not node.is_combiner:
+            continue
+        if isinstance(node.operator, Intersect):
+            seekers = _exclusive_seeker_inputs(plan, node)
+            non_seekers = tuple(
+                name for name in node.inputs if not plan.node(name).is_seeker
+            )
+            # A group is useful with two reorderable seekers, or with one
+            # seeker that earlier sub-plan results can restrict.
+            if len(seekers) >= 2 or (seekers and non_seekers):
+                groups.append(
+                    ExecutionGroup(
+                        combiner_name=node.name,
+                        seeker_names=tuple(seekers),
+                        rewrite_mode="intersect",
+                        reorderable=True,
+                        prior_inputs=non_seekers,
+                    )
+                )
+        elif isinstance(node.operator, Difference):
+            seekers = _exclusive_seeker_inputs(plan, node)
+            # Both inputs must be seekers for the NOT IN rewrite: the
+            # subtrahend (second input) executes first.
+            if len(seekers) == 2 and seekers == list(node.inputs):
+                groups.append(
+                    ExecutionGroup(
+                        combiner_name=node.name,
+                        seeker_names=tuple(seekers),
+                        rewrite_mode="difference",
+                        reorderable=False,
+                        fixed_order=(node.inputs[1], node.inputs[0]),
+                    )
+                )
+    return groups
+
+
+def _exclusive_seeker_inputs(plan: Plan, combiner: PlanNode) -> list[str]:
+    """Input seekers of *combiner* that no other node also consumes."""
+    names = []
+    for input_name in combiner.inputs:
+        input_node = plan.node(input_name)
+        if not input_node.is_seeker:
+            continue
+        if len(plan.consumers_of(input_name)) != 1:
+            continue
+        names.append(input_name)
+    return names

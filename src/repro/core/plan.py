@@ -1,0 +1,186 @@
+"""The declarative Plan API and its DAG representation (paper §IV, §VII-A).
+
+A discovery task is a :class:`Plan`: named nodes, each either a seeker or
+a combiner, wired by input references::
+
+    plan = Plan()
+    plan.add("pos", Seekers.MC(p_examples, k=10))
+    plan.add("neg", Seekers.MC(n_examples, k=10))
+    plan.add("exclude", Combiners.Difference(k=10), ["pos", "neg"])
+    plan.add("dep", Seekers.SC(departments, k=10))
+    plan.add("out", Combiners.Intersect(k=10), ["exclude", "dep"])
+
+Nodes must be added after their inputs (so plans are acyclic by
+construction); validation additionally checks name uniqueness, input
+existence, seeker/combiner placement, and combiner arity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from ..errors import PlanError
+from .combiners import Combiner
+from .seekers import Seeker
+
+Operator = Union[Seeker, Combiner]
+
+
+@dataclass(frozen=True)
+class PlanNode:
+    """One named operator in the DAG."""
+
+    name: str
+    operator: Operator
+    inputs: tuple[str, ...]
+
+    @property
+    def is_seeker(self) -> bool:
+        return isinstance(self.operator, Seeker)
+
+    @property
+    def is_combiner(self) -> bool:
+        return isinstance(self.operator, Combiner)
+
+
+class Plan:
+    """An ordered DAG of seekers and combiners."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[str, PlanNode] = {}
+        self._order: list[str] = []
+
+    # -- construction ------------------------------------------------------------
+
+    def add(
+        self,
+        name: str,
+        operator: Operator,
+        inputs: Optional[Iterable[str]] = None,
+        k: Optional[int] = None,
+    ) -> "Plan":
+        """Add a node. Seekers take no inputs; combiners require them.
+
+        ``k`` optionally overrides the operator's top-k (matching the
+        paper's ``plan.add('P_examples', Seekers.MC(P), k=10)`` style).
+        Returns the plan for chaining.
+        """
+        if not name:
+            raise PlanError("node name must be non-empty")
+        if name in self._nodes:
+            raise PlanError(f"duplicate node name: {name!r}")
+        if not isinstance(operator, (Seeker, Combiner)):
+            raise PlanError(
+                f"operator must be a Seeker or Combiner, got {type(operator).__name__}"
+            )
+        input_names = tuple(inputs) if inputs is not None else ()
+        if isinstance(operator, Seeker) and input_names:
+            raise PlanError(f"seeker node {name!r} cannot take inputs")
+        if isinstance(operator, Combiner):
+            if not input_names:
+                raise PlanError(f"combiner node {name!r} requires inputs")
+            missing = [i for i in input_names if i not in self._nodes]
+            if missing:
+                raise PlanError(
+                    f"node {name!r} references undefined inputs: {missing} "
+                    "(inputs must be added before the nodes that consume them)"
+                )
+            if len(set(input_names)) != len(input_names):
+                raise PlanError(f"node {name!r} lists an input twice")
+            operator.validate_arity(len(input_names))
+        if k is not None:
+            if k < 0:
+                raise PlanError("k must be non-negative")
+            operator.k = k
+        self._nodes[name] = PlanNode(name=name, operator=operator, inputs=input_names)
+        self._order.append(name)
+        return self
+
+    # -- introspection -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._nodes
+
+    def node(self, name: str) -> PlanNode:
+        try:
+            return self._nodes[name]
+        except KeyError:
+            raise PlanError(f"unknown plan node: {name!r}") from None
+
+    def nodes(self) -> list[PlanNode]:
+        """Nodes in insertion order (the unoptimized execution order)."""
+        return [self._nodes[name] for name in self._order]
+
+    def seekers(self) -> list[PlanNode]:
+        return [node for node in self.nodes() if node.is_seeker]
+
+    def combiners(self) -> list[PlanNode]:
+        return [node for node in self.nodes() if node.is_combiner]
+
+    def consumers_of(self, name: str) -> list[PlanNode]:
+        """Nodes that take *name* as an input."""
+        self.node(name)  # validate
+        return [node for node in self.nodes() if name in node.inputs]
+
+    def sinks(self) -> list[PlanNode]:
+        """Output nodes: nodes no other node consumes."""
+        consumed = {i for node in self.nodes() for i in node.inputs}
+        return [node for node in self.nodes() if node.name not in consumed]
+
+    def sink(self) -> PlanNode:
+        """The single output node; raises if the plan has several."""
+        sinks = self.sinks()
+        if len(sinks) != 1:
+            raise PlanError(
+                f"plan has {len(sinks)} output nodes ({[s.name for s in sinks]}); "
+                "use sinks() for multi-output plans"
+            )
+        return sinks[0]
+
+    def validate(self) -> None:
+        """Re-check global invariants (invariants are also enforced
+        incrementally by :meth:`add`)."""
+        if not self._nodes:
+            raise PlanError("plan is empty")
+        position = {name: i for i, name in enumerate(self._order)}
+        for node in self.nodes():
+            for input_name in node.inputs:
+                if position[input_name] >= position[node.name]:
+                    raise PlanError(
+                        f"node {node.name!r} consumes {input_name!r} defined later"
+                    )
+
+    def topological_order(self) -> list[PlanNode]:
+        """Dependency-respecting order (insertion order already is one,
+        but this re-derives it defensively via Kahn's algorithm)."""
+        in_degree = {name: len(node.inputs) for name, node in self._nodes.items()}
+        consumers: dict[str, list[str]] = {name: [] for name in self._nodes}
+        for node in self.nodes():
+            for input_name in node.inputs:
+                consumers[input_name].append(node.name)
+        ready = [name for name in self._order if in_degree[name] == 0]
+        ordered: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            ordered.append(name)
+            for consumer in consumers[name]:
+                in_degree[consumer] -= 1
+                if in_degree[consumer] == 0:
+                    ready.append(consumer)
+        if len(ordered) != len(self._nodes):
+            raise PlanError("plan contains a dependency cycle")
+        return [self._nodes[name] for name in ordered]
+
+    def __repr__(self) -> str:
+        parts = []
+        for node in self.nodes():
+            operator = type(node.operator).__name__
+            if node.inputs:
+                parts.append(f"{node.name}={operator}{list(node.inputs)}")
+            else:
+                parts.append(f"{node.name}={operator}")
+        return f"Plan({', '.join(parts)})"

@@ -1,0 +1,83 @@
+"""Ranked result sets exchanged between seekers and combiners.
+
+Every operator in BLEND produces a :class:`ResultList`: table ids with
+scores, ordered best-first. Scores are operator-specific (overlap counts
+for SC/KW/MC, |QCR| for the correlation seeker, frequencies for Counter)
+but always "higher is better", which is what makes set-based composition
+well-defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class TableHit:
+    """One discovered table."""
+
+    table_id: int
+    score: float
+
+    def __repr__(self) -> str:
+        return f"TableHit({self.table_id}, {self.score:g})"
+
+
+class ResultList:
+    """An ordered, duplicate-free list of table hits."""
+
+    __slots__ = ("_hits", "_by_id")
+
+    def __init__(self, hits: Iterable[TableHit] = ()) -> None:
+        self._hits: list[TableHit] = []
+        self._by_id: dict[int, float] = {}
+        for hit in hits:
+            if hit.table_id in self._by_id:
+                continue
+            self._hits.append(hit)
+            self._by_id[hit.table_id] = hit.score
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[int, float]]) -> "ResultList":
+        return cls(TableHit(table_id, score) for table_id, score in pairs)
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._hits)
+
+    def __iter__(self) -> Iterator[TableHit]:
+        return iter(self._hits)
+
+    def __contains__(self, table_id: int) -> bool:
+        return table_id in self._by_id
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ResultList) and self._hits == other._hits
+
+    def __repr__(self) -> str:
+        preview = ", ".join(repr(hit) for hit in self._hits[:5])
+        suffix = ", ..." if len(self._hits) > 5 else ""
+        return f"ResultList([{preview}{suffix}])"
+
+    # -- accessors -----------------------------------------------------------
+
+    def table_ids(self) -> list[int]:
+        """Table ids best-first."""
+        return [hit.table_id for hit in self._hits]
+
+    def score_of(self, table_id: int) -> Optional[float]:
+        return self._by_id.get(table_id)
+
+    def top(self, k: int) -> "ResultList":
+        """The best *k* hits (all hits when k exceeds the size)."""
+        if k >= len(self._hits):
+            return self
+        return ResultList(self._hits[:k])
+
+    def sorted_by_score(self) -> "ResultList":
+        """Re-rank by (score desc, table id asc) -- deterministic."""
+        return ResultList(
+            sorted(self._hits, key=lambda hit: (-hit.score, hit.table_id))
+        )

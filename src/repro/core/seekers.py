@@ -1,0 +1,543 @@
+"""Seeker operators (paper §IV-A, §VI): SC, KW, MC, and Correlation.
+
+Each seeker compiles to a SQL statement over ``AllTables`` -- the same
+statements as the paper's Listings 1-3, extended with:
+
+* a ``/*REWRITE*/`` placeholder where the optimizer injects
+  combiner-dependent predicates (``TableId [NOT] IN :ir``, §VII-B), and
+* deterministic tie-breaking sort keys (TableId, ColumnId), so both
+  storage backends return identical rankings.
+
+SC and C group by (TableId, ColumnId); the database returns ranked
+*groups*, which the seeker deduplicates to ranked *tables*. An over-fetch
+factor bounds the group fan-out per table (exact for tables with up to
+``OVERFETCH`` qualifying columns, far above any realistic width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from ..engine.database import Database
+from ..errors import SeekerError
+from ..index.quadrant import split_keys_by_target
+from ..index.xash import may_contain, tuple_hash
+from ..lake.datalake import DataLake
+from ..lake.table import Cell, Table, normalize_cell
+from .results import ResultList, TableHit
+
+OVERFETCH = 32
+REWRITE_MARKER = "/*REWRITE*/"
+
+
+@dataclass(frozen=True)
+class Rewrite:
+    """A combiner-dependent predicate injected by the optimizer.
+
+    ``mode`` is ``"intersect"`` (``TableId IN``) or ``"difference"``
+    (``TableId NOT IN``); ``table_ids`` come from already-executed sibling
+    seekers' intermediate results.
+    """
+
+    mode: str
+    table_ids: tuple[int, ...]
+
+    def predicate_sql(self, qualifier: str = "") -> str:
+        column = f"{qualifier}TableId"
+        if self.mode == "intersect":
+            return f" AND {column} IN (:__rewrite_ids)"
+        if self.mode == "difference":
+            return f" AND {column} NOT IN (:__rewrite_ids)"
+        raise SeekerError(f"unknown rewrite mode: {self.mode}")
+
+
+@dataclass
+class SeekerContext:
+    """Everything a seeker needs at execution time.
+
+    ``semantic`` is the optional vector index of the semantic extension
+    (:mod:`repro.core.semantic`); ``None`` unless the deployment called
+    ``Blend.enable_semantic()``.
+    """
+
+    db: Database
+    lake: DataLake
+    index_table: str = "AllTables"
+    hash_size: int = 63
+    xash_chars: int = 2
+    semantic: Optional[Any] = None
+
+
+def _normalize_values(values: Iterable[Cell]) -> list[str]:
+    tokens: list[str] = []
+    seen: set[str] = set()
+    for value in values:
+        token = normalize_cell(value)
+        if token is not None and token not in seen:
+            seen.add(token)
+            tokens.append(token)
+    return tokens
+
+
+class Seeker:
+    """Base class: a parameterised SQL template plus result shaping."""
+
+    kind: str = "?"
+
+    def __init__(self, k: int = 10) -> None:
+        if k < 0:
+            raise SeekerError("k must be non-negative")
+        self.k = k
+
+    # -- interface ---------------------------------------------------------------
+
+    def sql(self, rewrite: Optional[Rewrite] = None) -> str:
+        """The SQL statement with the rewrite placeholder resolved."""
+        raise NotImplementedError
+
+    def params(self, rewrite: Optional[Rewrite] = None) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        raise NotImplementedError
+
+    # -- cost-model features (paper §VII-B) ------------------------------------------
+
+    def query_cardinality(self) -> int:
+        """|Q|: the number of query tokens."""
+        raise NotImplementedError
+
+    def query_columns(self) -> int:
+        """Number of columns in Q."""
+        raise NotImplementedError
+
+    def query_tokens(self) -> list[str]:
+        """All query tokens (for the average-frequency feature)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(|Q|={self.query_cardinality()}, k={self.k})"
+
+
+class SingleColumnSeeker(Seeker):
+    """SC: top-k tables by best single-column value overlap (Listing 1)."""
+
+    kind = "SC"
+
+    def __init__(self, values: Iterable[Cell], k: int = 10) -> None:
+        super().__init__(k)
+        self.tokens = _normalize_values(values)
+        if not self.tokens:
+            raise SeekerError("SC seeker requires at least one non-null value")
+
+    def sql(self, rewrite: Optional[Rewrite] = None) -> str:
+        predicate = rewrite.predicate_sql() if rewrite else ""
+        template = (
+            "SELECT TableId, COUNT(DISTINCT CellValue) AS overlap FROM {index} "
+            "WHERE CellValue IN (:q)" + REWRITE_MARKER + " "
+            "GROUP BY TableId, ColumnId "
+            "ORDER BY overlap DESC, TableId, ColumnId "
+            "LIMIT :fetch"
+        )
+        return template.replace(REWRITE_MARKER, predicate)
+
+    def params(self, rewrite: Optional[Rewrite] = None) -> dict[str, Any]:
+        params: dict[str, Any] = {"q": self.tokens, "fetch": self.k * OVERFETCH}
+        if rewrite:
+            params["__rewrite_ids"] = list(rewrite.table_ids)
+        return params
+
+    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        sql = self.sql(rewrite).format(index=context.index_table)
+        result = context.db.execute(sql, self.params(rewrite))
+        hits: list[TableHit] = []
+        seen: set[int] = set()
+        for table_id, overlap in result.rows:
+            if table_id not in seen:
+                seen.add(table_id)
+                hits.append(TableHit(table_id, float(overlap)))
+            if len(hits) == self.k:
+                break
+        return ResultList(hits)
+
+    def query_cardinality(self) -> int:
+        return len(self.tokens)
+
+    def query_columns(self) -> int:
+        return 1
+
+    def query_tokens(self) -> list[str]:
+        return list(self.tokens)
+
+
+class KeywordSeeker(Seeker):
+    """KW: top-k tables by whole-table keyword overlap (§VI).
+
+    The SC variant without ColumnId in the GROUP BY -- overlap is counted
+    across the entire table rather than per column.
+    """
+
+    kind = "KW"
+
+    def __init__(self, keywords: Iterable[Cell], k: int = 10) -> None:
+        super().__init__(k)
+        self.tokens = _normalize_values(keywords)
+        if not self.tokens:
+            raise SeekerError("KW seeker requires at least one keyword")
+
+    def sql(self, rewrite: Optional[Rewrite] = None) -> str:
+        predicate = rewrite.predicate_sql() if rewrite else ""
+        template = (
+            "SELECT TableId, COUNT(DISTINCT CellValue) AS overlap FROM {index} "
+            "WHERE CellValue IN (:q)" + REWRITE_MARKER + " "
+            "GROUP BY TableId "
+            "ORDER BY overlap DESC, TableId "
+            "LIMIT :k"
+        )
+        return template.replace(REWRITE_MARKER, predicate)
+
+    def params(self, rewrite: Optional[Rewrite] = None) -> dict[str, Any]:
+        params: dict[str, Any] = {"q": self.tokens, "k": self.k}
+        if rewrite:
+            params["__rewrite_ids"] = list(rewrite.table_ids)
+        return params
+
+    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        sql = self.sql(rewrite).format(index=context.index_table)
+        result = context.db.execute(sql, self.params(rewrite))
+        return ResultList(
+            TableHit(table_id, float(overlap)) for table_id, overlap in result.rows
+        )
+
+    def query_cardinality(self) -> int:
+        return len(self.tokens)
+
+    def query_columns(self) -> int:
+        return 1
+
+    def query_tokens(self) -> list[str]:
+        return list(self.tokens)
+
+
+class MultiColumnSeeker(Seeker):
+    """MC: top-k tables containing query tuples row-aligned (Listing 2).
+
+    Three phases, as in MATE:
+
+    1. **SQL candidate fetch** -- an inner-join chain over ``AllTables``
+       finds rows containing a value from every query column.
+    2. **Super-key filter** -- candidate rows whose XASH super key cannot
+       bit-contain any query tuple's hash are pruned without touching the
+       data (no false negatives).
+    3. **Exact validation** -- surviving rows are checked against the
+       actual lake tuples ("application-level" in the paper).
+
+    Tables are ranked by their number of validated joinable rows.
+    """
+
+    kind = "MC"
+
+    def __init__(self, rows: Iterable[Sequence[Cell]] | Table, k: int = 10) -> None:
+        super().__init__(k)
+        raw_rows = rows.rows if isinstance(rows, Table) else list(rows)
+        self.tuples: list[tuple[str, ...]] = []
+        for row in raw_rows:
+            tokens = tuple(normalize_cell(v) for v in row)
+            if any(token is None for token in tokens):
+                continue
+            self.tuples.append(tokens)  # type: ignore[arg-type]
+        if not self.tuples:
+            raise SeekerError("MC seeker requires at least one fully non-null tuple")
+        widths = {len(t) for t in self.tuples}
+        if len(widths) != 1:
+            raise SeekerError("MC seeker tuples must all have the same width")
+        self.width = widths.pop()
+        if self.width < 2:
+            raise SeekerError("MC seeker requires a composite key (>= 2 columns)")
+
+    def column_tokens(self, position: int) -> list[str]:
+        """Distinct tokens of one query column."""
+        seen: set[str] = set()
+        out: list[str] = []
+        for row in self.tuples:
+            token = row[position]
+            if token not in seen:
+                seen.add(token)
+                out.append(token)
+        return out
+
+    def sql(self, rewrite: Optional[Rewrite] = None) -> str:
+        # The rewrite predicate goes INSIDE every derived table, where it
+        # is sargable against the TableId index (Example 2's
+        # ``WHERE Q1_index_hits.TableId IN (IR_SC)``, pushed down --
+        # equivalent on all join sides because the join equates TableId).
+        predicate = rewrite.predicate_sql() if rewrite else ""
+        parts = [
+            "SELECT Q0.TableId, Q0.RowId, Q0.SuperKey FROM ",
+            "(SELECT * FROM {index} WHERE CellValue IN (:q0)" + predicate + ") AS Q0",
+        ]
+        for i in range(1, self.width):
+            parts.append(
+                f" INNER JOIN (SELECT * FROM {{index}} WHERE CellValue IN (:q{i})"
+                f"{predicate}) AS Q{i}"
+                f" ON Q0.TableId = Q{i}.TableId AND Q0.RowId = Q{i}.RowId"
+            )
+        return "".join(parts)
+
+    def params(self, rewrite: Optional[Rewrite] = None) -> dict[str, Any]:
+        params: dict[str, Any] = {
+            f"q{i}": self.column_tokens(i) for i in range(self.width)
+        }
+        if rewrite:
+            params["__rewrite_ids"] = list(rewrite.table_ids)
+        return params
+
+    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        candidates = self.fetch_candidates(context, rewrite)
+        filtered = self.superkey_filter(candidates, context)
+        validated = self.validate(filtered, context)
+        counts: dict[int, int] = {}
+        for table_id, _ in validated:
+            counts[table_id] = counts.get(table_id, 0) + 1
+        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+        return ResultList(
+            TableHit(table_id, float(count)) for table_id, count in ranked[: self.k]
+        )
+
+    # -- the three MC phases, exposed for tests and Table V ------------------------
+
+    def fetch_candidates(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> list[tuple[int, int, int]]:
+        """Phase 1: (TableId, RowId, SuperKey) rows from the SQL join."""
+        sql = self.sql(rewrite).format(index=context.index_table)
+        result = context.db.execute(sql, self.params(rewrite))
+        seen: set[tuple[int, int]] = set()
+        candidates: list[tuple[int, int, int]] = []
+        for table_id, row_id, super_key_value in result.rows:
+            key = (table_id, row_id)
+            if key not in seen:
+                seen.add(key)
+                candidates.append((table_id, row_id, super_key_value))
+        return candidates
+
+    def superkey_filter(
+        self, candidates: list[tuple[int, int, int]], context: SeekerContext
+    ) -> list[tuple[int, int]]:
+        """Phase 2: prune rows whose super key cannot contain any tuple."""
+        hashes = [
+            tuple_hash(t, context.hash_size, context.xash_chars) for t in self.tuples
+        ]
+        survivors: list[tuple[int, int]] = []
+        for table_id, row_id, super_key_value in candidates:
+            if any(may_contain(super_key_value, h) for h in hashes):
+                survivors.append((table_id, row_id))
+        return survivors
+
+    def validate(
+        self, candidates: list[tuple[int, int]], context: SeekerContext
+    ) -> list[tuple[int, int]]:
+        """Phase 3: exact containment check against the lake tuples."""
+        query_tuples = set(self.tuples)
+        validated: list[tuple[int, int]] = []
+        for table_id, row_id in candidates:
+            table = context.lake.by_id(table_id)
+            if row_id >= table.num_rows:
+                continue
+            row_tokens = [normalize_cell(v) for v in table.rows[row_id]]
+            if _row_contains_any_tuple(row_tokens, query_tuples, self.width):
+                validated.append((table_id, row_id))
+        return validated
+
+    def query_cardinality(self) -> int:
+        return sum(len(self.column_tokens(i)) for i in range(self.width))
+
+    def query_columns(self) -> int:
+        return self.width
+
+    def query_tokens(self) -> list[str]:
+        tokens: list[str] = []
+        for i in range(self.width):
+            tokens.extend(self.column_tokens(i))
+        return tokens
+
+
+def _row_contains_any_tuple(
+    row_tokens: list[Optional[str]], query_tuples: set[tuple[str, ...]], width: int
+) -> bool:
+    """Does the row contain all values of some query tuple in distinct
+    columns? Greedy bipartite check; table widths are small."""
+    present = {}
+    for position, token in enumerate(row_tokens):
+        if token is not None:
+            present.setdefault(token, []).append(position)
+    for query_tuple in query_tuples:
+        if _assignable(query_tuple, present):
+            return True
+    return False
+
+
+def _assignable(values: tuple[str, ...], present: dict[str, list[int]]) -> bool:
+    """Can each value be matched to a distinct column position?
+
+    Backtracking bipartite matching; widths are <= a handful of columns.
+    """
+    used: set[int] = set()
+
+    def backtrack(index: int) -> bool:
+        if index == len(values):
+            return True
+        for position in present.get(values[index], ()):
+            if position not in used:
+                used.add(position)
+                if backtrack(index + 1):
+                    return True
+                used.remove(position)
+        return False
+
+    return backtrack(0)
+
+
+class CorrelationSeeker(Seeker):
+    """C: top-k tables with a column correlating with the target
+    (Listing 3, QCR-based, computed entirely in SQL).
+
+    The query is a (join key, numeric target) column pair. Join keys are
+    split into ``$k_0$`` (target below mean) and ``$k_1$`` (target >= mean)
+    *before* query generation; the in-database QCR is then::
+
+        ABS((2 * SUM(same-quadrant pairs) - COUNT(*)) / COUNT(*))
+
+    ``h`` bounds sampled rows per table via ``RowId < h`` -- convenience
+    sampling unless the index was built with ``shuffle_rows`` (BLEND
+    (rand)). Unlike the original QCR index, numeric join keys work: keys
+    are matched as tokens, not category hashes.
+
+    ``min_qcr`` keeps only column pairs whose estimated |QCR| reaches the
+    threshold -- required when the seeker feeds a Difference combiner
+    (multicollinearity filters must not subtract weakly-correlated noise).
+
+    ``min_support`` adds ``HAVING COUNT(*) >= min_support``: a column pair
+    joining on only a couple of stray key collisions trivially reaches
+    |QCR| = 1 and would drown out real correlations. The original sketch
+    baseline is immune (it ranks by matched-hash counts), so the paper's
+    Listing 3 omits the clause; any lake with cross-table token collisions
+    needs it.
+    """
+
+    kind = "C"
+
+    def __init__(
+        self,
+        keys: Iterable[Cell],
+        targets: Iterable[Cell],
+        k: int = 10,
+        h: int = 256,
+        min_support: int = 3,
+        min_qcr: float = 0.0,
+    ) -> None:
+        super().__init__(k)
+        keys = list(keys)
+        targets = list(targets)
+        if len(keys) != len(targets):
+            raise SeekerError("correlation seeker requires aligned key/target columns")
+        if h <= 0:
+            raise SeekerError("sample size h must be positive")
+        if min_support < 1:
+            raise SeekerError("min_support must be at least 1")
+        if not 0.0 <= min_qcr <= 1.0:
+            raise SeekerError("min_qcr must be within [0, 1]")
+        self.h = h
+        self.min_support = min_support
+        self.min_qcr = min_qcr
+        self.k0, self.k1 = split_keys_by_target(keys, targets)
+        if not self.k0 and not self.k1:
+            raise SeekerError("correlation seeker requires numeric targets")
+
+    @property
+    def join_tokens(self) -> list[str]:
+        return self.k0 + self.k1
+
+    def sql(self, rewrite: Optional[Rewrite] = None) -> str:
+        # The rewrite predicate restricts BOTH subqueries: the join
+        # equates TableId across sides, so filtering nums as well is
+        # equivalent -- and it turns the nums side from a full index scan
+        # into a TableId-index look-up.
+        predicate = rewrite.predicate_sql("") if rewrite else ""
+        template = (
+            "SELECT keys.TableId, "
+            "ABS((2.0 * SUM(((keys.CellValue IN (:k0) AND nums.Quadrant = 0) "
+            "OR (keys.CellValue IN (:k1) AND nums.Quadrant = 1))::int) "
+            "- COUNT(*)) / COUNT(*)) AS qcr "
+            "FROM (SELECT * FROM {index} WHERE RowId < :h AND CellValue IN (:qj)"
+            + REWRITE_MARKER
+            + ") keys "
+            "INNER JOIN (SELECT * FROM {index} WHERE RowId < :h "
+            "AND Quadrant IS NOT NULL" + REWRITE_MARKER + ") nums "
+            "ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId "
+            "AND keys.ColumnId <> nums.ColumnId "
+            "GROUP BY keys.TableId, nums.ColumnId, keys.ColumnId "
+            "HAVING COUNT(*) >= :minsup "
+            "AND ABS((2.0 * SUM(((keys.CellValue IN (:k0) AND nums.Quadrant = 0) "
+            "OR (keys.CellValue IN (:k1) AND nums.Quadrant = 1))::int) "
+            "- COUNT(*)) / COUNT(*)) >= :minqcr "
+            "ORDER BY qcr DESC, keys.TableId, nums.ColumnId "
+            "LIMIT :fetch"
+        )
+        return template.replace(REWRITE_MARKER, predicate)
+
+    def params(self, rewrite: Optional[Rewrite] = None) -> dict[str, Any]:
+        params: dict[str, Any] = {
+            "qj": self.join_tokens,
+            "k0": self.k0 if self.k0 else ["\0__never__"],
+            "k1": self.k1 if self.k1 else ["\0__never__"],
+            "h": self.h,
+            "minsup": self.min_support,
+            "minqcr": self.min_qcr,
+            "fetch": self.k * OVERFETCH,
+        }
+        if rewrite:
+            params["__rewrite_ids"] = list(rewrite.table_ids)
+        return params
+
+    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        sql = self.sql(rewrite).format(index=context.index_table)
+        result = context.db.execute(sql, self.params(rewrite))
+        hits: list[TableHit] = []
+        seen: set[int] = set()
+        for table_id, qcr in result.rows:
+            if qcr is None:
+                continue
+            if table_id not in seen:
+                seen.add(table_id)
+                hits.append(TableHit(table_id, float(qcr)))
+            if len(hits) == self.k:
+                break
+        return ResultList(hits)
+
+    def query_cardinality(self) -> int:
+        return len(self.k0) + len(self.k1)
+
+    def query_columns(self) -> int:
+        return 2
+
+    def query_tokens(self) -> list[str]:
+        return self.join_tokens
+
+
+class Seekers:
+    """The paper's API namespace: ``Seekers.SC(...)``, ``Seekers.MC(...)``,
+    ``Seekers.KW(...)``, ``Seekers.Correlation(...)`` (alias ``C``)."""
+
+    SC = SingleColumnSeeker
+    KW = KeywordSeeker
+    MC = MultiColumnSeeker
+    Correlation = CorrelationSeeker
+    C = CorrelationSeeker
+
+
+SEEKER_RULE_RANK = {"KW": 0, "SS": 1, "SC": 1, "C": 2, "MC": 3}
+"""Rule-based execution order (paper §VII-B): KW first, SC before C, MC
+last -- derived from the operators' index-scan complexities. The semantic
+extension's SS seeker (an ANN look-up, sub-linear) shares SC's tier."""

@@ -1,0 +1,208 @@
+"""Semantic discovery extension (the paper's §X future work).
+
+The paper closes: *"It would be interesting to extend our system to
+enable the execution and optimization of these [semantic and fuzzy]
+operators. This can include incorporation of high-dimensional embeddings
+into our index structure. The use of in-DB embeddings would also enable
+efficient vector indexing using methods like HNSW or IVFFlat."*
+
+This module implements that extension end to end:
+
+* the offline phase embeds every lake column (see
+  :mod:`repro.baselines.embeddings` for the encoder substitution) and
+  serialises the vectors into a database relation ``AllVectors(TableId,
+  ColumnId, Dim, Weight)`` -- the "in-DB embeddings";
+* an HNSW index over the same vectors provides the efficient
+  vector-search path;
+* :class:`SemanticSeeker` (kind ``SS``) plugs into the Plan/combiner
+  algebra like any other seeker, so semantic and exact operators compose
+  (e.g. ``Intersect(SS($q), SC($q))`` -- tables that match both
+  semantically and syntactically).
+
+Optimizer integration: the paper's related-work section notes that
+reordering *approximate* operators is non-trivial because it can change
+result sets. Accordingly, a SemanticSeeker honours rewrites by
+**post-filtering** its ranked results (semantics preserved exactly)
+instead of pre-restricting the vector search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from ..baselines.embeddings import DEFAULT_DIMENSIONS, embed_column, embed_values
+from ..baselines.hnsw import HnswIndex
+from ..engine.database import Database
+from ..errors import SeekerError
+from ..lake.datalake import DataLake
+from ..lake.table import Cell
+from .results import ResultList, TableHit
+from .seekers import Rewrite, Seeker, SeekerContext
+
+ALLVECTORS_SCHEMA = [
+    ("TableId", "integer"),
+    ("ColumnId", "integer"),
+    ("Dim", "integer"),
+    ("Weight", "float"),
+]
+
+
+class SemanticIndex:
+    """Column embeddings, persisted in-DB, searchable via HNSW."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        dimensions: int = DEFAULT_DIMENSIONS,
+        m: int = 8,
+        ef_construction: int = 48,
+        seed: int = 0,
+    ) -> None:
+        self.lake = lake
+        self.dimensions = dimensions
+        self._hnsw = HnswIndex(dimensions, m=m, ef_construction=ef_construction, seed=seed)
+        self._vectors: dict[tuple[int, int], np.ndarray] = {}
+        for table_id, table in enumerate(lake):
+            for position in range(table.num_columns):
+                vector = embed_column(table, position, dimensions)
+                if not np.any(vector):
+                    continue
+                self._vectors[(table_id, position)] = vector
+                self._hnsw.add((table_id, position), vector)
+
+    @property
+    def num_columns(self) -> int:
+        return len(self._vectors)
+
+    def persist(self, db: Database, table_name: str = "AllVectors") -> int:
+        """Serialise the embeddings into a database relation (sparse
+        coordinate layout), enabling in-DB inspection and maintenance of
+        the vector index alongside ``AllTables``. Returns rows written."""
+        if not db.has_table(table_name):
+            db.create_table(table_name, ALLVECTORS_SCHEMA)
+        rows = []
+        for (table_id, column_id), vector in self._vectors.items():
+            for dim in np.nonzero(vector)[0]:
+                rows.append((table_id, column_id, int(dim), float(vector[dim])))
+        inserted = db.insert(table_name, rows)
+        db.create_index(table_name, "TableId")
+        return inserted
+
+    @classmethod
+    def load(
+        cls, db: Database, lake: DataLake, table_name: str = "AllVectors",
+        dimensions: int = DEFAULT_DIMENSIONS, seed: int = 0,
+    ) -> "SemanticIndex":
+        """Rebuild the in-memory HNSW from the persisted relation --
+        the deployment path where vectors live in the database."""
+        instance = cls.__new__(cls)
+        instance.lake = lake
+        instance.dimensions = dimensions
+        instance._hnsw = HnswIndex(dimensions, seed=seed)
+        instance._vectors = {}
+        result = db.execute(
+            f"SELECT TableId, ColumnId, Dim, Weight FROM {table_name} "
+            "ORDER BY TableId, ColumnId, Dim"
+        )
+        for table_id, column_id, dim, weight in result.rows:
+            key = (table_id, column_id)
+            vector = instance._vectors.get(key)
+            if vector is None:
+                vector = np.zeros(dimensions, dtype=np.float64)
+                instance._vectors[key] = vector
+            vector[dim] = weight
+        for key, vector in instance._vectors.items():
+            instance._hnsw.add(key, vector)
+        return instance
+
+    def search_columns(
+        self, vector: np.ndarray, k: int, ef: Optional[int] = None
+    ) -> list[tuple[tuple[int, int], float]]:
+        return self._hnsw.search(vector, k=k, ef=ef)
+
+    def storage_bytes(self) -> int:
+        return (
+            len(self._vectors) * self.dimensions * 8 + self._hnsw.storage_bytes()
+        )
+
+
+class SemanticSeeker(Seeker):
+    """SS: top-k tables whose best column is semantically closest to the
+    query column (embedding cosine similarity via HNSW).
+
+    Scores are cosine similarities in [0, 1]-ish -- a different scale
+    from overlap counts, which is fine for Counter/Intersect/Difference
+    composition (they operate on table id sets) but means Union score
+    sums mix units, exactly as when the paper unions heterogeneous
+    seekers.
+    """
+
+    kind = "SS"
+
+    def __init__(self, values: Iterable[Cell], k: int = 10, overfetch: int = 4) -> None:
+        super().__init__(k)
+        self.values = list(values)
+        if not self.values:
+            raise SeekerError("semantic seeker requires at least one value")
+        if overfetch < 1:
+            raise SeekerError("overfetch must be >= 1")
+        self.overfetch = overfetch
+
+    def sql(self, rewrite: Optional[Rewrite] = None) -> str:
+        raise SeekerError(
+            "the semantic seeker runs on the vector index, not SQL; "
+            "see SemanticIndex.persist for the in-DB representation"
+        )
+
+    def params(self, rewrite: Optional[Rewrite] = None) -> dict:
+        return {}
+
+    def execute(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> ResultList:
+        semantic = getattr(context, "semantic", None)
+        if semantic is None:
+            raise SeekerError(
+                "semantic index not built; call Blend.enable_semantic() first"
+            )
+        query_vector = embed_values(self.values, semantic.dimensions)
+        if not np.any(query_vector):
+            return ResultList()
+        # Over-fetch columns: several columns of one table may rank high,
+        # and rewrite post-filters may drop tables.
+        column_hits = semantic.search_columns(
+            query_vector, k=self.k * self.overfetch * 2
+        )
+        best_per_table: dict[int, float] = {}
+        for (table_id, _), similarity in column_hits:
+            if similarity > best_per_table.get(table_id, float("-inf")):
+                best_per_table[table_id] = similarity
+        ranked = sorted(best_per_table.items(), key=lambda item: (-item[1], item[0]))
+
+        if rewrite is not None:
+            # Approximate operators honour rewrites by post-filtering, so
+            # optimization never changes what a semantic seeker would
+            # report for the surviving tables (see module docstring).
+            allowed = set(rewrite.table_ids)
+            if rewrite.mode == "intersect":
+                ranked = [item for item in ranked if item[0] in allowed]
+            elif rewrite.mode == "difference":
+                ranked = [item for item in ranked if item[0] not in allowed]
+            else:
+                raise SeekerError(f"unknown rewrite mode: {rewrite.mode}")
+        return ResultList(
+            TableHit(table_id, score) for table_id, score in ranked[: self.k]
+        )
+
+    def query_cardinality(self) -> int:
+        return len(self.values)
+
+    def query_columns(self) -> int:
+        return 1
+
+    def query_tokens(self) -> list[str]:
+        from ..lake.table import normalize_cell
+
+        return [t for t in (normalize_cell(v) for v in self.values) if t is not None]

@@ -1,0 +1,277 @@
+"""The ``Blend`` facade: offline indexing + online optimized execution.
+
+Typical use::
+
+    from repro import Blend, Plan, Seekers, Combiners
+
+    blend = Blend(lake, backend="column")
+    blend.build_index()
+
+    plan = Plan()
+    plan.add("pos", Seekers.MC(examples, k=10))
+    plan.add("neg", Seekers.MC(negative_examples, k=10))
+    plan.add("out", Combiners.Difference(k=10), ["pos", "neg"])
+    result = blend.run(plan)
+    print(result.output.table_ids())
+
+Convenience task methods (``join_search``, ``union_search``, ...) build
+the standard plans of §VII-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..engine.database import Database
+from ..errors import BlendError
+from ..index.alltables import IndexBuildReport, IndexConfig, build_alltables
+from ..index.stats import LakeStatistics
+from ..lake.datalake import DataLake
+from ..lake.table import Cell, Table
+from .combiners import Combiners
+from .executor import PlanExecutor, PlanRunResult
+from .optimizer.cost_model import CostModel, TrainingReport, train_cost_model
+from .optimizer.planner import ExecutionPlan, Optimizer
+from .plan import Plan
+from .results import ResultList
+from .seekers import SeekerContext, Seekers
+
+
+class Blend:
+    """A BLEND deployment over one data lake."""
+
+    def __init__(
+        self,
+        lake: DataLake,
+        backend: str = "column",
+        index_config: IndexConfig = IndexConfig(),
+    ) -> None:
+        self.lake = lake
+        self.db = Database(backend=backend)
+        self.index_config = index_config
+        self._indexed = False
+        self._stats: Optional[LakeStatistics] = None
+        self.optimizer = Optimizer()
+
+    # -- offline phase ---------------------------------------------------------
+
+    def build_index(self) -> IndexBuildReport:
+        """Offline phase: build ``AllTables`` plus lake statistics.
+
+        Statistics are computed here (not lazily) because the paper's
+        offline phase owns all corpus-wide scans; the online optimizer
+        must only read precomputed state.
+        """
+        report = build_alltables(self.lake, self.db, self.index_config)
+        self._indexed = True
+        self._stats = LakeStatistics.from_lake(self.lake)
+        return report
+
+    @property
+    def stats(self) -> LakeStatistics:
+        """Lake statistics for the cost model (built lazily, cached)."""
+        if self._stats is None:
+            self._stats = LakeStatistics.from_lake(self.lake)
+        return self._stats
+
+    def train_optimizer(
+        self, samples_per_type: int = 40, seed: int = 0
+    ) -> TrainingReport:
+        """Train the learned cost model on this deployment (paper: once
+        per lake installation)."""
+        model, report = train_cost_model(
+            self.context(), self.stats, self.lake, samples_per_type, seed
+        )
+        self.optimizer = Optimizer(model)
+        return report
+
+    def add_table(self, table: Table) -> int:
+        """Maintenance path: add one table to the lake AND the index
+        incrementally (no rebuild). Returns the new table id.
+
+        The unified single-relation layout makes this an append (paper
+        §V); lake statistics are updated in place so the cost model sees
+        the new tokens.
+        """
+        from ..index.alltables import index_table
+        from ..lake.table import normalize_cell
+
+        table_id = self.lake.add(table)
+        if self._indexed:
+            index_table(table_id, table, self.db, self.index_config)
+        if self._stats is not None:
+            for _, _, value in table.iter_cells():
+                token = normalize_cell(value)
+                if token is not None:
+                    self._stats.num_cells += 1
+                    self._stats.frequencies[token] = (
+                        self._stats.frequencies.get(token, 0) + 1
+                    )
+            self._stats.num_tables += 1
+        return table_id
+
+    def enable_semantic(self, dimensions: int = 64, persist: bool = True) -> "Blend":
+        """Build the semantic extension (paper §X future work): embed
+        every lake column, persist the vectors in-DB as ``AllVectors``,
+        and serve SS seekers from an HNSW over them. Returns self."""
+        from .semantic import SemanticIndex
+
+        self._semantic = SemanticIndex(self.lake, dimensions=dimensions)
+        if persist and self._indexed:
+            self._semantic.persist(self.db)
+        return self
+
+    def context(self) -> SeekerContext:
+        if not self._indexed:
+            raise BlendError("call build_index() before executing plans")
+        return SeekerContext(
+            db=self.db,
+            lake=self.lake,
+            index_table=self.index_config.table_name,
+            hash_size=self.index_config.hash_size,
+            xash_chars=self.index_config.xash_chars,
+            semantic=getattr(self, "_semantic", None),
+        )
+
+    def semantic_search(self, values: Iterable[Cell], k: int = 10) -> ResultList:
+        """Semantic join/union discovery via the SS seeker extension."""
+        from .semantic import SemanticSeeker
+
+        plan = Plan().add("ss", SemanticSeeker(values, k=k))
+        return self.run(plan).output
+
+    # -- online phase ----------------------------------------------------------
+
+    def plan_for(self, plan: Plan, optimize: bool = True) -> ExecutionPlan:
+        """The execution plan the optimizer would produce (introspection)."""
+        if optimize:
+            return self.optimizer.optimize(plan, self.stats)
+        return Optimizer.unoptimized(plan)
+
+    def run(self, plan: Plan, optimize: bool = True) -> PlanRunResult:
+        """Optimize (unless ``optimize=False`` -- the paper's B-NO) and
+        execute a discovery plan."""
+        execution_plan = self.plan_for(plan, optimize)
+        return PlanExecutor(self.context()).run(plan, execution_plan)
+
+    # -- standard tasks (§VII-A) ---------------------------------------------------
+
+    def keyword_search(self, keywords: Iterable[Cell], k: int = 10) -> ResultList:
+        """Simple task: a single KW seeker."""
+        plan = Plan().add("kw", Seekers.KW(keywords, k=k))
+        return self.run(plan).output
+
+    def join_search(self, values: Iterable[Cell], k: int = 10) -> ResultList:
+        """Single-column join discovery (the JOSIE task)."""
+        plan = Plan().add("sc", Seekers.SC(values, k=k))
+        return self.run(plan).output
+
+    def multi_column_join_search(
+        self, rows: Iterable[Sequence[Cell]] | Table, k: int = 10
+    ) -> ResultList:
+        """Multi-column join discovery (the MATE task)."""
+        plan = Plan().add("mc", Seekers.MC(rows, k=k))
+        return self.run(plan).output
+
+    def correlation_search(
+        self,
+        keys: Iterable[Cell],
+        targets: Iterable[Cell],
+        k: int = 10,
+        h: int = 256,
+        min_support: int = 3,
+    ) -> ResultList:
+        """Correlation discovery (the QCR task)."""
+        plan = Plan().add(
+            "corr",
+            Seekers.Correlation(keys, targets, k=k, h=h, min_support=min_support),
+        )
+        return self.run(plan).output
+
+    def union_search(
+        self, table: Table, k: int = 10, per_column_k: int = 100
+    ) -> ResultList:
+        """Union discovery: one SC seeker per query column + a Counter.
+
+        ``per_column_k`` exceeds ``k`` so tables relevant only in
+        combination survive the per-seeker cut (paper §VII-A).
+        """
+        result = self.run(union_search_plan(table, k, per_column_k)).output
+        query_id = self.lake.id_of(table.name) if table.name in self.lake else None
+        if query_id is not None and query_id in result:
+            result = ResultList(hit for hit in result if hit.table_id != query_id)
+        return result
+
+
+def union_search_plan(table: Table, k: int = 10, per_column_k: int = 100) -> Plan:
+    """The §VII-A union-search plan for a query table."""
+    plan = Plan()
+    column_nodes = []
+    for position, column in enumerate(table.columns):
+        values = [v for v in table.column_values(column) if v is not None]
+        if not values:
+            continue
+        node = f"sc_{position}_{column}"
+        plan.add(node, Seekers.SC(values, k=per_column_k))
+        column_nodes.append(node)
+    if not column_nodes:
+        raise BlendError(f"query table {table.name!r} has no non-null columns")
+    plan.add("counter", Combiners.Counter(k=k), column_nodes)
+    return plan
+
+
+def multi_objective_plan(
+    keywords: Iterable[Cell],
+    examples: Table,
+    join_key_column: str,
+    target_column: str,
+    queries: Optional[Iterable[Cell]] = None,
+    k: int = 10,
+    per_column_k: int = 100,
+    include_imputation: bool = True,
+) -> Plan:
+    """The multi-objective discovery plan of Listing 4: keyword search +
+    union search + (optional) data imputation + correlation search,
+    aggregated by a Union combiner."""
+    plan = Plan()
+    union_inputs: list[str] = []
+
+    # Keyword search.
+    plan.add("kw", Seekers.KW(keywords, k=k))
+    union_inputs.append("kw")
+
+    # Union search sub-plan (one SC per column + Counter).
+    column_nodes = []
+    for position, column in enumerate(examples.columns):
+        values = [v for v in examples.column_values(column) if v is not None]
+        if not values:
+            continue
+        node = f"clm_{position}"
+        plan.add(node, Seekers.SC(values, k=per_column_k))
+        column_nodes.append(node)
+    plan.add("counter", Combiners.Counter(k=k), column_nodes)
+    union_inputs.append("counter")
+
+    # Data imputation sub-plan (MC + SC + Intersection).
+    if include_imputation:
+        if queries is None:
+            raise BlendError("imputation sub-plan requires `queries`")
+        plan.add("examples", Seekers.MC(examples, k=k))
+        plan.add("query", Seekers.SC(queries, k=k))
+        plan.add("intersection", Combiners.Intersect(k=k), ["examples", "query"])
+        union_inputs.append("intersection")
+
+    # Correlation search.
+    plan.add(
+        "correlation",
+        Seekers.Correlation(
+            examples.column_values(join_key_column),
+            examples.column_values(target_column),
+            k=k,
+        ),
+    )
+    union_inputs.append("correlation")
+
+    plan.add("union", Combiners.Union(k=4 * k), union_inputs)
+    return plan

@@ -1,0 +1,11 @@
+"""Embedded relational engine: the database substrate BLEND runs on.
+
+Provides a row-store backend (PostgreSQL's role in the paper) and a
+NumPy-vectorised column-store backend (the commercial column store's
+role), both executing the same SQL subset that BLEND's seekers emit.
+"""
+
+from .database import Database, ResultSet
+from .types import SqlType
+
+__all__ = ["Database", "ResultSet", "SqlType"]

@@ -1,0 +1,174 @@
+"""Embedded database facade.
+
+``Database`` is the single entry point BLEND uses for its in-database
+execution: it owns a catalog of stored tables (row- or column-oriented,
+selected per database), parses and plans SQL, and dispatches to the
+matching executor. The two backends mirror the paper's deployment on
+PostgreSQL (row store) and a commercial column store.
+
+Example
+-------
+>>> db = Database(backend="column")
+>>> db.create_table("t", [("a", "integer"), ("b", "text")])
+>>> db.insert("t", [(1, "x"), (2, "y"), (2, "z")])
+3
+>>> db.execute("SELECT a, COUNT(*) FROM t GROUP BY a ORDER BY a").rows
+[(1, 1), (2, 2)]
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from ..errors import CatalogError, EngineError
+from .sql import ast
+from .sql.executor_column import Batch, ColumnExecutor
+from .sql.executor_row import QueryStats, RowExecutor
+from .sql.parser import parse
+from .sql.planner import PlanNode, TableResolver, plan_select
+from .storage.catalog import Catalog, ColumnDef, TableSchema
+from .storage.column_store import ColumnTable
+from .storage.row_store import RowTable
+from .types import SqlType
+
+BACKENDS = ("row", "column")
+
+
+@dataclass
+class ResultSet:
+    """Query result: ordered column names plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise EngineError(
+                f"scalar() requires a 1x1 result, got {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def column(self, index: int = 0) -> list[Any]:
+        """All values of one output column."""
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries keyed by column name."""
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+@functools.lru_cache(maxsize=512)
+def _parse_cached(sql: str) -> ast.Select:
+    """AST cache -- seeker SQL templates repeat across executions with only
+    parameters changing, so parsing is amortised away."""
+    return parse(sql)
+
+
+class Database:
+    """An embedded single-process database with pluggable storage layout."""
+
+    def __init__(self, backend: str = "column") -> None:
+        if backend not in BACKENDS:
+            raise EngineError(f"unknown backend {backend!r}; expected one of {BACKENDS}")
+        self.backend = backend
+        self._catalog = Catalog()
+        self.last_stats = QueryStats()
+
+    # -- schema ------------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        columns: Sequence[tuple[str, Union[str, SqlType]]],
+    ) -> None:
+        """Create a table. *columns* is a list of (name, type) pairs where
+        type is a :class:`SqlType` or a SQL type name string."""
+        defs = [
+            ColumnDef(col_name, t if isinstance(t, SqlType) else SqlType.from_name(t))
+            for col_name, t in columns
+        ]
+        schema = TableSchema(name, defs)
+        if self.backend == "row":
+            self._catalog.register(RowTable(schema))
+        else:
+            self._catalog.register(ColumnTable(schema))
+
+    def drop_table(self, name: str) -> None:
+        self._catalog.drop(name)
+
+    def has_table(self, name: str) -> bool:
+        return self._catalog.exists(name)
+
+    def table_names(self) -> list[str]:
+        return self._catalog.table_names()
+
+    def table(self, name: str):
+        """The underlying storage object (RowTable / ColumnTable)."""
+        return self._catalog.get(name)
+
+    def create_index(self, table_name: str, column_name: str) -> None:
+        """Create a hash index (idempotent), e.g. BLEND's two in-database
+        indexes on ``AllTables(CellValue)`` and ``AllTables(TableId)``."""
+        self._catalog.get(table_name).create_index(column_name)
+
+    # -- data ---------------------------------------------------------------------
+
+    def insert(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk insert; returns the number of rows added."""
+        return self._catalog.get(table_name).insert_rows(rows)
+
+    def num_rows(self, table_name: str) -> int:
+        return self._catalog.get(table_name).num_rows
+
+    def storage_bytes(self, table_name: Optional[str] = None) -> int:
+        """Approximate resident bytes of one table or the whole database."""
+        if table_name is not None:
+            return self._catalog.get(table_name).storage_bytes()
+        return sum(
+            self._catalog.get(name).storage_bytes() for name in self._catalog.table_names()
+        )
+
+    # -- querying ------------------------------------------------------------------
+
+    def plan(self, sql: str, params: Optional[Mapping[str, Any]] = None) -> PlanNode:
+        """Parse and plan *sql* without executing (used by tests and the
+        optimizer's cost introspection)."""
+        select = _parse_cached(sql)
+        resolver = TableResolver(lambda name: self._column_names(name))
+        return plan_select(select, resolver, params)
+
+    def execute(self, sql: str, params: Optional[Mapping[str, Any]] = None) -> ResultSet:
+        """Run a SELECT and return its result set.
+
+        ``params`` binds ``:name`` placeholders; sequence-valued parameters
+        may appear in ``IN`` lists (this is how BLEND passes query columns
+        and rewritten intermediate results).
+        """
+        plan = self.plan(sql, params)
+        stats = QueryStats()
+        if self.backend == "row":
+            executor = RowExecutor(self._catalog, params, stats)
+            rows = executor.execute(plan)
+        else:
+            executor = ColumnExecutor(self._catalog, params, stats)
+            batch = executor.execute(plan)
+            rows = batch.to_rows()
+        self.last_stats = stats
+        return ResultSet(columns=plan.schema.names(), rows=rows, stats=stats)
+
+    # -- internals --------------------------------------------------------------------
+
+    def _column_names(self, table_name: str) -> list[str]:
+        if table_name == "__dual__":
+            return []
+        return self._catalog.get(table_name).schema.column_names()

@@ -1,0 +1,5 @@
+"""SQL front end: lexer, parser, planner, and the two executors."""
+
+from .parser import parse
+
+__all__ = ["parse"]

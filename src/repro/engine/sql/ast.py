@@ -1,0 +1,260 @@
+"""Abstract syntax tree for the engine's SQL subset.
+
+The grammar intentionally covers exactly what BLEND's seekers and the
+benchmark suite emit (see Listings 1-3 of the paper): single-table
+SELECTs, subqueries in FROM, INNER JOIN with conjunctive equality ON
+clauses, WHERE with IN / comparison / NULL predicates, GROUP BY,
+aggregate expressions (COUNT/COUNT DISTINCT/SUM/AVG/MIN/MAX), ORDER BY
+over arbitrary expressions, LIMIT, and named parameters (``:name``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+class Node:
+    """Marker base class for AST nodes."""
+
+    __slots__ = ()
+
+
+# --------------------------------------------------------------------------
+# Expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: number, string, boolean, or NULL."""
+
+    value: Any
+
+
+@dataclass(frozen=True)
+class ColumnRef(Node):
+    """A (possibly qualified) column reference, e.g. ``keys.TableId``."""
+
+    name: str
+    table: Optional[str] = None
+
+    def display(self) -> str:
+        if self.table:
+            return f"{self.table}.{self.name}"
+        return self.name
+
+
+@dataclass(frozen=True)
+class Star(Node):
+    """``*`` or ``alias.*`` in a select list or COUNT(*)."""
+
+    table: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Parameter(Node):
+    """A named query parameter ``:name`` bound at execution time.
+
+    Parameters may bind scalars (comparisons) or sequences (IN lists) --
+    the latter is how BLEND injects large query-value sets and the
+    optimizer injects intermediate-result TableId lists without re-parsing
+    thousands of literals.
+    """
+
+    name: str
+
+
+@dataclass(frozen=True)
+class BinaryOp(Node):
+    """Binary operator: arithmetic (+,-,*,/,%), comparison (=,<>,<,...),
+    or logical (AND, OR)."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class UnaryOp(Node):
+    """Unary operator: NOT or numeric negation ``-``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class InList(Node):
+    """``expr [NOT] IN (items...)`` where items are literals/parameters."""
+
+    operand: Node
+    items: tuple[Node, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class IsNull(Node):
+    """``expr IS [NOT] NULL``."""
+
+    operand: Node
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Cast(Node):
+    """PostgreSQL-style ``expr::type`` cast (int / float / text)."""
+
+    operand: Node
+    type_name: str
+
+
+@dataclass(frozen=True)
+class FunctionCall(Node):
+    """Scalar function call (ABS, LENGTH, LOWER, UPPER, COALESCE, ...)."""
+
+    name: str
+    args: tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class Aggregate(Node):
+    """Aggregate function: COUNT/SUM/AVG/MIN/MAX.
+
+    ``argument`` is ``None`` only for ``COUNT(*)``.
+    """
+
+    func: str
+    argument: Optional[Node]
+    distinct: bool = False
+
+    def display(self) -> str:
+        inner = "*" if self.argument is None else "<expr>"
+        prefix = "DISTINCT " if self.distinct else ""
+        return f"{self.func}({prefix}{inner})"
+
+
+# --------------------------------------------------------------------------
+# Relations (FROM clause)
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TableRef(Node):
+    """Base-table reference with optional alias."""
+
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass(frozen=True)
+class SubqueryRef(Node):
+    """Derived table: ``(SELECT ...) [AS] alias``."""
+
+    query: "Select"
+    alias: str
+
+
+@dataclass(frozen=True)
+class Join(Node):
+    """``left INNER JOIN right ON condition``."""
+
+    left: Node
+    right: Node
+    condition: Node
+    join_type: str = "inner"
+
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(Node):
+    """One entry of the select list."""
+
+    expression: Node
+    alias: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OrderItem(Node):
+    """One ORDER BY key."""
+
+    expression: Node
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class Select(Node):
+    """A full SELECT statement."""
+
+    items: tuple[SelectItem, ...]
+    source: Optional[Node] = None
+    where: Optional[Node] = None
+    group_by: tuple[Node, ...] = field(default=())
+    having: Optional[Node] = None
+    order_by: tuple[OrderItem, ...] = field(default=())
+    limit: Optional[Node] = None
+    distinct: bool = False
+
+
+def walk(node: Node):
+    """Yield *node* and all AST descendants, depth first.
+
+    Used by the planner for aggregate discovery and parameter collection.
+    """
+    yield node
+    if isinstance(node, BinaryOp):
+        yield from walk(node.left)
+        yield from walk(node.right)
+    elif isinstance(node, UnaryOp):
+        yield from walk(node.operand)
+    elif isinstance(node, InList):
+        yield from walk(node.operand)
+        for item in node.items:
+            yield from walk(item)
+    elif isinstance(node, IsNull):
+        yield from walk(node.operand)
+    elif isinstance(node, Cast):
+        yield from walk(node.operand)
+    elif isinstance(node, FunctionCall):
+        for arg in node.args:
+            yield from walk(arg)
+    elif isinstance(node, Aggregate):
+        if node.argument is not None:
+            yield from walk(node.argument)
+    elif isinstance(node, SelectItem):
+        yield from walk(node.expression)
+    elif isinstance(node, OrderItem):
+        yield from walk(node.expression)
+    elif isinstance(node, Join):
+        yield from walk(node.left)
+        yield from walk(node.right)
+        yield from walk(node.condition)
+    elif isinstance(node, SubqueryRef):
+        yield from walk(node.query)
+    elif isinstance(node, Select):
+        for item in node.items:
+            yield from walk(item)
+        if node.source is not None:
+            yield from walk(node.source)
+        if node.where is not None:
+            yield from walk(node.where)
+        for expr in node.group_by:
+            yield from walk(expr)
+        if node.having is not None:
+            yield from walk(node.having)
+        for item in node.order_by:
+            yield from walk(item)
+        if node.limit is not None:
+            yield from walk(node.limit)
+
+
+def contains_aggregate(node: Node) -> bool:
+    """True when the expression tree contains an :class:`Aggregate`."""
+    return any(isinstance(child, Aggregate) for child in walk(node))

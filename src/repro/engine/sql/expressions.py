@@ -1,0 +1,306 @@
+"""Row-wise expression compiler.
+
+Compiles an AST expression against a :class:`~.schema.Schema` into a Python
+closure ``row -> value`` implementing SQL three-valued semantics. Parameters
+are substituted at compile time (queries are re-compiled per execution,
+which is cheap relative to scan cost and keeps closures allocation-free).
+
+The column executor has its own vectorised compiler in
+:mod:`repro.engine.sql.vector_expressions`; this module is the reference
+semantics both must agree on (property-tested in the test suite).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from ...errors import PlanningError
+from ..types import (
+    sql_and,
+    sql_cast_float,
+    sql_cast_int,
+    sql_compare,
+    sql_equals,
+    sql_not,
+    sql_or,
+)
+from . import ast
+from .schema import Schema
+
+RowEvaluator = Callable[[Sequence[Any]], Any]
+
+
+def bind_parameter(params: Optional[Mapping[str, Any]], name: str) -> Any:
+    """Fetch a named parameter, raising a planning error when unbound."""
+    if params is None or name not in params:
+        raise PlanningError(f"unbound query parameter: :{name}")
+    return params[name]
+
+
+def compile_expression(
+    node: ast.Node,
+    schema: Schema,
+    params: Optional[Mapping[str, Any]] = None,
+) -> RowEvaluator:
+    """Compile *node* into a ``row -> value`` closure."""
+    if isinstance(node, ast.Literal):
+        value = node.value
+        return lambda row: value
+    if isinstance(node, ast.Parameter):
+        value = bind_parameter(params, node.name)
+        if isinstance(value, (list, tuple, set, frozenset)):
+            raise PlanningError(
+                f"parameter :{node.name} binds a sequence and may only be used in an IN list"
+            )
+        return lambda row: value
+    if isinstance(node, ast.ColumnRef):
+        position = schema.resolve(node.name, node.table)
+        return lambda row: row[position]
+    if isinstance(node, ast.BinaryOp):
+        return _compile_binary(node, schema, params)
+    if isinstance(node, ast.UnaryOp):
+        operand = compile_expression(node.operand, schema, params)
+        if node.op == "NOT":
+            return lambda row: sql_not(operand(row))
+        if node.op == "-":
+            def negate(row: Sequence[Any]) -> Any:
+                value = operand(row)
+                return None if value is None else -value
+
+            return negate
+        raise PlanningError(f"unknown unary operator: {node.op}")
+    if isinstance(node, ast.InList):
+        return _compile_in_list(node, schema, params)
+    if isinstance(node, ast.IsNull):
+        operand = compile_expression(node.operand, schema, params)
+        if node.negated:
+            return lambda row: operand(row) is not None
+        return lambda row: operand(row) is None
+    if isinstance(node, ast.Cast):
+        operand = compile_expression(node.operand, schema, params)
+        if node.type_name in ("int", "integer", "bigint"):
+            return lambda row: sql_cast_int(operand(row))
+        if node.type_name in ("float", "real", "double", "numeric"):
+            return lambda row: sql_cast_float(operand(row))
+        if node.type_name in ("text", "varchar", "nvarchar"):
+            def cast_text(row: Sequence[Any]) -> Any:
+                value = operand(row)
+                return None if value is None else str(value)
+
+            return cast_text
+        raise PlanningError(f"unsupported cast target: {node.type_name}")
+    if isinstance(node, ast.FunctionCall):
+        return _compile_function(node, schema, params)
+    if isinstance(node, ast.Aggregate):
+        raise PlanningError(
+            f"aggregate {node.display()} used outside GROUP BY context"
+        )
+    if isinstance(node, ast.Star):
+        raise PlanningError("'*' is only valid in a select list or COUNT(*)")
+    raise PlanningError(f"cannot compile expression node: {type(node).__name__}")
+
+
+def _compile_binary(
+    node: ast.BinaryOp, schema: Schema, params: Optional[Mapping[str, Any]]
+) -> RowEvaluator:
+    left = compile_expression(node.left, schema, params)
+    right = compile_expression(node.right, schema, params)
+    op = node.op
+    if op == "AND":
+        return lambda row: sql_and(left(row), right(row))
+    if op == "OR":
+        return lambda row: sql_or(left(row), right(row))
+    if op == "=":
+        return lambda row: sql_equals(left(row), right(row))
+    if op == "<>":
+        return lambda row: sql_not(sql_equals(left(row), right(row)))
+    if op in ("<", "<=", ">", ">="):
+        def compare(row: Sequence[Any], _op: str = op) -> Any:
+            ordering = sql_compare(left(row), right(row))
+            if ordering is None:
+                return None
+            if _op == "<":
+                return ordering < 0
+            if _op == "<=":
+                return ordering <= 0
+            if _op == ">":
+                return ordering > 0
+            return ordering >= 0
+
+        return compare
+    if op in ("+", "-", "*", "/", "%"):
+        def arithmetic(row: Sequence[Any], _op: str = op) -> Any:
+            lhs = left(row)
+            rhs = right(row)
+            if lhs is None or rhs is None:
+                return None
+            if isinstance(lhs, bool):
+                lhs = int(lhs)
+            if isinstance(rhs, bool):
+                rhs = int(rhs)
+            if _op == "+":
+                return lhs + rhs
+            if _op == "-":
+                return lhs - rhs
+            if _op == "*":
+                return lhs * rhs
+            if _op == "/":
+                if rhs == 0:
+                    return None  # SQL engines raise; NULL keeps ranking total
+                result = lhs / rhs
+                return result
+            if rhs == 0:
+                return None
+            return lhs % rhs
+
+        return arithmetic
+    raise PlanningError(f"unknown binary operator: {op}")
+
+
+def _compile_in_list(
+    node: ast.InList, schema: Schema, params: Optional[Mapping[str, Any]]
+) -> RowEvaluator:
+    operand = compile_expression(node.operand, schema, params)
+    values: list[Any] = []
+    contains_null = False
+    for item in node.items:
+        if isinstance(item, ast.Literal):
+            if item.value is None:
+                contains_null = True
+            else:
+                values.append(item.value)
+        elif isinstance(item, ast.Parameter):
+            bound = bind_parameter(params, item.name)
+            if isinstance(bound, (list, tuple, set, frozenset)):
+                for element in bound:
+                    if element is None:
+                        contains_null = True
+                    else:
+                        values.append(element)
+            elif bound is None:
+                contains_null = True
+            else:
+                values.append(bound)
+        else:
+            raise PlanningError("IN lists may only contain literals and parameters")
+    try:
+        membership: Any = frozenset(values)
+    except TypeError:
+        membership = tuple(values)
+    negated = node.negated
+
+    def evaluate(row: Sequence[Any]) -> Any:
+        value = operand(row)
+        if value is None:
+            return None
+        found = value in membership
+        if found:
+            return not negated
+        if contains_null:
+            return None
+        return negated
+
+    return evaluate
+
+
+def _compile_function(
+    node: ast.FunctionCall, schema: Schema, params: Optional[Mapping[str, Any]]
+) -> RowEvaluator:
+    args = [compile_expression(arg, schema, params) for arg in node.args]
+    name = node.name.upper()
+
+    def require_arity(expected: int) -> None:
+        if len(args) != expected:
+            raise PlanningError(f"{name} expects {expected} argument(s), got {len(args)}")
+
+    if name == "ABS":
+        require_arity(1)
+        arg = args[0]
+
+        def absolute(row: Sequence[Any]) -> Any:
+            value = arg(row)
+            return None if value is None else abs(value)
+
+        return absolute
+    if name == "LENGTH":
+        require_arity(1)
+        arg = args[0]
+
+        def length(row: Sequence[Any]) -> Any:
+            value = arg(row)
+            return None if value is None else len(str(value))
+
+        return length
+    if name == "LOWER":
+        require_arity(1)
+        arg = args[0]
+
+        def lower(row: Sequence[Any]) -> Any:
+            value = arg(row)
+            return None if value is None else str(value).lower()
+
+        return lower
+    if name == "UPPER":
+        require_arity(1)
+        arg = args[0]
+
+        def upper(row: Sequence[Any]) -> Any:
+            value = arg(row)
+            return None if value is None else str(value).upper()
+
+        return upper
+    if name == "COALESCE":
+        if not args:
+            raise PlanningError("COALESCE expects at least one argument")
+
+        def coalesce(row: Sequence[Any]) -> Any:
+            for arg in args:
+                value = arg(row)
+                if value is not None:
+                    return value
+            return None
+
+        return coalesce
+    if name == "SQRT":
+        require_arity(1)
+        arg = args[0]
+
+        def sqrt(row: Sequence[Any]) -> Any:
+            value = arg(row)
+            if value is None:
+                return None
+            if value < 0:
+                return None
+            return math.sqrt(value)
+
+        return sqrt
+    if name == "LIKE":
+        require_arity(2)
+        operand, pattern = args
+
+        def like(row: Sequence[Any]) -> Any:
+            value = operand(row)
+            pat = pattern(row)
+            if value is None or pat is None:
+                return None
+            return _like_match(str(value), str(pat))
+
+        return like
+    raise PlanningError(f"unknown function: {name}")
+
+
+def _like_match(value: str, pattern: str) -> bool:
+    """Evaluate SQL LIKE with ``%`` and ``_`` wildcards (no escapes)."""
+    # Dynamic-programming match; pattern alphabets are tiny in practice.
+    import re
+
+    regex_parts: list[str] = []
+    for ch in pattern:
+        if ch == "%":
+            regex_parts.append(".*")
+        elif ch == "_":
+            regex_parts.append(".")
+        else:
+            regex_parts.append(re.escape(ch))
+    return re.fullmatch("".join(regex_parts), value) is not None

@@ -1,0 +1,179 @@
+"""Tokeniser for the engine's SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import SqlSyntaxError
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "DISTINCT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "ORDER",
+        "BY",
+        "HAVING",
+        "LIMIT",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "IN",
+        "IS",
+        "NULL",
+        "TRUE",
+        "FALSE",
+        "INNER",
+        "LEFT",
+        "JOIN",
+        "ON",
+        "ASC",
+        "DESC",
+        "COUNT",
+        "SUM",
+        "AVG",
+        "MIN",
+        "MAX",
+        "BETWEEN",
+        "LIKE",
+    }
+)
+
+# Multi-character operators must be matched before their prefixes.
+_OPERATORS = ("::", "<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "(", ")", ",", ".", ";")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of ``keyword``, ``identifier``, ``number``, ``string``,
+    ``parameter``, ``operator``, or ``eof``. ``position`` is the one-based
+    character offset in the original SQL text, kept for error messages.
+    """
+
+    kind: str
+    value: str
+    position: int
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Convert SQL text into a token list ending with an ``eof`` token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "-" and sql.startswith("--", i):
+            newline = sql.find("\n", i)
+            i = n if newline < 0 else newline + 1
+            continue
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token("string", value, i))
+            continue
+        if ch == '"':
+            value, i = _read_quoted_identifier(sql, i)
+            tokens.append(Token("identifier", value, i))
+            continue
+        if ch == ":" and not sql.startswith("::", i):
+            start = i + 1
+            j = start
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            if j == start:
+                raise SqlSyntaxError("':' must introduce a named parameter", position=i + 1)
+            tokens.append(Token("parameter", sql[start:j], start))
+            i = j
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            value, i = _read_number(sql, i)
+            tokens.append(Token("number", value, i))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[start:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, start + 1))
+            else:
+                tokens.append(Token("identifier", word, start + 1))
+            i = j
+            continue
+        matched = False
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token("operator", op, i + 1))
+                i += len(op)
+                matched = True
+                break
+        if not matched:
+            raise SqlSyntaxError(f"unexpected character {ch!r}", position=i + 1)
+    tokens.append(Token("eof", "", n + 1))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted SQL string starting at *start*; ``''`` escapes
+    a quote, as in standard SQL."""
+    chunks: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                chunks.append("'")
+                i += 2
+                continue
+            return "".join(chunks), i + 1
+        chunks.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated string literal", position=start + 1)
+
+
+def _read_quoted_identifier(sql: str, start: int) -> tuple[str, int]:
+    """Read a double-quoted identifier; ``""`` escapes a quote."""
+    chunks: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == '"':
+            if i + 1 < n and sql[i + 1] == '"':
+                chunks.append('"')
+                i += 2
+                continue
+            return "".join(chunks), i + 1
+        chunks.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated quoted identifier", position=start + 1)
+
+
+def _read_number(sql: str, start: int) -> tuple[str, int]:
+    """Read an integer or decimal literal (optional exponent)."""
+    i = start
+    n = len(sql)
+    seen_dot = False
+    while i < n and (sql[i].isdigit() or (sql[i] == "." and not seen_dot)):
+        if sql[i] == ".":
+            seen_dot = True
+        i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j].isdigit():
+            while j < n and sql[j].isdigit():
+                j += 1
+            i = j
+    return sql[start:i], i

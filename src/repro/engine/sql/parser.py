@@ -1,0 +1,405 @@
+"""Recursive-descent parser producing the AST in :mod:`.ast`.
+
+Operator precedence (low to high):
+    OR < AND < NOT < comparison/IN/IS/BETWEEN/LIKE < additive <
+    multiplicative < unary minus < ``::`` cast < primary.
+"""
+
+from __future__ import annotations
+
+from ...errors import SqlSyntaxError
+from . import ast
+from .lexer import Token, tokenize
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql: str) -> ast.Select:
+    """Parse one SELECT statement (optionally ``;``-terminated)."""
+    return Parser(tokenize(sql)).parse_statement()
+
+
+class Parser:
+    """Single-statement recursive-descent SQL parser."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token helpers -----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check_keyword(self, *keywords: str) -> bool:
+        token = self._peek()
+        return token.kind == "keyword" and token.value in keywords
+
+    def _match_keyword(self, *keywords: str) -> bool:
+        if self._check_keyword(*keywords):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, keyword: str) -> Token:
+        token = self._peek()
+        if token.kind == "keyword" and token.value == keyword:
+            return self._advance()
+        raise SqlSyntaxError(f"expected {keyword}, found {token.value!r}", position=token.position)
+
+    def _check_operator(self, *ops: str) -> bool:
+        token = self._peek()
+        return token.kind == "operator" and token.value in ops
+
+    def _match_operator(self, *ops: str) -> bool:
+        if self._check_operator(*ops):
+            self._advance()
+            return True
+        return False
+
+    def _expect_operator(self, op: str) -> Token:
+        token = self._peek()
+        if token.kind == "operator" and token.value == op:
+            return self._advance()
+        raise SqlSyntaxError(f"expected {op!r}, found {token.value!r}", position=token.position)
+
+    # -- statements ---------------------------------------------------------
+
+    def parse_statement(self) -> ast.Select:
+        select = self._parse_select()
+        self._match_operator(";")
+        tail = self._peek()
+        if tail.kind != "eof":
+            raise SqlSyntaxError(f"unexpected trailing input {tail.value!r}", position=tail.position)
+        return select
+
+    def _parse_select(self) -> ast.Select:
+        self._expect_keyword("SELECT")
+        distinct = self._match_keyword("DISTINCT")
+        items = [self._parse_select_item()]
+        while self._match_operator(","):
+            items.append(self._parse_select_item())
+
+        source = None
+        if self._match_keyword("FROM"):
+            source = self._parse_from()
+
+        where = None
+        if self._match_keyword("WHERE"):
+            where = self._parse_expression()
+
+        group_by: tuple[ast.Node, ...] = ()
+        if self._match_keyword("GROUP"):
+            self._expect_keyword("BY")
+            keys = [self._parse_expression()]
+            while self._match_operator(","):
+                keys.append(self._parse_expression())
+            group_by = tuple(keys)
+
+        having = None
+        if self._match_keyword("HAVING"):
+            having = self._parse_expression()
+
+        order_by: tuple[ast.OrderItem, ...] = ()
+        if self._match_keyword("ORDER"):
+            self._expect_keyword("BY")
+            orders = [self._parse_order_item()]
+            while self._match_operator(","):
+                orders.append(self._parse_order_item())
+            order_by = tuple(orders)
+
+        limit = None
+        if self._match_keyword("LIMIT"):
+            limit = self._parse_expression()
+
+        return ast.Select(
+            items=tuple(items),
+            source=source,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _parse_select_item(self) -> ast.SelectItem:
+        token = self._peek()
+        if token.kind == "operator" and token.value == "*":
+            self._advance()
+            return ast.SelectItem(expression=ast.Star())
+        # alias.* form
+        if (
+            token.kind == "identifier"
+            and self._peek(1).kind == "operator"
+            and self._peek(1).value == "."
+            and self._peek(2).kind == "operator"
+            and self._peek(2).value == "*"
+        ):
+            self._advance()
+            self._advance()
+            self._advance()
+            return ast.SelectItem(expression=ast.Star(table=token.value))
+        expression = self._parse_expression()
+        alias = None
+        if self._match_keyword("AS"):
+            alias_token = self._advance()
+            if alias_token.kind not in ("identifier", "string"):
+                raise SqlSyntaxError("expected alias name after AS", position=alias_token.position)
+            alias = alias_token.value
+        elif self._peek().kind == "identifier":
+            alias = self._advance().value
+        return ast.SelectItem(expression=expression, alias=alias)
+
+    def _parse_order_item(self) -> ast.OrderItem:
+        expression = self._parse_expression()
+        descending = False
+        if self._match_keyword("DESC"):
+            descending = True
+        else:
+            self._match_keyword("ASC")
+        return ast.OrderItem(expression=expression, descending=descending)
+
+    # -- FROM clause ----------------------------------------------------------
+
+    def _parse_from(self) -> ast.Node:
+        relation = self._parse_relation()
+        while True:
+            join_type = None
+            if self._check_keyword("INNER") or self._check_keyword("JOIN"):
+                self._match_keyword("INNER")
+                join_type = "inner"
+            elif self._check_keyword("LEFT"):
+                self._advance()
+                join_type = "left"
+            else:
+                break
+            self._expect_keyword("JOIN")
+            right = self._parse_relation()
+            self._expect_keyword("ON")
+            condition = self._parse_expression()
+            relation = ast.Join(left=relation, right=right, condition=condition, join_type=join_type)
+        return relation
+
+    def _parse_relation(self) -> ast.Node:
+        if self._check_operator("("):
+            self._advance()
+            if self._check_keyword("SELECT"):
+                subquery = self._parse_select()
+                self._expect_operator(")")
+                self._match_keyword("AS")
+                alias_token = self._advance()
+                if alias_token.kind != "identifier":
+                    raise SqlSyntaxError("derived table requires an alias", position=alias_token.position)
+                return ast.SubqueryRef(query=subquery, alias=alias_token.value)
+            # Parenthesised join tree.
+            relation = self._parse_from()
+            self._expect_operator(")")
+            return relation
+        token = self._advance()
+        if token.kind != "identifier":
+            raise SqlSyntaxError(f"expected table name, found {token.value!r}", position=token.position)
+        alias = None
+        if self._match_keyword("AS"):
+            alias_token = self._advance()
+            if alias_token.kind != "identifier":
+                raise SqlSyntaxError("expected alias after AS", position=alias_token.position)
+            alias = alias_token.value
+        elif self._peek().kind == "identifier":
+            alias = self._advance().value
+        return ast.TableRef(name=token.value, alias=alias)
+
+    # -- expressions ------------------------------------------------------------
+
+    def _parse_expression(self) -> ast.Node:
+        return self._parse_or()
+
+    def _parse_or(self) -> ast.Node:
+        left = self._parse_and()
+        while self._match_keyword("OR"):
+            right = self._parse_and()
+            left = ast.BinaryOp(op="OR", left=left, right=right)
+        return left
+
+    def _parse_and(self) -> ast.Node:
+        left = self._parse_not()
+        while self._match_keyword("AND"):
+            right = self._parse_not()
+            left = ast.BinaryOp(op="AND", left=left, right=right)
+        return left
+
+    def _parse_not(self) -> ast.Node:
+        if self._match_keyword("NOT"):
+            return ast.UnaryOp(op="NOT", operand=self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> ast.Node:
+        left = self._parse_additive()
+        token = self._peek()
+        if token.kind == "operator" and token.value in _COMPARISONS:
+            self._advance()
+            right = self._parse_additive()
+            op = "<>" if token.value == "!=" else token.value
+            return ast.BinaryOp(op=op, left=left, right=right)
+        negated = False
+        if self._check_keyword("NOT") and self._peek(1).kind == "keyword" and self._peek(1).value in ("IN", "BETWEEN", "LIKE"):
+            self._advance()
+            negated = True
+        if self._match_keyword("IN"):
+            return self._parse_in_tail(left, negated)
+        if self._match_keyword("BETWEEN"):
+            low = self._parse_additive()
+            self._expect_keyword("AND")
+            high = self._parse_additive()
+            between = ast.BinaryOp(
+                op="AND",
+                left=ast.BinaryOp(op=">=", left=left, right=low),
+                right=ast.BinaryOp(op="<=", left=left, right=high),
+            )
+            if negated:
+                return ast.UnaryOp(op="NOT", operand=between)
+            return between
+        if self._match_keyword("LIKE"):
+            pattern = self._parse_additive()
+            call = ast.FunctionCall(name="LIKE", args=(left, pattern))
+            if negated:
+                return ast.UnaryOp(op="NOT", operand=call)
+            return call
+        if negated:
+            token = self._peek()
+            raise SqlSyntaxError("expected IN, BETWEEN, or LIKE after NOT", position=token.position)
+        if self._match_keyword("IS"):
+            is_negated = self._match_keyword("NOT")
+            self._expect_keyword("NULL")
+            return ast.IsNull(operand=left, negated=is_negated)
+        return left
+
+    def _parse_in_tail(self, operand: ast.Node, negated: bool) -> ast.Node:
+        # Either a parenthesised item list or a bare parameter: IN :values
+        if self._peek().kind == "parameter":
+            param = self._advance()
+            return ast.InList(operand=operand, items=(ast.Parameter(param.value),), negated=negated)
+        self._expect_operator("(")
+        items: list[ast.Node] = []
+        if not self._check_operator(")"):
+            items.append(self._parse_additive())
+            while self._match_operator(","):
+                items.append(self._parse_additive())
+        self._expect_operator(")")
+        return ast.InList(operand=operand, items=tuple(items), negated=negated)
+
+    def _parse_additive(self) -> ast.Node:
+        left = self._parse_multiplicative()
+        while self._check_operator("+", "-"):
+            op = self._advance().value
+            right = self._parse_multiplicative()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_multiplicative(self) -> ast.Node:
+        left = self._parse_unary()
+        while self._check_operator("*", "/", "%"):
+            op = self._advance().value
+            right = self._parse_unary()
+            left = ast.BinaryOp(op=op, left=left, right=right)
+        return left
+
+    def _parse_unary(self) -> ast.Node:
+        if self._match_operator("-"):
+            return ast.UnaryOp(op="-", operand=self._parse_unary())
+        if self._match_operator("+"):
+            return self._parse_unary()
+        return self._parse_cast()
+
+    def _parse_cast(self) -> ast.Node:
+        expression = self._parse_primary()
+        while self._match_operator("::"):
+            type_token = self._advance()
+            if type_token.kind != "identifier":
+                raise SqlSyntaxError("expected type name after '::'", position=type_token.position)
+            expression = ast.Cast(operand=expression, type_name=type_token.value.lower())
+        return expression
+
+    def _parse_primary(self) -> ast.Node:
+        token = self._peek()
+        if token.kind == "number":
+            self._advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return ast.Literal(float(text))
+            return ast.Literal(int(text))
+        if token.kind == "string":
+            self._advance()
+            return ast.Literal(token.value)
+        if token.kind == "parameter":
+            self._advance()
+            return ast.Parameter(token.value)
+        if token.kind == "keyword":
+            if token.value == "NULL":
+                self._advance()
+                return ast.Literal(None)
+            if token.value == "TRUE":
+                self._advance()
+                return ast.Literal(True)
+            if token.value == "FALSE":
+                self._advance()
+                return ast.Literal(False)
+            if token.value in _AGGREGATES:
+                return self._parse_aggregate()
+        if token.kind == "operator" and token.value == "(":
+            self._advance()
+            if self._check_keyword("SELECT"):
+                raise SqlSyntaxError(
+                    "scalar subqueries are not supported; use a parameter", position=token.position
+                )
+            expression = self._parse_expression()
+            self._expect_operator(")")
+            return expression
+        if token.kind == "identifier":
+            return self._parse_identifier_expression()
+        raise SqlSyntaxError(f"unexpected token {token.value!r}", position=token.position)
+
+    def _parse_aggregate(self) -> ast.Node:
+        func_token = self._advance()
+        func = func_token.value
+        self._expect_operator("(")
+        if func == "COUNT" and self._check_operator("*"):
+            self._advance()
+            self._expect_operator(")")
+            return ast.Aggregate(func="COUNT", argument=None)
+        distinct = self._match_keyword("DISTINCT")
+        argument = self._parse_expression()
+        self._expect_operator(")")
+        return ast.Aggregate(func=func, argument=argument, distinct=distinct)
+
+    def _parse_identifier_expression(self) -> ast.Node:
+        name_token = self._advance()
+        # Function call?
+        if self._check_operator("(") :
+            self._advance()
+            args: list[ast.Node] = []
+            if not self._check_operator(")"):
+                args.append(self._parse_expression())
+                while self._match_operator(","):
+                    args.append(self._parse_expression())
+            self._expect_operator(")")
+            return ast.FunctionCall(name=name_token.value.upper(), args=tuple(args))
+        # Qualified column?
+        if self._check_operator(".") :
+            self._advance()
+            column_token = self._advance()
+            if column_token.kind not in ("identifier", "keyword"):
+                raise SqlSyntaxError(
+                    f"expected column name after '.', found {column_token.value!r}",
+                    position=column_token.position,
+                )
+            return ast.ColumnRef(name=column_token.value, table=name_token.value)
+        return ast.ColumnRef(name=name_token.value)

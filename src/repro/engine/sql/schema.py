@@ -1,0 +1,76 @@
+"""Column-resolution schema shared by the planner and both executors.
+
+A :class:`Schema` describes the columns of an intermediate relation as an
+ordered list of ``(binding, name)`` pairs, where *binding* is the table
+alias the column is visible under (``None`` for computed columns).
+Resolution is case-insensitive, as in standard SQL.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...errors import PlanningError
+
+
+class Schema:
+    """Ordered, alias-aware column list with case-insensitive lookup."""
+
+    __slots__ = ("columns", "_by_name")
+
+    def __init__(self, columns: list[tuple[Optional[str], str]]) -> None:
+        # columns: list of (binding, display_name)
+        self.columns = list(columns)
+        self._by_name: dict[str, list[int]] = {}
+        for position, (_, name) in enumerate(self.columns):
+            self._by_name.setdefault(name.lower(), []).append(position)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def names(self) -> list[str]:
+        """Display names in order (used for result-set headers)."""
+        return [name for _, name in self.columns]
+
+    def resolve(self, name: str, table: Optional[str] = None) -> int:
+        """Return the position of column *name* (optionally qualified by
+        *table*). Raises :class:`PlanningError` on unknown or ambiguous
+        references."""
+        candidates = self._by_name.get(name.lower(), [])
+        if table is not None:
+            table_lower = table.lower()
+            matches = [
+                position
+                for position in candidates
+                if self.columns[position][0] is not None and self.columns[position][0].lower() == table_lower
+            ]
+        else:
+            matches = candidates
+        if not matches:
+            qualified = f"{table}.{name}" if table else name
+            raise PlanningError(f"unknown column: {qualified}")
+        if len(matches) > 1:
+            qualified = f"{table}.{name}" if table else name
+            raise PlanningError(f"ambiguous column reference: {qualified}")
+        return matches[0]
+
+    def positions_for_binding(self, binding: str) -> list[int]:
+        """All column positions belonging to table alias *binding*."""
+        binding_lower = binding.lower()
+        positions = [
+            position
+            for position, (table, _) in enumerate(self.columns)
+            if table is not None and table.lower() == binding_lower
+        ]
+        if not positions:
+            raise PlanningError(f"unknown table alias in select list: {binding}")
+        return positions
+
+    def rebind(self, binding: str) -> "Schema":
+        """A copy of this schema with every column re-qualified under a new
+        alias -- used when a subquery gets a derived-table alias."""
+        return Schema([(binding, name) for _, name in self.columns])
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of a join output: left columns then right columns."""
+        return Schema(self.columns + other.columns)

@@ -1,0 +1,7 @@
+"""Storage backends: row store and dictionary-encoded column store."""
+
+from .catalog import Catalog, ColumnDef, TableSchema
+from .column_store import ColumnTable
+from .row_store import RowTable
+
+__all__ = ["Catalog", "ColumnDef", "TableSchema", "ColumnTable", "RowTable"]

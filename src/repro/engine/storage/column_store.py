@@ -1,0 +1,313 @@
+"""Columnar storage backend ("the commercial column store" in the paper).
+
+Each column is held as a NumPy array: integers/floats as numeric arrays
+with a validity mask, text dictionary-encoded as int32 codes over a sorted
+value dictionary, booleans as int8 with ``-1`` for NULL. The vectorised
+executor (:mod:`..sql.executor_column`) operates on these arrays directly,
+which is what makes BLEND's scan-heavy seeker queries an order of
+magnitude faster here than on the row store (paper Figs. 5 and 7).
+
+Inserts are buffered in Python lists and sealed into arrays on first read,
+matching the bulk-load-then-query lifecycle of a data-lake index.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ...errors import CatalogError, ExecutionError
+from ..types import SqlType, coerce_to_type
+from .catalog import TableSchema
+
+
+class _ColumnData:
+    """One sealed column: typed array + null mask (or codes + dictionary)."""
+
+    __slots__ = ("sql_type", "data", "null", "codes", "dictionary", "code_of")
+
+    def __init__(self, sql_type: SqlType) -> None:
+        self.sql_type = sql_type
+        self.data: Optional[np.ndarray] = None  # numeric / bool storage
+        self.null: Optional[np.ndarray] = None
+        self.codes: Optional[np.ndarray] = None  # text storage
+        self.dictionary: Optional[np.ndarray] = None  # object array of str
+        self.code_of: Optional[dict[str, int]] = None
+
+
+class ColumnTable:
+    """Dictionary-encoded, mask-validated columnar table."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._pending: list[list[Any]] = [[] for _ in schema.columns]
+        self._sealed: Optional[list[_ColumnData]] = None
+        self._num_rows = 0
+        self._indexes: dict[str, dict[Any, np.ndarray]] = {}
+
+    # -- loading ---------------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        return self._num_rows
+
+    def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Buffer *rows* for columnar sealing; invalidates sealed arrays
+        and secondary indexes (they are rebuilt lazily)."""
+        types = [column.sql_type for column in self.schema.columns]
+        width = len(types)
+        inserted = 0
+        pending = self._pending
+        for row in rows:
+            if len(row) != width:
+                raise ExecutionError(
+                    f"row width {len(row)} does not match table "
+                    f"{self.schema.name!r} width {width}"
+                )
+            for position, (value, sql_type) in enumerate(zip(row, types)):
+                pending[position].append(coerce_to_type(value, sql_type))
+            inserted += 1
+        if inserted:
+            self._num_rows += inserted
+            self._sealed = None
+            self._indexes = {}
+        return inserted
+
+    def _seal(self) -> list[_ColumnData]:
+        """Convert buffered values into typed arrays (idempotent)."""
+        if self._sealed is not None:
+            return self._sealed
+        sealed: list[_ColumnData] = []
+        for column_def, values in zip(self.schema.columns, self._pending):
+            column = _ColumnData(column_def.sql_type)
+            if column_def.sql_type is SqlType.TEXT:
+                column.codes, column.dictionary, column.code_of = _encode_text(values)
+            elif column_def.sql_type is SqlType.BOOLEAN:
+                data = np.empty(len(values), dtype=np.int8)
+                for i, value in enumerate(values):
+                    data[i] = -1 if value is None else int(value)
+                column.data = data
+            elif column_def.sql_type is SqlType.INTEGER:
+                data = np.zeros(len(values), dtype=np.int64)
+                null = np.zeros(len(values), dtype=bool)
+                for i, value in enumerate(values):
+                    if value is None:
+                        null[i] = True
+                    else:
+                        data[i] = value
+                column.data = data
+                column.null = null
+            else:  # FLOAT
+                data = np.zeros(len(values), dtype=np.float64)
+                null = np.zeros(len(values), dtype=bool)
+                for i, value in enumerate(values):
+                    if value is None:
+                        null[i] = True
+                    else:
+                        data[i] = value
+                column.data = data
+                column.null = null
+            sealed.append(column)
+        self._sealed = sealed
+        return sealed
+
+    # -- vector access (used by the vectorised executor) ------------------------
+
+    def column_values(self, column_name: str, positions: Optional[np.ndarray] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Materialise a column as ``(data, null_mask)``.
+
+        Text columns come back as object arrays of ``str`` (gathered from
+        the dictionary); integers as int64; floats as float64; booleans as
+        int64 0/1. ``positions`` optionally selects a row subset first.
+        """
+        column = self._column(column_name)
+        if column.sql_type is SqlType.TEXT:
+            codes = column.codes if positions is None else column.codes[positions]
+            null = codes < 0
+            safe_codes = np.where(null, 0, codes)
+            if len(column.dictionary):
+                data = column.dictionary[safe_codes]
+            else:
+                data = np.empty(len(codes), dtype=object)
+            data = data.copy()
+            data[null] = None
+            return data, null
+        if column.sql_type is SqlType.BOOLEAN:
+            raw = column.data if positions is None else column.data[positions]
+            null = raw < 0
+            data = np.where(null, 0, raw).astype(np.int64)
+            return data, null
+        data = column.data if positions is None else column.data[positions]
+        null = column.null if positions is None else column.null[positions]
+        return data, null.copy()
+
+    def text_codes(self, column_name: str, positions: Optional[np.ndarray] = None) -> tuple[np.ndarray, np.ndarray]:
+        """Dictionary codes (and the dictionary) of a text column."""
+        column = self._column(column_name)
+        if column.sql_type is not SqlType.TEXT:
+            raise CatalogError(f"{column_name!r} is not a text column")
+        codes = column.codes if positions is None else column.codes[positions]
+        return codes, column.dictionary
+
+    def isin_positions(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
+        """Positions where the column equals any of *values*, computed by a
+        vectorised dictionary/numeric scan (no secondary index needed)."""
+        mask = self.isin_mask(column_name, values)
+        return np.nonzero(mask)[0]
+
+    def isin_mask(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
+        """Boolean mask over all rows for ``column IN values``."""
+        column = self._column(column_name)
+        if column.sql_type is SqlType.TEXT:
+            code_of = column.code_of
+            wanted = np.array(
+                sorted({code_of[v] for v in values if isinstance(v, str) and v in code_of}),
+                dtype=np.int32,
+            )
+            if wanted.size == 0:
+                return np.zeros(self._num_rows, dtype=bool)
+            return _isin_sorted(column.codes, wanted)
+        if column.sql_type is SqlType.BOOLEAN:
+            wanted_bools = {int(bool(v)) for v in values if v is not None}
+            if not wanted_bools:
+                return np.zeros(self._num_rows, dtype=bool)
+            return np.isin(column.data, np.array(sorted(wanted_bools), dtype=np.int8))
+        numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        if not numeric:
+            return np.zeros(self._num_rows, dtype=bool)
+        wanted_arr = np.array(sorted(set(numeric)))
+        mask = _isin_sorted(column.data, wanted_arr.astype(column.data.dtype, copy=False))
+        if column.null is not None:
+            mask &= ~column.null
+        return mask
+
+    def gather_rows(self, positions: np.ndarray) -> list[tuple]:
+        """Materialise full tuples at *positions* (row-store interop and
+        result sets)."""
+        materialised = [
+            self.column_values(column.name, positions) for column in self.schema.columns
+        ]
+        rows: list[tuple] = []
+        for i in range(len(positions)):
+            row = tuple(
+                None if null[i] else _to_python(data[i])
+                for data, null in materialised
+            )
+            rows.append(row)
+        return rows
+
+    # -- indexes -----------------------------------------------------------------
+
+    def create_index(self, column_name: str) -> None:
+        """Build a hash index value -> ndarray of positions (idempotent)."""
+        key = column_name.lower()
+        if key in self._indexes:
+            return
+        column = self._column(column_name)
+        index: dict[Any, np.ndarray] = {}
+        if self._num_rows == 0:
+            self._indexes[key] = index
+            return
+        if column.sql_type is SqlType.TEXT:
+            order = np.argsort(column.codes, kind="stable")
+            sorted_codes = column.codes[order]
+            boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(sorted_codes)]))
+            for start, end in zip(starts, ends):
+                code = sorted_codes[start]
+                if code < 0:
+                    continue
+                index[column.dictionary[code]] = order[start:end]
+        else:
+            data = column.data
+            order = np.argsort(data, kind="stable")
+            sorted_data = data[order]
+            boundaries = np.nonzero(np.diff(sorted_data) != 0)[0] + 1
+            starts = np.concatenate(([0], boundaries))
+            ends = np.concatenate((boundaries, [len(sorted_data)]))
+            null = column.null
+            for start, end in zip(starts, ends):
+                value = _to_python(sorted_data[start])
+                positions = order[start:end]
+                if null is not None:
+                    positions = positions[~null[positions]]
+                    if positions.size == 0:
+                        continue
+                if column.sql_type is SqlType.BOOLEAN and value == -1:
+                    continue
+                index[value] = positions
+        self._indexes[key] = index
+
+    def has_index(self, column_name: str) -> bool:
+        return column_name.lower() in self._indexes
+
+    def index_lookup(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
+        """Positions (ascending) whose column equals any of *values*."""
+        key = column_name.lower()
+        if key not in self._indexes:
+            raise CatalogError(f"no index on {self.schema.name}.{column_name}")
+        index = self._indexes[key]
+        chunks = [index[v] for v in set(values) if v is not None and v in index]
+        if not chunks:
+            return np.empty(0, dtype=np.int64)
+        merged = np.concatenate(chunks)
+        merged.sort()
+        return merged
+
+    # -- storage accounting --------------------------------------------------------
+
+    def storage_bytes(self) -> int:
+        """Resident bytes of sealed arrays, dictionaries, and indexes."""
+        total = 0
+        for column in self._seal():
+            if column.codes is not None:
+                total += column.codes.nbytes
+                total += sum(49 + len(v) for v in column.dictionary) if len(column.dictionary) else 0
+                total += len(column.dictionary) * 16  # dict slots
+            if column.data is not None:
+                total += column.data.nbytes
+            if column.null is not None:
+                total += column.null.nbytes
+        for index in self._indexes.values():
+            total += len(index) * 16
+            total += sum(positions.nbytes for positions in index.values())
+        return total
+
+    # -- internals ---------------------------------------------------------------
+
+    def _column(self, column_name: str) -> _ColumnData:
+        position = self.schema.position_of(column_name)
+        return self._seal()[position]
+
+
+def _encode_text(values: list[Any]) -> tuple[np.ndarray, np.ndarray, dict[str, int]]:
+    """Dictionary-encode a text column: codes, sorted dictionary, lookup."""
+    distinct = sorted({v for v in values if v is not None})
+    code_of = {value: code for code, value in enumerate(distinct)}
+    codes = np.empty(len(values), dtype=np.int32)
+    for i, value in enumerate(values):
+        codes[i] = -1 if value is None else code_of[value]
+    dictionary = np.array(distinct, dtype=object)
+    return codes, dictionary, code_of
+
+
+def _isin_sorted(data: np.ndarray, sorted_values: np.ndarray) -> np.ndarray:
+    """Vectorised membership test against a sorted value array.
+
+    ``searchsorted`` beats ``np.isin`` when the probe side is large and the
+    value set is small, which is exactly the seeker-scan shape.
+    """
+    if sorted_values.size == 0:
+        return np.zeros(len(data), dtype=bool)
+    idx = np.searchsorted(sorted_values, data)
+    idx_clipped = np.minimum(idx, sorted_values.size - 1)
+    return sorted_values[idx_clipped] == data
+
+
+def _to_python(value: Any) -> Any:
+    """Convert NumPy scalars to plain Python values for result rows."""
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

@@ -1,0 +1,202 @@
+"""SQL value model for the embedded engine.
+
+The engine supports four scalar types -- ``NULL``, booleans, numbers
+(int/float), and text -- mirroring what BLEND's ``AllTables`` relation
+needs (``CellValue`` nvarchar, id integers, ``SuperKey`` unsigned int,
+``Quadrant`` nullable boolean).
+
+Python ``None`` represents SQL ``NULL`` throughout. Comparisons follow SQL
+three-valued logic: any comparison against ``NULL`` yields ``NULL``
+(``None``), and ``WHERE`` only keeps rows whose predicate is truthy.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any
+
+
+class SqlType(Enum):
+    """Declared column types understood by the catalog."""
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+
+    @classmethod
+    def from_name(cls, name: str) -> "SqlType":
+        normalized = name.strip().lower()
+        aliases = {
+            "int": cls.INTEGER,
+            "integer": cls.INTEGER,
+            "bigint": cls.INTEGER,
+            "smallint": cls.INTEGER,
+            "byte": cls.INTEGER,
+            "float": cls.FLOAT,
+            "real": cls.FLOAT,
+            "double": cls.FLOAT,
+            "numeric": cls.FLOAT,
+            "decimal": cls.FLOAT,
+            "text": cls.TEXT,
+            "varchar": cls.TEXT,
+            "nvarchar": cls.TEXT,
+            "string": cls.TEXT,
+            "char": cls.TEXT,
+            "bool": cls.BOOLEAN,
+            "boolean": cls.BOOLEAN,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ValueError(f"unknown SQL type name: {name!r}") from None
+
+
+def is_null(value: Any) -> bool:
+    """True when *value* is SQL NULL."""
+    return value is None
+
+
+def coerce_to_type(value: Any, sql_type: SqlType) -> Any:
+    """Coerce a Python value into the storage representation of *sql_type*.
+
+    ``None`` passes through unchanged. Raises ``ValueError`` when the value
+    cannot be represented (e.g. text into an integer column).
+    """
+    if value is None:
+        return None
+    if sql_type is SqlType.INTEGER:
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        raise ValueError(f"cannot store {value!r} in an INTEGER column")
+    if sql_type is SqlType.FLOAT:
+        if isinstance(value, bool):
+            return float(value)
+        if isinstance(value, (int, float)):
+            return float(value)
+        raise ValueError(f"cannot store {value!r} in a FLOAT column")
+    if sql_type is SqlType.TEXT:
+        if isinstance(value, str):
+            return value
+        raise ValueError(f"cannot store {value!r} in a TEXT column")
+    if sql_type is SqlType.BOOLEAN:
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int) and value in (0, 1):
+            return bool(value)
+        raise ValueError(f"cannot store {value!r} in a BOOLEAN column")
+    raise ValueError(f"unhandled SQL type: {sql_type}")
+
+
+def sql_equals(left: Any, right: Any) -> Any:
+    """Three-valued SQL equality. Returns True/False/None."""
+    if left is None or right is None:
+        return None
+    return _comparable(left) == _comparable(right)
+
+
+def sql_compare(left: Any, right: Any) -> Any:
+    """Three-valued comparison: -1/0/+1, or ``None`` for NULL operands.
+
+    Mixed text/number comparisons raise ``TypeError`` -- the planner is
+    expected to keep comparisons type-homogeneous, like a strict DBMS.
+    """
+    if left is None or right is None:
+        return None
+    lhs, rhs = _comparable(left), _comparable(right)
+    if isinstance(lhs, str) != isinstance(rhs, str):
+        raise TypeError(f"cannot compare {type(left).__name__} with {type(right).__name__}")
+    if lhs < rhs:
+        return -1
+    if lhs > rhs:
+        return 1
+    return 0
+
+
+def _comparable(value: Any) -> Any:
+    """Normalise booleans to ints so that ``true = 1`` holds, as in most
+    SQL engines with implicit boolean/integer duality."""
+    if isinstance(value, bool):
+        return int(value)
+    return value
+
+
+def sql_and(left: Any, right: Any) -> Any:
+    """Three-valued AND."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: Any, right: Any) -> Any:
+    """Three-valued OR."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: Any) -> Any:
+    """Three-valued NOT."""
+    if value is None:
+        return None
+    return not value
+
+
+def sql_cast_int(value: Any) -> Any:
+    """The ``::int`` cast used by the correlation seeker's QCR formula.
+
+    Booleans become 0/1, numeric strings are parsed, NULL stays NULL.
+    """
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float):
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(float(value))
+        except ValueError:
+            raise ValueError(f"cannot cast {value!r} to int") from None
+    raise ValueError(f"cannot cast {value!r} to int")
+
+
+def sql_cast_float(value: Any) -> Any:
+    """The ``::float`` cast."""
+    if value is None:
+        return None
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            raise ValueError(f"cannot cast {value!r} to float") from None
+    raise ValueError(f"cannot cast {value!r} to float")
+
+
+def sort_key(value: Any) -> tuple:
+    """Total-order key for ORDER BY.
+
+    SQL NULLs sort last (ascending); values are grouped by kind so mixed
+    columns still produce a deterministic order: numbers < text < bool-free
+    leftovers. This mirrors PostgreSQL's NULLS LAST default.
+    """
+    if value is None:
+        return (2, 0)
+    normalized = _comparable(value)
+    if isinstance(normalized, str):
+        return (1, normalized)
+    return (0, normalized)

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the BLEND reproduction.
+
+Every error raised by this package derives from :class:`BlendError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` et al.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class BlendError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class EngineError(BlendError):
+    """Base class for errors raised by the embedded relational engine."""
+
+
+class SqlSyntaxError(EngineError):
+    """The SQL text could not be tokenised or parsed.
+
+    Carries the one-based position of the offending token when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class PlanningError(EngineError):
+    """The parsed statement is structurally invalid (unknown table/column,
+    aggregate misuse, unbound parameter, ...)."""
+
+
+class ExecutionError(EngineError):
+    """A runtime failure while executing a physical plan."""
+
+
+class CatalogError(EngineError):
+    """Schema-level failure: duplicate table, missing index target, ..."""
+
+
+class LakeError(BlendError):
+    """Failure in the data-lake substrate (bad CSV, malformed table, ...)."""
+
+
+class IndexingError(BlendError):
+    """Failure while building the unified AllTables index."""
+
+
+class PlanError(BlendError):
+    """A user discovery plan is malformed (cycles, unknown inputs, bad
+    arity, duplicate node names, ...)."""
+
+
+class OptimizerError(BlendError):
+    """The plan optimizer could not produce an execution ordering."""
+
+
+class SeekerError(BlendError):
+    """Invalid seeker specification (empty query column, bad k, ...)."""
+
+
+class CombinerError(BlendError):
+    """Invalid combiner specification or input arity."""

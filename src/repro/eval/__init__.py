@@ -1,0 +1,28 @@
+"""Evaluation utilities: retrieval metrics, timing harness, and
+paper-style report rendering."""
+
+from .harness import ExperimentLog, ExperimentRecord, Timing, measure, timed
+from .metrics import (
+    average_precision_at_k,
+    f1_score,
+    mean_average_precision,
+    precision_at_k,
+    recall_at_k,
+)
+from .reporting import format_percent, render_series_chart, render_table
+
+__all__ = [
+    "ExperimentLog",
+    "ExperimentRecord",
+    "Timing",
+    "measure",
+    "timed",
+    "average_precision_at_k",
+    "f1_score",
+    "mean_average_precision",
+    "precision_at_k",
+    "recall_at_k",
+    "format_percent",
+    "render_series_chart",
+    "render_table",
+]

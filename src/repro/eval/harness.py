@@ -1,0 +1,77 @@
+"""Experiment-harness utilities: timing, repetition, and result records.
+
+The benchmark scripts under ``benchmarks/`` use these helpers to produce
+paper-style rows; keeping them in the library makes the experiments
+scriptable from user code too.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Timing:
+    """Aggregated wall-clock measurements of one operation."""
+
+    seconds_mean: float
+    seconds_min: float
+    seconds_max: float
+    repetitions: int
+
+    @property
+    def milliseconds_mean(self) -> float:
+        return self.seconds_mean * 1e3
+
+
+def timed(function: Callable[[], T]) -> tuple[T, float]:
+    """Run once; return (result, elapsed seconds)."""
+    start = time.perf_counter()
+    result = function()
+    return result, time.perf_counter() - start
+
+
+def measure(function: Callable[[], Any], repetitions: int = 3) -> Timing:
+    """Run *repetitions* times and aggregate timings (result discarded)."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be >= 1")
+    samples = []
+    for _ in range(repetitions):
+        _, elapsed = timed(function)
+        samples.append(elapsed)
+    return Timing(
+        seconds_mean=statistics.fmean(samples),
+        seconds_min=min(samples),
+        seconds_max=max(samples),
+        repetitions=repetitions,
+    )
+
+
+@dataclass
+class ExperimentRecord:
+    """One measured cell of a result table: experiment id, condition
+    labels, and the measured values."""
+
+    experiment: str
+    condition: dict[str, Any]
+    values: dict[str, Any] = field(default_factory=dict)
+
+
+class ExperimentLog:
+    """Accumulates records and renders them grouped by experiment."""
+
+    def __init__(self) -> None:
+        self.records: list[ExperimentRecord] = []
+
+    def record(self, experiment: str, condition: dict[str, Any], **values: Any) -> None:
+        self.records.append(
+            ExperimentRecord(experiment=experiment, condition=condition, values=values)
+        )
+
+    def for_experiment(self, experiment: str) -> list[ExperimentRecord]:
+        return [r for r in self.records if r.experiment == experiment]

@@ -1,0 +1,68 @@
+"""Retrieval-quality metrics used across the paper's experiments:
+precision@k, recall@k, MAP@k (Table VI, Table VII, Fig. 6)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def precision_at_k(retrieved: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """|top-k ∩ relevant| / k' where k' = min(k, |retrieved|).
+
+    Normalising by the number actually retrieved (not k) follows the
+    union-search evaluation convention of TUS/Starmie: a system is not
+    penalised for returning fewer than k tables when fewer exist.
+    """
+    if k <= 0:
+        return 0.0
+    relevant_set = set(relevant)
+    top = list(retrieved)[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for table_id in top if table_id in relevant_set)
+    return hits / len(top)
+
+
+def recall_at_k(retrieved: Sequence[int], relevant: Iterable[int], k: int) -> float:
+    """|top-k ∩ relevant| / |relevant| (0 when nothing is relevant)."""
+    relevant_set = set(relevant)
+    if not relevant_set or k <= 0:
+        return 0.0
+    top = set(list(retrieved)[:k])
+    return len(top & relevant_set) / len(relevant_set)
+
+
+def average_precision_at_k(
+    retrieved: Sequence[int], relevant: Iterable[int], k: int
+) -> float:
+    """AP@k: mean of precision@i over the ranks i of relevant hits."""
+    relevant_set = set(relevant)
+    if not relevant_set or k <= 0:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for rank, table_id in enumerate(list(retrieved)[:k], start=1):
+        if table_id in relevant_set:
+            hits += 1
+            precision_sum += hits / rank
+    if hits == 0:
+        return 0.0
+    return precision_sum / min(len(relevant_set), k)
+
+
+def mean_average_precision(
+    runs: Sequence[tuple[Sequence[int], Iterable[int]]], k: int
+) -> float:
+    """MAP@k over (retrieved, relevant) pairs."""
+    if not runs:
+        return 0.0
+    return sum(
+        average_precision_at_k(retrieved, relevant, k) for retrieved, relevant in runs
+    ) / len(runs)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean (0 when both are 0)."""
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)

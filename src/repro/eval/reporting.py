@@ -1,0 +1,80 @@
+"""Text rendering for paper-style tables and ASCII figures.
+
+The benchmark harness prints every reproduced table/figure in a layout
+mirroring the paper so EXPERIMENTS.md can juxtapose paper-reported and
+measured values directly.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    note: Optional[str] = None,
+) -> str:
+    """A boxed monospace table."""
+    cells = [[_fmt(value) for value in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    separator = "-+-".join("-" * width for width in widths)
+    lines = [title, "=" * max(len(title), len(separator))]
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(separator)
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    if note:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+def render_series_chart(
+    title: str,
+    x_labels: Sequence[Any],
+    series: dict[str, Sequence[float]],
+    unit: str = "s",
+    width: int = 40,
+    log_note: bool = False,
+) -> str:
+    """An ASCII bar chart per x position -- the textual stand-in for the
+    paper's line plots (Figs. 5-7). One bar row per (x, series) pair,
+    scaled to the global maximum."""
+    maximum = max(
+        (value for values in series.values() for value in values if value == value),
+        default=0.0,
+    )
+    lines = [title, "=" * len(title)]
+    name_width = max(len(name) for name in series)
+    label_width = max(len(str(x)) for x in x_labels)
+    for index, x in enumerate(x_labels):
+        for name, values in series.items():
+            value = values[index]
+            bar = "#" * (int(value / maximum * width) if maximum > 0 else 0)
+            lines.append(
+                f"{str(x).rjust(label_width)} {name.ljust(name_width)} "
+                f"|{bar.ljust(width)}| {value:.4g}{unit}"
+            )
+        lines.append("")
+    if log_note:
+        lines.append("(paper plots these on a log axis; bars here are linear)")
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:
+            return "nan"
+        if abs(value) >= 100 or value == int(value):
+            return f"{value:.1f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_percent(value: float) -> str:
+    """0.423 -> '42%' (paper-style rounding)."""
+    return f"{round(value * 100):d}%"

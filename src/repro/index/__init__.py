@@ -1,0 +1,27 @@
+"""The unified BLEND index: XASH super keys, Quadrant bits, the AllTables
+builder, lake statistics, and Table VIII storage accounting."""
+
+from .alltables import ALLTABLES_SCHEMA, IndexBuildReport, IndexConfig, build_alltables, index_table
+from .quadrant import column_means, quadrant_bit, split_keys_by_target
+from .stats import LakeStatistics
+from .storage_model import StorageBreakdown, format_bytes, measure_breakdown
+from .xash import may_contain, super_key, tuple_hash, xash
+
+__all__ = [
+    "ALLTABLES_SCHEMA",
+    "IndexBuildReport",
+    "IndexConfig",
+    "build_alltables",
+    "index_table",
+    "column_means",
+    "quadrant_bit",
+    "split_keys_by_target",
+    "LakeStatistics",
+    "StorageBreakdown",
+    "format_bytes",
+    "measure_breakdown",
+    "may_contain",
+    "super_key",
+    "tuple_hash",
+    "xash",
+]

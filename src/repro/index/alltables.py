@@ -1,0 +1,167 @@
+"""Offline indexing: lake -> the unified ``AllTables`` relation (paper §V).
+
+``AllTables`` serialises three index structures into one database table:
+
+====================  =====================================================
+Column                Origin
+====================  =====================================================
+CellValue (text)      DataXFormer inverted index (value -> location)
+TableId / ColumnId /
+RowId (int)           DataXFormer location triplet
+SuperKey (int)        MATE's XASH hash of the cell's whole row
+Quadrant (bool/NULL)  BLEND's reformulated QCR statistic
+====================  =====================================================
+
+Two in-database hash indexes (CellValue, TableId) provide fast value
+look-up and table loading. All seekers run as SQL over this one relation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from ..engine.database import Database
+from ..errors import IndexingError
+from ..lake.datalake import DataLake
+from ..lake.table import normalize_cell
+from .quadrant import column_means, quadrant_bit
+from .xash import DEFAULT_HASH_SIZE, DEFAULT_NUM_CHARS, super_key
+
+ALLTABLES_SCHEMA = [
+    ("CellValue", "nvarchar"),
+    ("TableId", "integer"),
+    ("ColumnId", "integer"),
+    ("RowId", "integer"),
+    ("SuperKey", "bigint"),
+    ("Quadrant", "boolean"),
+]
+
+
+@dataclass(frozen=True)
+class IndexConfig:
+    """Offline-phase knobs."""
+
+    table_name: str = "AllTables"
+    hash_size: int = DEFAULT_HASH_SIZE
+    xash_chars: int = DEFAULT_NUM_CHARS
+    shuffle_rows: bool = False  # BLEND (rand): pre-shuffle rows per table
+    shuffle_seed: int = 0
+    build_value_index: bool = True
+    build_table_index: bool = True
+
+
+@dataclass(frozen=True)
+class IndexBuildReport:
+    """What the offline phase produced."""
+
+    table_name: str
+    num_tables: int
+    num_index_rows: int
+    num_null_cells: int
+    storage_bytes: int
+
+
+def build_alltables(
+    lake: DataLake,
+    db: Database,
+    config: IndexConfig = IndexConfig(),
+) -> IndexBuildReport:
+    """Index *lake* into *db* as one ``AllTables`` relation.
+
+    With ``shuffle_rows`` the rows of each lake table are permuted (whole
+    rows, so multi-column alignment is preserved) before RowIds are
+    assigned. This is the BLEND (rand) variant of §VIII-G: the correlation
+    seeker's ``RowId < h`` convenience sample then behaves like a random
+    sample without any runtime sampling machinery.
+    """
+    if db.has_table(config.table_name):
+        raise IndexingError(
+            f"database already contains {config.table_name!r}; "
+            "drop it or index into a fresh database"
+        )
+    db.create_table(config.table_name, ALLTABLES_SCHEMA)
+    rng = random.Random(config.shuffle_seed)
+
+    index_rows: list[tuple] = []
+    null_cells = 0
+    for table_id, table in enumerate(lake):
+        means = column_means(table)
+        rows = list(table.rows)
+        if config.shuffle_rows:
+            rng.shuffle(rows)
+        for row_id, row in enumerate(rows):
+            row_super_key = super_key(row, config.hash_size, config.xash_chars)
+            for column_id, value in enumerate(row):
+                token = normalize_cell(value)
+                if token is None:
+                    null_cells += 1
+                    continue
+                index_rows.append(
+                    (
+                        token,
+                        table_id,
+                        column_id,
+                        row_id,
+                        row_super_key,
+                        quadrant_bit(value, means[column_id]),
+                    )
+                )
+        # Flush per table to bound peak memory on large lakes.
+        if len(index_rows) >= 200_000:
+            db.insert(config.table_name, index_rows)
+            index_rows.clear()
+    if index_rows:
+        db.insert(config.table_name, index_rows)
+
+    if config.build_value_index:
+        db.create_index(config.table_name, "CellValue")
+    if config.build_table_index:
+        db.create_index(config.table_name, "TableId")
+
+    return IndexBuildReport(
+        table_name=config.table_name,
+        num_tables=len(lake),
+        num_index_rows=db.num_rows(config.table_name),
+        num_null_cells=null_cells,
+        storage_bytes=db.storage_bytes(config.table_name),
+    )
+
+
+def index_table(
+    table_id: int,
+    table,
+    db: Database,
+    config: IndexConfig = IndexConfig(),
+) -> int:
+    """Incrementally index one lake table into an existing ``AllTables``.
+
+    The single-relation design is what makes maintenance this simple
+    (paper §V: heterogeneous per-system indexes are the alternative) --
+    appending a table is a plain INSERT; the in-database hash indexes
+    absorb the new rows. Returns the number of index rows added.
+    """
+    if not db.has_table(config.table_name):
+        raise IndexingError(
+            f"no {config.table_name!r} relation; run build_alltables first"
+        )
+    means = column_means(table)
+    rows: list[tuple] = []
+    for row_id, row in enumerate(table.rows):
+        row_super_key = super_key(row, config.hash_size, config.xash_chars)
+        for column_id, value in enumerate(row):
+            token = normalize_cell(value)
+            if token is None:
+                continue
+            rows.append(
+                (
+                    token,
+                    table_id,
+                    column_id,
+                    row_id,
+                    row_super_key,
+                    quadrant_bit(value, means[column_id]),
+                )
+            )
+    return db.insert(config.table_name, rows)

@@ -1,0 +1,93 @@
+"""Quadrant bits for in-database QCR correlation estimation (paper §V).
+
+The original QCR index (Santos et al., ICDE 2022) stores, per (join
+column, numeric column) pair, the *h* smallest hashes of (key, quadrant)
+pairs -- quadratic in the number of column pairs. BLEND replaces that with
+a single Boolean ``Quadrant`` column in ``AllTables``: 1 when a numeric
+cell is >= its column mean, 0 when below, NULL for non-numeric cells.
+
+The Quadrant Count Ratio between a query target and a candidate column is
+then computable entirely in SQL (Listing 3):
+
+    QCR = (n_I + n_III - n_II - n_IV) / N  =  (2 * (n_I + n_III) - N) / N
+
+where a joined pair lands in quadrant I/III when both sides are on the
+same side of their means -- i.e. when the candidate's Quadrant bit equals
+the query key's "target above its mean" bit.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..lake.table import Cell, Table, numeric_value
+
+
+def column_means(table: Table) -> list[Optional[float]]:
+    """Per column: the mean of numeric cell values, or None for columns
+    the type inference does not consider numeric."""
+    flags = table.numeric_columns()
+    means: list[Optional[float]] = []
+    for position in range(table.num_columns):
+        if not flags[position]:
+            means.append(None)
+            continue
+        total = 0.0
+        count = 0
+        for row in table.rows:
+            value = numeric_value(row[position])
+            if value is not None:
+                total += value
+                count += 1
+        means.append(total / count if count else None)
+    return means
+
+
+def quadrant_bit(value: Cell, mean: Optional[float]) -> Optional[bool]:
+    """The Quadrant column entry for one cell: ``value >= mean`` or NULL."""
+    if mean is None:
+        return None
+    numeric = numeric_value(value)
+    if numeric is None:
+        return None
+    return numeric >= mean
+
+
+def split_keys_by_target(
+    keys: Sequence[Cell], targets: Sequence[Cell]
+) -> tuple[list[str], list[str]]:
+    """Split query join keys into (below-mean, above-or-equal-mean) token
+    lists -- the ``$k_0$`` / ``$k_1$`` parameters of Listing 3.
+
+    The split happens "before invoking the query while parsing the input
+    table" (paper §VI); keys with non-numeric targets are dropped. A key
+    appearing with targets on both sides keeps its first occurrence,
+    matching a hash-map build over the query column.
+    """
+    from ..lake.table import normalize_cell
+
+    values = [numeric_value(t) for t in targets]
+    present = [v for v in values if v is not None]
+    if not present:
+        return [], []
+    mean = sum(present) / len(present)
+    below: list[str] = []
+    above: list[str] = []
+    seen: set[str] = set()
+    for key, value in zip(keys, values):
+        token = normalize_cell(key)
+        if token is None or value is None or token in seen:
+            continue
+        seen.add(token)
+        if value >= mean:
+            above.append(token)
+        else:
+            below.append(token)
+    return below, above
+
+
+def qcr_from_counts(same_quadrant: int, total: int) -> float:
+    """QCR from the count of same-quadrant pairs among *total* pairs."""
+    if total == 0:
+        return 0.0
+    return (2.0 * same_quadrant - total) / total

@@ -1,0 +1,62 @@
+"""Lake statistics for the optimizer's learned cost model (paper §VII-B).
+
+The cost model's features are computed from corpus statistics gathered in
+the offline phase: the frequency of each token in the lake (posting-list
+length) and aggregate counts. Kept separate from the index so the online
+phase can estimate seeker costs without touching ``AllTables``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..lake.datalake import DataLake
+from ..lake.table import Cell, normalize_cell
+
+
+@dataclass
+class LakeStatistics:
+    """Token frequencies plus corpus aggregates."""
+
+    num_tables: int
+    num_cells: int
+    frequencies: dict[str, int] = field(repr=False)
+
+    @classmethod
+    def from_lake(cls, lake: DataLake) -> "LakeStatistics":
+        frequencies: dict[str, int] = {}
+        num_cells = 0
+        for table in lake:
+            for _, _, value in table.iter_cells():
+                token = normalize_cell(value)
+                if token is None:
+                    continue
+                num_cells += 1
+                frequencies[token] = frequencies.get(token, 0) + 1
+        return cls(num_tables=len(lake), num_cells=num_cells, frequencies=frequencies)
+
+    def frequency(self, value: Cell) -> int:
+        """Occurrences of one value's token across the lake."""
+        token = normalize_cell(value)
+        if token is None:
+            return 0
+        return self.frequencies.get(token, 0)
+
+    def average_frequency(self, values: Iterable[Cell]) -> float:
+        """Mean token frequency of a query column -- the cost model's
+        third feature. Unknown tokens count as zero (they prune to empty
+        posting lists, the cheapest case)."""
+        total = 0
+        count = 0
+        for value in values:
+            total += self.frequency(value)
+            count += 1
+        return total / count if count else 0.0
+
+    def selectivity(self, values: Iterable[Cell]) -> float:
+        """Fraction of all index rows a value set touches (upper bound)."""
+        if self.num_cells == 0:
+            return 0.0
+        touched = sum(self.frequency(v) for v in values)
+        return min(1.0, touched / self.num_cells)

@@ -1,0 +1,7 @@
+"""Data-lake substrate: table model, corpus container, CSV I/O, and
+seeded benchmark generators with exact ground truth."""
+
+from .datalake import DataLake, LakeStats
+from .table import Table, normalize_cell
+
+__all__ = ["DataLake", "LakeStats", "Table", "normalize_cell"]

@@ -1,0 +1,64 @@
+"""CSV round-trip for lake tables (standard library only, no pandas).
+
+Values are written as text; on read, numeric-looking cells are parsed back
+to int/float and empty cells become NULL -- the same best-effort typing a
+lake crawler applies to raw CSV corpora.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Union
+
+from ..errors import LakeError
+from .table import Cell, Table
+
+
+def parse_cell(text: str) -> Cell:
+    """Best-effort typed value for a raw CSV field."""
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def render_cell(value: Cell) -> str:
+    """Inverse of :func:`parse_cell` (NULL -> empty field)."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def read_table(path: Union[str, Path], name: str | None = None) -> Table:
+    """Load one CSV file (first line is the header) as a :class:`Table`."""
+    path = Path(path)
+    with open(path, newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise LakeError(f"{path} is empty (no header row)") from None
+        rows = [tuple(parse_cell(field) for field in row) for row in reader]
+    return Table(name or path.stem, header, rows)
+
+
+def write_table(table: Table, path: Union[str, Path]) -> None:
+    """Write a table to CSV (header + rows)."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.columns)
+        for row in table.rows:
+            writer.writerow([render_cell(value) for value in row])

@@ -1,0 +1,116 @@
+"""Data-lake container: an ordered corpus of tables with stable ids.
+
+Table ids are assigned on insertion order and are what the ``AllTables``
+index, seekers, and result sets refer to (the paper's ``TableId``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Iterator, Optional, Union
+
+from ..errors import LakeError
+from .csvio import read_table, write_table
+from .table import Table
+
+
+@dataclass(frozen=True)
+class LakeStats:
+    """Corpus-level statistics (the rows of the paper's Table II)."""
+
+    name: str
+    num_tables: int
+    num_columns: int
+    num_rows: int
+    num_cells: int
+
+
+class DataLake:
+    """An ordered collection of :class:`Table` with id <-> name mapping."""
+
+    def __init__(self, name: str = "lake", tables: Optional[Iterable[Table]] = None) -> None:
+        self.name = name
+        self._tables: list[Table] = []
+        self._id_by_name: dict[str, int] = {}
+        if tables is not None:
+            for table in tables:
+                self.add(table)
+
+    # -- corpus management ---------------------------------------------------------
+
+    def add(self, table: Table) -> int:
+        """Add a table; returns its assigned table id."""
+        if table.name in self._id_by_name:
+            raise LakeError(f"lake already contains a table named {table.name!r}")
+        table_id = len(self._tables)
+        self._tables.append(table)
+        self._id_by_name[table.name] = table_id
+        return table_id
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._id_by_name
+
+    def table_ids(self) -> range:
+        return range(len(self._tables))
+
+    def by_id(self, table_id: int) -> Table:
+        if not 0 <= table_id < len(self._tables):
+            raise LakeError(f"unknown table id: {table_id}")
+        return self._tables[table_id]
+
+    def by_name(self, name: str) -> Table:
+        try:
+            return self._tables[self._id_by_name[name]]
+        except KeyError:
+            raise LakeError(f"unknown table name: {name!r}") from None
+
+    def id_of(self, name: str) -> int:
+        try:
+            return self._id_by_name[name]
+        except KeyError:
+            raise LakeError(f"unknown table name: {name!r}") from None
+
+    def name_of(self, table_id: int) -> str:
+        return self.by_id(table_id).name
+
+    # -- statistics -------------------------------------------------------------------
+
+    def stats(self) -> LakeStats:
+        """Table II-style corpus statistics."""
+        num_columns = sum(table.num_columns for table in self._tables)
+        num_rows = sum(table.num_rows for table in self._tables)
+        num_cells = sum(table.num_rows * table.num_columns for table in self._tables)
+        return LakeStats(
+            name=self.name,
+            num_tables=len(self._tables),
+            num_columns=num_columns,
+            num_rows=num_rows,
+            num_cells=num_cells,
+        )
+
+    # -- persistence ---------------------------------------------------------------------
+
+    def save(self, directory: Union[str, Path]) -> None:
+        """Write every table as ``<directory>/<name>.csv``."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for table in self._tables:
+            write_table(table, directory / f"{table.name}.csv")
+
+    @classmethod
+    def load(cls, directory: Union[str, Path], name: Optional[str] = None) -> "DataLake":
+        """Load every ``*.csv`` in a directory (sorted for stable ids)."""
+        directory = Path(directory)
+        if not directory.is_dir():
+            raise LakeError(f"{directory} is not a directory")
+        lake = cls(name or directory.name)
+        for path in sorted(directory.glob("*.csv")):
+            lake.add(read_table(path))
+        return lake

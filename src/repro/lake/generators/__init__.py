@@ -1,0 +1,35 @@
+"""Synthetic corpus and benchmark generators (see DESIGN.md section 1 for
+the substitution rationale: these replace the paper's public corpora)."""
+
+from .corpus import CorpusConfig, generate_corpus, value_frequencies
+from .correlation_benchmark import CorrelationBenchmark, CorrelationQuery, make_correlation_benchmark
+from .imputation_benchmark import ImputationBenchmark, ImputationQuery, make_imputation_benchmark
+from .join_benchmark import (
+    JoinBenchmark,
+    JoinQuery,
+    MultiColumnBenchmark,
+    MultiColumnQuery,
+    make_join_benchmark,
+    make_multicolumn_benchmark,
+)
+from .union_benchmark import UnionBenchmark, make_union_benchmark
+
+__all__ = [
+    "CorpusConfig",
+    "generate_corpus",
+    "value_frequencies",
+    "CorrelationBenchmark",
+    "CorrelationQuery",
+    "make_correlation_benchmark",
+    "ImputationBenchmark",
+    "ImputationQuery",
+    "make_imputation_benchmark",
+    "JoinBenchmark",
+    "JoinQuery",
+    "MultiColumnBenchmark",
+    "MultiColumnQuery",
+    "make_join_benchmark",
+    "make_multicolumn_benchmark",
+    "UnionBenchmark",
+    "make_union_benchmark",
+]

@@ -1,0 +1,140 @@
+"""Base synthetic-corpus generator.
+
+Stands in for the public table corpora of the paper's Table II (GitTables,
+DWTC, WebTables, open-data portals). The generator reproduces the
+*statistical* structure discovery algorithms care about:
+
+* shared string vocabularies across tables (so joins/unions exist),
+* Zipf-skewed value frequencies (so posting lists vary by orders of
+  magnitude -- the signal BLEND's learned cost model uses),
+* mixed string/numeric columns, missing values, and varied table shapes.
+
+All generation is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..datalake import DataLake
+from ..table import Table
+from .vocabulary import POOLS, Vocabulary
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Knobs for :func:`generate_corpus`.
+
+    The defaults produce a small GitTables-like corpus suitable for unit
+    tests; benchmarks scale ``num_tables``/``max_rows`` up.
+    """
+
+    name: str = "synthetic"
+    num_tables: int = 50
+    min_rows: int = 5
+    max_rows: int = 60
+    min_columns: int = 2
+    max_columns: int = 6
+    numeric_column_fraction: float = 0.3
+    null_fraction: float = 0.02
+    synthetic_vocab_size: int = 400
+    zipf_alpha: float = 1.2
+    seed: int = 0
+
+
+# String column archetypes: (pool name, use_zipf). ``synthetic`` draws from
+# the per-corpus synthetic pool instead of a named vocabulary pool.
+_STRING_ARCHETYPES = [
+    ("first_name", True),
+    ("last_name", True),
+    ("city", True),
+    ("department", True),
+    ("product", True),
+    ("color", True),
+    ("country", True),
+    ("synthetic", False),
+    ("synthetic", True),
+    ("person", False),
+]
+
+
+def generate_corpus(config: CorpusConfig = CorpusConfig()) -> DataLake:
+    """Generate a synthetic data lake according to *config*."""
+    vocab = Vocabulary(config.seed)
+    rng = vocab.rng
+    synthetic_pool = vocab.synthetic_pool(config.synthetic_vocab_size)
+    lake = DataLake(config.name)
+
+    for table_index in range(config.num_tables):
+        num_rows = rng.randint(config.min_rows, config.max_rows)
+        num_columns = rng.randint(config.min_columns, config.max_columns)
+        columns: list[str] = []
+        makers = []
+        for column_index in range(num_columns):
+            if rng.random() < config.numeric_column_fraction:
+                columns.append(f"num_{column_index}")
+                makers.append(_numeric_maker(vocab))
+            else:
+                pool_name, use_zipf = rng.choice(_STRING_ARCHETYPES)
+                columns.append(f"{pool_name}_{column_index}")
+                makers.append(_string_maker(vocab, pool_name, use_zipf, synthetic_pool))
+        rows = []
+        for _ in range(num_rows):
+            row = []
+            for maker in makers:
+                if rng.random() < config.null_fraction:
+                    row.append(None)
+                else:
+                    row.append(maker())
+            rows.append(tuple(row))
+        lake.add(Table(f"{config.name}_t{table_index:05d}", columns, rows))
+    return lake
+
+
+def _numeric_maker(vocab: Vocabulary):
+    """A column-level numeric value factory with a random distribution
+    shape (ids, small counts, continuous measurements)."""
+    rng = vocab.rng
+    kind = rng.choice(["id", "count", "measure", "year"])
+    if kind == "id":
+        base = rng.randrange(1000, 100000)
+        counter = iter(range(base, base + 10 ** 6))
+        return lambda: next(counter)
+    if kind == "count":
+        return lambda: rng.randint(0, 500)
+    if kind == "year":
+        return lambda: rng.randint(1990, 2026)
+    scale = rng.choice([1.0, 10.0, 1000.0])
+    return lambda: round(rng.gauss(0, 1) * scale, 3)
+
+
+def _string_maker(vocab: Vocabulary, pool_name: str, use_zipf: bool, synthetic_pool: list[str]):
+    if pool_name == "person":
+        return vocab.person_name
+    if pool_name == "synthetic":
+        pool = synthetic_pool
+    else:
+        pool = POOLS[pool_name]
+    if use_zipf:
+        alpha = 1.2
+        return lambda: vocab.zipf_choice(pool, alpha)
+    rng = vocab.rng
+    return lambda: rng.choice(pool)
+
+
+def value_frequencies(lake: DataLake) -> dict[str, int]:
+    """Token -> occurrence count across the whole lake (normalised cells).
+
+    This is the statistic the BLEND cost model's ``avg value frequency``
+    feature is computed from.
+    """
+    from ..table import normalize_cell
+
+    frequencies: dict[str, int] = {}
+    for table in lake:
+        for _, _, value in table.iter_cells():
+            token = normalize_cell(value)
+            if token is not None:
+                frequencies[token] = frequencies.get(token, 0) + 1
+    return frequencies

@@ -1,0 +1,166 @@
+"""Example-based data-imputation benchmark (Table III workload).
+
+Models the paper's GitTables imputation experiment: the user has a
+two-column table whose first rows are complete (the *examples*) and whose
+remaining rows miss the dependent value (the *queries*). Tables in the
+lake that contain the functional dependency key -> value, covering both
+the examples and the query keys, can impute the missing cells (the
+DataXFormer strategy the paper cites).
+
+Ground truth: lake tables that contain ALL example pairs row-aligned and
+at least one query key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..datalake import DataLake
+from ..table import Table, normalize_cell
+from .corpus import CorpusConfig, generate_corpus
+from .vocabulary import Vocabulary
+
+
+@dataclass(frozen=True)
+class ImputationQuery:
+    """Examples (complete key/value pairs) plus keys needing values."""
+
+    name: str
+    examples: tuple[tuple[str, str], ...]
+    query_keys: tuple[str, ...]
+    answers: tuple[str, ...]  # the held-out true values for query_keys
+
+    def example_table(self) -> Table:
+        return Table(f"{self.name}_examples", ["key", "value"], list(self.examples))
+
+
+@dataclass
+class ImputationBenchmark:
+    lake: DataLake
+    queries: list[ImputationQuery]
+
+    def ground_truth(self, query: ImputationQuery) -> set[int]:
+        """Tables containing every example pair (row-aligned) and at least
+        one of the query keys."""
+        example_pairs = {
+            (normalize_cell(k), normalize_cell(v)) for k, v in query.examples
+        }
+        query_tokens = {normalize_cell(k) for k in query.query_keys}
+        matches = set()
+        for table_id, table in enumerate(self.lake):
+            pairs_found = set()
+            keys_found = False
+            for row in table.rows:
+                tokens = [normalize_cell(v) for v in row]
+                for i, a in enumerate(tokens):
+                    if a in query_tokens:
+                        keys_found = True
+                    for j, b in enumerate(tokens):
+                        if i != j and (a, b) in example_pairs:
+                            pairs_found.add((a, b))
+            if keys_found and pairs_found == example_pairs:
+                matches.add(table_id)
+        return matches
+
+
+def make_imputation_benchmark(
+    num_queries: int = 5,
+    num_keys: int = 30,
+    num_examples: int = 5,
+    complete_tables_per_query: int = 3,
+    partial_tables_per_query: int = 2,
+    distractor_tables: int = 20,
+    decoy_tables_per_query: int = 0,
+    decoy_rows: int = 200,
+    example_key_pool: Optional[list[str]] = None,
+    seed: int = 23,
+    name: str = "impute_bench",
+) -> ImputationBenchmark:
+    """Build an imputation benchmark with planted FD tables.
+
+    *Complete* tables contain the full key -> value mapping (they can
+    impute everything); *partial* tables contain the examples but few of
+    the query keys, or the keys with conflicting values -- they must not
+    be ranked above complete ones. *Decoy* tables contain all example
+    pairs but none of the query keys, padded with ``decoy_rows`` unrelated
+    rows: they trap any pipeline that fetches candidates by examples alone
+    and validates row by row (the federated baselines of Table III), while
+    BLEND's rewritten plans skip them entirely.
+    """
+    vocab = Vocabulary(seed)
+    rng = vocab.rng
+    lake = generate_corpus(
+        CorpusConfig(name=f"{name}_bg", num_tables=distractor_tables, seed=seed + 1)
+    )
+    queries: list[ImputationQuery] = []
+
+    pool_cursor = 0
+    for query_index in range(num_queries):
+        keys = vocab.synthetic_pool(num_keys, syllables=3)
+        if example_key_pool is not None:
+            # Frequent-token regime: example keys come from a vocabulary
+            # shared with the background corpus (long posting lists), so
+            # an unrestricted example search is expensive -- the setting
+            # where BLEND's intermediate-result rewriting pays off.
+            # Disjoint slices keep queries independent of each other.
+            slice_end = pool_cursor + num_examples
+            if slice_end > len(example_key_pool):
+                raise ValueError(
+                    "example_key_pool too small for "
+                    f"{num_queries} x {num_examples} disjoint example keys"
+                )
+            keys = list(example_key_pool[pool_cursor:slice_end]) + keys[num_examples:]
+            pool_cursor = slice_end
+        mapping = {key: vocab.person_name() for key in keys}
+        example_keys = keys[:num_examples]
+        query_keys = keys[num_examples:]
+
+        queries.append(
+            ImputationQuery(
+                name=f"{name}_q{query_index}",
+                examples=tuple((k, mapping[k]) for k in example_keys),
+                query_keys=tuple(query_keys),
+                answers=tuple(mapping[k] for k in query_keys),
+            )
+        )
+
+        for copy in range(complete_tables_per_query):
+            rows = [
+                (key, mapping[key], rng.randint(1, 99))
+                for key in vocab.shuffled(keys)
+            ]
+            lake.add(
+                Table(
+                    f"{name}_q{query_index}_full{copy}",
+                    ["key", "value", "count"],
+                    rows,
+                )
+            )
+        for copy in range(partial_tables_per_query):
+            # Examples present, but almost no query keys -> weak candidate.
+            covered = example_keys + query_keys[: max(1, len(query_keys) // 10)]
+            rows = [(key, mapping[key], rng.randint(1, 99)) for key in covered]
+            lake.add(
+                Table(
+                    f"{name}_q{query_index}_part{copy}",
+                    ["key", "value", "count"],
+                    rows,
+                )
+            )
+        for copy in range(decoy_tables_per_query):
+            # All example pairs, zero query keys, plus bulk filler rows.
+            rows = [(key, mapping[key], rng.randint(1, 99)) for key in example_keys]
+            rows += [
+                (vocab.synthetic_word(4), vocab.person_name(), rng.randint(1, 99))
+                for _ in range(decoy_rows)
+            ]
+            lake.add(
+                Table(
+                    f"{name}_q{query_index}_decoy{copy}",
+                    ["key", "value", "count"],
+                    vocab.shuffled(rows),
+                )
+            )
+
+    return ImputationBenchmark(lake=lake, queries=queries)

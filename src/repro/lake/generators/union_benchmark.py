@@ -1,0 +1,117 @@
+"""Union-search benchmark generator (Fig. 7 and Table VI workloads).
+
+Follows the TUS construction (Nargesian et al.): seed tables are split
+row-wise into several partitions, each partition keeps a random column
+subset (optionally renamed) and becomes one lake table. All tables derived
+from the same seed form a *unionable family* -- the exact ground truth.
+Distractor tables come from the base corpus generator.
+
+The ``TUS``-like configurations produce many partitions per seed (large
+ground-truth sets -> low ideal recall at small k, as the paper notes);
+``SANTOS``-like configurations produce few.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..datalake import DataLake
+from ..table import Table
+from .corpus import CorpusConfig, generate_corpus
+from .vocabulary import POOLS, Vocabulary
+
+
+@dataclass
+class UnionBenchmark:
+    """Lake + union queries + family ground truth."""
+
+    lake: DataLake
+    queries: list[str]  # query table names (each is itself in the lake)
+    families: dict[str, set[str]]  # table name -> other members of its family
+
+    def ground_truth(self, query_name: str) -> set[int]:
+        """Table ids unionable with *query_name* (excluding itself)."""
+        return {
+            self.lake.id_of(member)
+            for member in self.families[query_name]
+            if member != query_name
+        }
+
+
+_THEMES = [
+    ("people", [("first_name", "first_name"), ("last_name", "last_name"), ("city", "city"), ("country", "country")]),
+    ("inventory", [("product", "product"), ("color", "color"), ("city", "warehouse")]),
+    ("staff", [("department", "department"), ("first_name", "lead"), ("city", "location")]),
+    ("offices", [("city", "city"), ("country", "country"), ("department", "unit")]),
+]
+
+
+def make_union_benchmark(
+    num_seeds: int = 8,
+    partitions_per_seed: int = 4,
+    rows_per_seed: int = 60,
+    distractor_tables: int = 25,
+    num_queries: Optional[int] = None,
+    rename_probability: float = 0.3,
+    seed: int = 13,
+    name: str = "union_bench",
+) -> UnionBenchmark:
+    """Build a TUS-style union benchmark.
+
+    Each seed table gets 1-2 extra numeric columns so partitions carry a
+    mix of types. Partitions drop up to one column and may rename columns
+    (union search must therefore rely on values, not headers).
+    """
+    vocab = Vocabulary(seed)
+    rng = vocab.rng
+    lake = generate_corpus(
+        CorpusConfig(name=f"{name}_bg", num_tables=distractor_tables, seed=seed + 1)
+    )
+    families: dict[str, set[str]] = {}
+    queries: list[str] = []
+
+    for seed_index in range(num_seeds):
+        theme_name, theme_columns = _THEMES[seed_index % len(_THEMES)]
+        columns = [f"{alias}" for _, alias in theme_columns] + ["amount"]
+        rows = []
+        for _ in range(rows_per_seed):
+            row = [vocab.zipf_choice(POOLS[pool]) for pool, _ in theme_columns]
+            row.append(rng.randint(0, 1000))
+            rows.append(tuple(row))
+
+        # Partition rows round-robin so value distributions stay similar
+        # across family members (the unionability signal).
+        partitions: list[list[tuple]] = [[] for _ in range(partitions_per_seed)]
+        for row_index, row in enumerate(rows):
+            partitions[row_index % partitions_per_seed].append(row)
+
+        member_names = []
+        for part_index, part_rows in enumerate(partitions):
+            keep = list(range(len(columns)))
+            if len(keep) > 2 and rng.random() < 0.5:
+                keep.remove(rng.choice(keep[:-1]))  # drop one non-numeric column
+            part_columns = []
+            for position in keep:
+                column = columns[position]
+                if rng.random() < rename_probability:
+                    column = f"{column}_{vocab.synthetic_word(2)}"
+                part_columns.append(column)
+            table_name = f"{name}_{theme_name}{seed_index}_p{part_index}"
+            lake.add(
+                Table(
+                    table_name,
+                    part_columns,
+                    [tuple(row[p] for p in keep) for row in part_rows],
+                )
+            )
+            member_names.append(table_name)
+
+        family = set(member_names)
+        for member in member_names:
+            families[member] = family
+        queries.append(member_names[0])
+
+    if num_queries is not None:
+        queries = queries[:num_queries]
+    return UnionBenchmark(lake=lake, queries=queries, families=families)

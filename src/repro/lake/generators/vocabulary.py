@@ -1,0 +1,156 @@
+"""Seeded vocabularies for synthetic lake generation.
+
+Real table corpora (GitTables, web tables, open data) share value
+vocabularies across tables -- that shared-token structure is what makes
+discovery operators work at all. The pools below provide realistic string
+domains; :class:`Vocabulary` draws from them with a seeded RNG and can
+mint unlimited synthetic words when a larger domain is needed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+FIRST_NAMES = [
+    "james", "mary", "robert", "patricia", "john", "jennifer", "michael",
+    "linda", "david", "elizabeth", "william", "barbara", "richard", "susan",
+    "joseph", "jessica", "thomas", "sarah", "charles", "karen", "nina",
+    "omar", "wei", "fatima", "yuki", "ahmed", "sofia", "lukas", "elena",
+    "mahdi", "renee", "ziawasch", "christoph", "harry", "luna", "draco",
+]
+
+LAST_NAMES = [
+    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller",
+    "davis", "rodriguez", "martinez", "hernandez", "lopez", "gonzalez",
+    "wilson", "anderson", "thomas", "taylor", "moore", "jackson", "martin",
+    "lee", "perez", "thompson", "white", "harris", "sanchez", "clark",
+    "weasley", "potter", "lovegood", "malfoy", "chang", "riddle", "abedjan",
+]
+
+CITIES = [
+    "berlin", "hannover", "waterloo", "toronto", "new york", "london",
+    "paris", "madrid", "rome", "vienna", "zurich", "amsterdam", "brussels",
+    "copenhagen", "oslo", "stockholm", "helsinki", "warsaw", "prague",
+    "budapest", "lisbon", "dublin", "athens", "ankara", "cairo", "tokyo",
+    "osaka", "seoul", "beijing", "shanghai", "delhi", "mumbai", "sydney",
+    "melbourne", "auckland", "chicago", "boston", "seattle", "austin",
+]
+
+DEPARTMENTS = [
+    "hr", "marketing", "finance", "it", "r&d", "sales", "legal",
+    "operations", "procurement", "logistics", "support", "engineering",
+    "design", "security", "quality", "facilities", "communications",
+]
+
+PRODUCTS = [
+    "laptop", "monitor", "keyboard", "mouse", "webcam", "headset", "dock",
+    "printer", "scanner", "tablet", "phone", "router", "switch", "server",
+    "chair", "desk", "lamp", "cable", "adapter", "battery", "charger",
+    "backpack", "notebook", "pen", "stapler", "whiteboard", "projector",
+]
+
+COLORS = [
+    "red", "green", "blue", "yellow", "orange", "purple", "black", "white",
+    "gray", "brown", "pink", "cyan", "magenta", "olive", "navy", "teal",
+]
+
+COUNTRIES = [
+    "germany", "canada", "usa", "uk", "france", "spain", "italy", "austria",
+    "switzerland", "netherlands", "belgium", "denmark", "norway", "sweden",
+    "finland", "poland", "czechia", "hungary", "portugal", "ireland",
+    "greece", "turkey", "egypt", "japan", "south korea", "china", "india",
+    "australia", "new zealand", "brazil", "mexico", "argentina",
+]
+
+POOLS: dict[str, list[str]] = {
+    "first_name": FIRST_NAMES,
+    "last_name": LAST_NAMES,
+    "city": CITIES,
+    "department": DEPARTMENTS,
+    "product": PRODUCTS,
+    "color": COLORS,
+    "country": COUNTRIES,
+}
+
+_SYLLABLES = [
+    "ba", "be", "bi", "bo", "bu", "da", "de", "di", "do", "du", "ka", "ke",
+    "ki", "ko", "ku", "la", "le", "li", "lo", "lu", "ma", "me", "mi", "mo",
+    "mu", "na", "ne", "ni", "no", "nu", "ra", "re", "ri", "ro", "ru", "sa",
+    "se", "si", "so", "su", "ta", "te", "ti", "to", "tu", "va", "ve", "vi",
+    "vo", "vu", "za", "ze", "zi", "zo", "zu",
+]
+
+
+class Vocabulary:
+    """Seeded value factory over the shared pools."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    @property
+    def rng(self) -> random.Random:
+        return self._rng
+
+    def word(self, pool: str) -> str:
+        """A uniform draw from a named pool."""
+        return self._rng.choice(POOLS[pool])
+
+    def person_name(self) -> str:
+        return f"{self._rng.choice(FIRST_NAMES)} {self._rng.choice(LAST_NAMES)}"
+
+    def synthetic_word(self, syllables: int = 3) -> str:
+        """A pronounceable pseudo-word; the unbounded tail of real lake
+        vocabularies (identifiers, codes, obscure entities)."""
+        return "".join(self._rng.choice(_SYLLABLES) for _ in range(syllables))
+
+    def synthetic_pool(self, size: int, syllables: int = 3) -> list[str]:
+        """*size* distinct synthetic words."""
+        pool: list[str] = []
+        seen: set[str] = set()
+        attempts = 0
+        while len(pool) < size:
+            word = self.synthetic_word(syllables)
+            attempts += 1
+            if word not in seen:
+                seen.add(word)
+                pool.append(word)
+            elif attempts > 20 * size:
+                # Extend word length rather than loop forever on a small
+                # syllable space.
+                syllables += 1
+                attempts = 0
+        return pool
+
+    def code(self, prefix: str, width: int = 5) -> str:
+        """An identifier like ``sku-00042``."""
+        return f"{prefix}-{self._rng.randrange(10 ** width):0{width}d}"
+
+    def zipf_choice(self, pool: Sequence[str], alpha: float = 1.2) -> str:
+        """A skewed draw: rank r is picked with probability ~ 1/r^alpha.
+
+        Value frequencies in table corpora are heavily skewed; this is the
+        property that makes posting-list lengths (and thus seeker costs)
+        vary by orders of magnitude, which the BLEND cost model learns.
+        """
+        # Inverse-CDF sampling over the truncated zeta distribution.
+        n = len(pool)
+        u = self._rng.random()
+        # Precomputing the normaliser per call is O(n); pools are small.
+        weights_total = sum(1.0 / (rank ** alpha) for rank in range(1, n + 1))
+        acc = 0.0
+        for rank in range(1, n + 1):
+            acc += (1.0 / (rank ** alpha)) / weights_total
+            if u <= acc:
+                return pool[rank - 1]
+        return pool[-1]
+
+    def sample(self, pool: Sequence[str], k: int) -> list[str]:
+        """Sample without replacement (k capped at pool size)."""
+        k = min(k, len(pool))
+        return self._rng.sample(list(pool), k)
+
+    def shuffled(self, items: Sequence) -> list:
+        out = list(items)
+        self._rng.shuffle(out)
+        return out

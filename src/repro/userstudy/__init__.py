@@ -1,0 +1,15 @@
+"""The paper's user study (Table IX): reconstructed responses plus the
+aggregation pipeline that regenerates the table."""
+
+from .data import ALL_PARTICIPANTS, INDUSTRY_PARTICIPANTS, RESEARCH_PARTICIPANTS, Participant
+from .survey import QuestionSummary, render_table_ix, summarize
+
+__all__ = [
+    "ALL_PARTICIPANTS",
+    "INDUSTRY_PARTICIPANTS",
+    "RESEARCH_PARTICIPANTS",
+    "Participant",
+    "QuestionSummary",
+    "render_table_ix",
+    "summarize",
+]

@@ -1,0 +1,112 @@
+"""Recorded responses of the paper's 18-expert user study (§VIII-I).
+
+A human study cannot be re-run offline; what this module stores is a
+participant-level response set *reconstructed from the published
+marginals* of Table IX (per-sector percentages over 9 research and 9
+industry participants -- the percentages are multiples of 1/9 except the
+Q1 averages). The aggregation pipeline in :mod:`.survey` recomputes
+Table IX from these raw responses, so the analysis code is exercised end
+to end even though the responses themselves are synthetic reconstructions
+(documented in DESIGN.md's substitution table).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Participant:
+    """One survey respondent."""
+
+    identifier: str
+    sector: str  # "research" | "industry"
+    single_search_success_pct: float  # Q1 (0-100 slider)
+    single_table_sufficient: bool  # Q2
+    frequent_tasks: frozenset[str]  # Q3
+    solving_methods: frozenset[str]  # Q4
+    languages: frozenset[str]  # Q5
+    lake_storage: str  # Q6: "dbms" | "files" | "both"
+    would_use_dbms: bool  # Q7
+    simple_api_preference: str  # Q8: "blend" | "python" | "sql"
+    complex_api_preference: str  # Q9: "blend" | "python"
+
+
+TASKS = ("rows", "correlation", "join", "keyword", "mc_join")
+METHODS = ("scripts", "sql", "people", "open_source", "commercial")
+LANGUAGES = ("python", "java", "sql", "c++")
+
+
+def _build(sector: str, q1_values, q2_yes, tasks, methods, languages, storage, q8, q9_python):
+    """Assemble nine participants of one sector from per-question counts.
+
+    ``tasks``/``methods``/``languages`` map option -> number of holders;
+    holders are assigned round-robin from different starting offsets so
+    individual profiles vary while the marginals match exactly.
+    """
+    participants = []
+    for index in range(9):
+        frequent = frozenset(
+            option
+            for offset, (option, count) in enumerate(tasks.items())
+            if (index - offset) % 9 < count
+        )
+        solving = frozenset(
+            option
+            for offset, (option, count) in enumerate(methods.items())
+            if (index - 2 * offset) % 9 < count
+        )
+        spoken = frozenset(
+            option
+            for offset, (option, count) in enumerate(languages.items())
+            if (index - 3 * offset) % 9 < count
+        )
+        participants.append(
+            Participant(
+                identifier=f"{sector[0]}{index + 1}",
+                sector=sector,
+                single_search_success_pct=q1_values[index],
+                single_table_sufficient=index < q2_yes,
+                frequent_tasks=frequent,
+                solving_methods=solving,
+                languages=spoken,
+                lake_storage=storage[index],
+                would_use_dbms=True,  # Q7: unanimous
+                simple_api_preference=q8[index],
+                complex_api_preference="python" if index < q9_python else "blend",
+            )
+        )
+    return participants
+
+
+RESEARCH_PARTICIPANTS = _build(
+    sector="research",
+    # Q1 mean 27.5 %
+    q1_values=[5.0, 10.0, 15.0, 25.0, 27.5, 30.0, 35.0, 45.0, 55.0],
+    q2_yes=1,  # 11 %
+    tasks={"rows": 3, "correlation": 4, "join": 4, "keyword": 4, "mc_join": 3},
+    methods={"scripts": 9, "sql": 4, "people": 3, "open_source": 5, "commercial": 2},
+    languages={"python": 9, "java": 7, "sql": 7, "c++": 5},
+    # Q6: DBMS 3, files 4, both 2
+    storage=["dbms"] * 3 + ["files"] * 4 + ["both"] * 2,
+    # Q8: BLEND 3 (34 %), Python 2 (22 %), SQL 4 (44 %)
+    q8=["blend"] * 3 + ["python"] * 2 + ["sql"] * 4,
+    q9_python=1,  # 11 % prefer Python for the complex task
+)
+
+INDUSTRY_PARTICIPANTS = _build(
+    sector="industry",
+    # Q1 mean 38.9 % (the paper reports 38.8 %)
+    q1_values=[15.0, 25.0, 30.0, 35.0, 40.0, 45.0, 50.0, 55.0, 55.0],
+    q2_yes=0,  # 0 %
+    tasks={"rows": 6, "correlation": 5, "join": 3, "keyword": 3, "mc_join": 2},
+    methods={"scripts": 5, "sql": 5, "people": 5, "open_source": 3, "commercial": 2},
+    languages={"python": 8, "java": 8, "sql": 7, "c++": 7},
+    # Q6: DBMS 4, files 0, both 5
+    storage=["dbms"] * 4 + ["both"] * 5,
+    # Q8: BLEND 5 (56 %), Python 1 (11 %), SQL 3 (34 %)
+    q8=["blend"] * 5 + ["python"] * 1 + ["sql"] * 3,
+    q9_python=1,  # 11 %
+)
+
+ALL_PARTICIPANTS = RESEARCH_PARTICIPANTS + INDUSTRY_PARTICIPANTS

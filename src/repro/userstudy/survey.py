@@ -1,0 +1,173 @@
+"""Aggregation pipeline regenerating Table IX from raw survey responses.
+
+Given participant-level responses (see :mod:`.data`), recomputes every
+row of the paper's Table IX: per-sector and overall percentages for the
+nine survey questions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from .data import LANGUAGES, METHODS, TASKS, Participant
+
+_TASK_LABELS = {
+    "rows": "Discovery for rows",
+    "correlation": "Correlation discovery",
+    "join": "Join discovery",
+    "keyword": "Keyword search",
+    "mc_join": "multi-column join discovery",
+}
+_METHOD_LABELS = {
+    "scripts": "With custom scripts",
+    "sql": "Writing SQL queries",
+    "people": "Asking people",
+    "open_source": "Using open source tools",
+    "commercial": "Using commercial tools",
+}
+
+
+@dataclass(frozen=True)
+class QuestionSummary:
+    """One Table IX block: a question plus per-cohort values."""
+
+    question: str
+    rows: tuple[tuple[str, str, str, str], ...]  # (label, research, industry, all)
+
+
+def _pct(count: int, total: int) -> str:
+    if total == 0:
+        return "00%"
+    return f"{round(100 * count / total):02d}%"
+
+
+def _share(participants: Sequence[Participant], predicate) -> tuple[int, int]:
+    holders = sum(1 for p in participants if predicate(p))
+    return holders, len(participants)
+
+
+def summarize(participants: Sequence[Participant]) -> list[QuestionSummary]:
+    """Recompute all nine Table IX question blocks."""
+    research = [p for p in participants if p.sector == "research"]
+    industry = [p for p in participants if p.sector == "industry"]
+    cohorts = (research, industry, list(participants))
+
+    def triple(predicate) -> tuple[str, str, str]:
+        return tuple(_pct(*_share(cohort, predicate)) for cohort in cohorts)  # type: ignore[return-value]
+
+    summaries: list[QuestionSummary] = []
+
+    # Q1 -- average success slider.
+    averages = tuple(
+        f"{sum(p.single_search_success_pct for p in cohort) / len(cohort):.1f}%"
+        for cohort in cohorts
+    )
+    summaries.append(
+        QuestionSummary(
+            "Question 1. How often do you find data within a single search?",
+            (("Rarely (0%) - Often (100%)",) + averages,),
+        )
+    )
+
+    # Q2 -- yes/no.
+    yes = triple(lambda p: p.single_table_sufficient)
+    no = triple(lambda p: not p.single_table_sufficient)
+    summaries.append(
+        QuestionSummary(
+            "Question 2. Is a single discovered table sufficient as the output "
+            "of the discovery task?",
+            (("Yes | No",) + tuple(f"{y} | {n}" for y, n in zip(yes, no)),),
+        )
+    )
+
+    # Q3 -- frequent tasks (multi-select).
+    summaries.append(
+        QuestionSummary(
+            "Question 3. What are your most frequent data discovery tasks?",
+            tuple(
+                (_TASK_LABELS[task],) + triple(lambda p, t=task: t in p.frequent_tasks)
+                for task in TASKS
+            ),
+        )
+    )
+
+    # Q4 -- solving methods (multi-select).
+    summaries.append(
+        QuestionSummary(
+            "Question 4. How do you solve data discovery tasks?",
+            tuple(
+                (_METHOD_LABELS[method],)
+                + triple(lambda p, m=method: m in p.solving_methods)
+                for method in METHODS
+            ),
+        )
+    )
+
+    # Q5 -- languages (multi-select).
+    summaries.append(
+        QuestionSummary(
+            "Question 5. What programming language do you prefer?",
+            tuple(
+                (language.capitalize(),)
+                + triple(lambda p, l=language: l in p.languages)
+                for language in LANGUAGES
+            ),
+        )
+    )
+
+    # Q6 -- lake storage.
+    storage_rows = []
+    for label, kind in (("DBMS", "dbms"), ("File systems", "files"), ("Both", "both")):
+        storage_rows.append((label,) + triple(lambda p, s=kind: p.lake_storage == s))
+    summaries.append(
+        QuestionSummary("Question 6. Where do you store your data lake?", tuple(storage_rows))
+    )
+
+    # Q7 -- would use DBMS with indexes/optimizations.
+    yes7 = triple(lambda p: p.would_use_dbms)
+    no7 = triple(lambda p: not p.would_use_dbms)
+    summaries.append(
+        QuestionSummary(
+            "Question 7. Would you use DBMS if indexing and optimizations are provided?",
+            (("YES | NO",) + tuple(f"{y} | {n}" for y, n in zip(yes7, no7)),),
+        )
+    )
+
+    # Q8 -- API preference for simple tasks.
+    q8_rows = []
+    for label, kind in (("BLEND", "blend"), ("Python", "python"), ("SQL", "sql")):
+        q8_rows.append((label,) + triple(lambda p, s=kind: p.simple_api_preference == s))
+    summaries.append(
+        QuestionSummary("Question 8. Which API do you prefer for simple tasks?", tuple(q8_rows))
+    )
+
+    # Q9 -- API preference for complex tasks.
+    q9_rows = []
+    for label, kind in (("BLEND", "blend"), ("Python", "python")):
+        q9_rows.append((label,) + triple(lambda p, s=kind: p.complex_api_preference == s))
+    summaries.append(
+        QuestionSummary("Question 9. Which API do you prefer for complex tasks?", tuple(q9_rows))
+    )
+    return summaries
+
+
+def render_table_ix(participants: Sequence[Participant]) -> str:
+    """The full Table IX as text."""
+    research = sum(1 for p in participants if p.sector == "research")
+    industry = sum(1 for p in participants if p.sector == "industry")
+    lines = [
+        "TABLE IX: Statistics obtained from the conducted user study.",
+        "=" * 64,
+        f"{'':40s} {'Research':>9s} {'Industry':>9s} {'All':>9s}",
+        f"{'Number of participants':40s} {research:>9d} {industry:>9d} {len(participants):>9d}",
+    ]
+    for summary in summarize(participants):
+        lines.append("")
+        lines.append(summary.question)
+        for row in summary.rows:
+            label, *values = row
+            lines.append(
+                f"  {label:38s} {values[0]:>9s} {values[1]:>9s} {values[2]:>9s}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,177 @@
+"""Embeddings, HNSW, Starmie, and DeepJoin baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    DeepJoinIndex,
+    HnswIndex,
+    StarmieIndex,
+    cosine_similarity,
+    embed_tokens,
+    embed_values,
+)
+from repro.lake.generators import make_join_benchmark, make_union_benchmark
+
+
+class TestEmbeddings:
+    def test_deterministic(self):
+        a = embed_tokens(["berlin", "hannover"])
+        b = embed_tokens(["berlin", "hannover"])
+        assert np.allclose(a, b)
+
+    def test_unit_norm(self):
+        vector = embed_tokens(["x", "y", "z"])
+        assert np.linalg.norm(vector) == pytest.approx(1.0)
+
+    def test_empty_is_zero(self):
+        assert not np.any(embed_tokens([]))
+
+    def test_order_invariant(self):
+        assert np.allclose(embed_tokens(["a", "b"]), embed_tokens(["b", "a"]))
+
+    def test_similar_bags_are_close(self):
+        base = embed_tokens([f"token{i}" for i in range(20)])
+        near = embed_tokens([f"token{i}" for i in range(18)] + ["other", "thing"])
+        far = embed_tokens([f"zz{i}" for i in range(20)])
+        assert cosine_similarity(base, near) > cosine_similarity(base, far)
+
+    def test_trigram_component_gives_soft_similarity(self):
+        """Morphologically close vocabularies embed closer than unrelated
+        ones even with zero exact token overlap."""
+        a = embed_tokens(["customer_1", "customer_2", "customer_3"])
+        b = embed_tokens(["customer_4", "customer_5", "customer_6"])
+        c = embed_tokens(["xq9", "zw7", "kv3"])
+        assert cosine_similarity(a, b) > cosine_similarity(a, c)
+
+    def test_embed_values_normalises_cells(self):
+        assert np.allclose(embed_values(["Berlin ", None]), embed_tokens(["berlin"]))
+
+
+class TestHnsw:
+    def _random_vectors(self, n, dims=16, seed=0):
+        rng = np.random.default_rng(seed)
+        vectors = rng.normal(size=(n, dims))
+        return vectors / np.linalg.norm(vectors, axis=1, keepdims=True)
+
+    def test_exact_on_small_sets(self):
+        vectors = self._random_vectors(30)
+        index = HnswIndex(16, m=8, ef_construction=64)
+        for i, vector in enumerate(vectors):
+            index.add(i, vector)
+        query = vectors[7]
+        hits = index.search(query, k=1, ef=64)
+        assert hits[0][0] == 7
+        assert hits[0][1] == pytest.approx(1.0)
+
+    def test_high_recall_vs_brute_force(self):
+        vectors = self._random_vectors(300, seed=2)
+        index = HnswIndex(16, m=12, ef_construction=100, seed=1)
+        for i, vector in enumerate(vectors):
+            index.add(i, vector)
+        rng = np.random.default_rng(5)
+        recalls = []
+        for _ in range(20):
+            query = rng.normal(size=16)
+            query /= np.linalg.norm(query)
+            truth = np.argsort(-vectors @ query)[:10]
+            found = {key for key, _ in index.search(query, k=10, ef=120)}
+            recalls.append(len(found & set(truth)) / 10)
+        assert np.mean(recalls) >= 0.8
+
+    def test_empty_index(self):
+        assert HnswIndex(8).search(np.zeros(8), k=3) == []
+
+    def test_wrong_dimension_rejected(self):
+        index = HnswIndex(8)
+        with pytest.raises(ValueError):
+            index.add(0, np.zeros(4))
+
+    def test_bad_m_rejected(self):
+        with pytest.raises(ValueError):
+            HnswIndex(8, m=1)
+
+    @given(seed=st.integers(min_value=0, max_value=20))
+    @settings(max_examples=10, deadline=None)
+    def test_search_returns_k_when_available(self, seed):
+        vectors = self._random_vectors(50, seed=seed)
+        index = HnswIndex(16, m=8, seed=seed)
+        for i, vector in enumerate(vectors):
+            index.add(i, vector)
+        hits = index.search(vectors[0], k=5)
+        assert len(hits) == 5
+        similarities = [s for _, s in hits]
+        assert similarities == sorted(similarities, reverse=True)
+
+    def test_storage_positive(self):
+        index = HnswIndex(8)
+        index.add(0, np.ones(8) / np.sqrt(8))
+        assert index.storage_bytes() > 0
+
+
+class TestStarmie:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_union_benchmark(num_seeds=4, partitions_per_seed=3, distractor_tables=8)
+
+    @pytest.fixture(scope="class")
+    def starmie(self, bench):
+        return StarmieIndex(bench.lake)
+
+    def test_family_members_rank_first(self, bench, starmie):
+        hits_at_2 = 0
+        for query_name in bench.queries:
+            query_table = bench.lake.by_name(query_name)
+            result = starmie.search(
+                query_table, k=4, exclude_table_id=bench.lake.id_of(query_name)
+            )
+            truth = bench.ground_truth(query_name)
+            hits_at_2 += len(set(result.table_ids()[:2]) & truth)
+        assert hits_at_2 >= len(bench.queries)  # at least half the slots
+
+    def test_exclude_self(self, bench, starmie):
+        query_name = bench.queries[0]
+        result = starmie.search(
+            bench.lake.by_name(query_name),
+            k=10,
+            exclude_table_id=bench.lake.id_of(query_name),
+        )
+        assert bench.lake.id_of(query_name) not in result.table_ids()
+
+    def test_scores_descending(self, bench, starmie):
+        result = starmie.search(bench.lake.by_name(bench.queries[0]), k=10)
+        scores = [hit.score for hit in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_storage_positive(self, starmie):
+        assert starmie.storage_bytes() > 0
+
+
+class TestDeepJoin:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_join_benchmark(num_tables=25, query_sizes=(10, 30), queries_per_size=3)
+
+    @pytest.fixture(scope="class")
+    def deepjoin(self, bench):
+        return DeepJoinIndex(bench.lake)
+
+    def test_reasonable_overlap_with_ground_truth(self, bench, deepjoin):
+        """DeepJoin is approximate+semantic: expect solid but not perfect
+        agreement with exact overlap ranking."""
+        overlap = 0
+        total = 0
+        for query in bench.queries:
+            truth = set(bench.ground_truth(query, 10))
+            found = set(deepjoin.search(list(query.values), k=10).table_ids())
+            overlap += len(truth & found)
+            total += min(len(truth), 10)
+        assert overlap / total >= 0.4
+
+    def test_empty_query(self, deepjoin):
+        assert len(deepjoin.search([None], k=5)) == 0
+
+    def test_storage_positive(self, deepjoin):
+        assert deepjoin.storage_bytes() > 0

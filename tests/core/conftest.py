@@ -1,0 +1,65 @@
+"""Shared fixtures for core-system tests: a small indexed lake modelled on
+the paper's running example (Fig. 1: departments and their heads)."""
+
+import pytest
+
+from repro import Blend, DataLake, Table
+
+
+@pytest.fixture(scope="module")
+def fig1_lake() -> DataLake:
+    """The paper's Fig. 1 lake: S needs heads of departments; T1 sizes,
+    T2 outdated leads (Tom Riddle still at IT), T3 current leads."""
+    lake = DataLake("fig1")
+    lake.add(
+        Table(
+            "T1",
+            ["team", "size"],
+            [
+                ("Finance", 31),
+                ("Marketing", 28),
+                ("HR", 33),
+                ("IT", 92),
+                ("Sales", 80),
+            ],
+        )
+    )
+    lake.add(
+        Table(
+            "T2",
+            ["lead", "year", "team"],
+            [
+                ("Tom Riddle", 2022, "IT"),
+                ("Draco Malfoy", 2022, "Marketing"),
+                ("Harry Potter", 2022, "Finance"),
+                ("Cho Chang", 2022, "R&D"),
+                ("Luna Lovegood", 2022, "Sales"),
+                ("Firenze", 2022, "HR"),
+            ],
+        )
+    )
+    lake.add(
+        Table(
+            "T3",
+            ["lead", "year", "team"],
+            [
+                ("Ronald Weasley", 2024, "IT"),
+                ("Draco Malfoy", 2024, "Marketing"),
+                ("Harry Potter", 2024, "Finance"),
+                ("Cho Chang", 2024, "R&D"),
+                ("Luna Lovegood", 2024, "Sales"),
+                ("Firenze", 2024, "HR"),
+            ],
+        )
+    )
+    return lake
+
+
+@pytest.fixture(scope="module", params=["row", "column"])
+def fig1_blend(request, fig1_lake) -> Blend:
+    blend = Blend(fig1_lake, backend=request.param)
+    blend.build_index()
+    return blend
+
+
+DEPARTMENTS = ["HR", "Marketing", "Finance", "IT", "R&D", "Sales"]

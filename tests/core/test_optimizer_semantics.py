@@ -1,0 +1,108 @@
+"""Theorem 1 (output preservation) verified empirically and by property
+tests on randomly generated plans.
+
+Exact statement verified (see the reproduction note in
+``repro.core.optimizer.planner``):
+
+* With k large enough that no seeker truncates, optimized and
+  unoptimized execution produce identical outputs.
+* Under truncation, the optimized Intersection result is a superset of
+  the unoptimized one (more complete, never less), and Difference /
+  Union / Counter outputs are unchanged.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Blend, Combiners, Plan, Seekers
+from repro.lake.generators import CorpusConfig, generate_corpus
+
+BIG_K = 10_000
+
+
+@pytest.fixture(scope="module")
+def blend():
+    lake = generate_corpus(CorpusConfig(num_tables=30, max_rows=40, seed=3))
+    deployment = Blend(lake, backend="column")
+    deployment.build_index()
+    return deployment
+
+
+def lake_values(blend, seed, count):
+    """Sample real lake tokens so seekers produce non-trivial results."""
+    import random
+
+    rng = random.Random(seed)
+    tokens = sorted(blend.stats.frequencies)
+    return [tokens[rng.randrange(len(tokens))] for _ in range(count)]
+
+
+class TestTheorem1Exact:
+    def test_intersection_identical_without_truncation(self, blend):
+        plan = Plan()
+        plan.add("a", Seekers.SC(lake_values(blend, 1, 12), k=BIG_K))
+        plan.add("b", Seekers.KW(lake_values(blend, 2, 6), k=BIG_K))
+        plan.add("i", Combiners.Intersect(k=BIG_K), ["a", "b"])
+        optimized = blend.run(plan).output
+        plain = blend.run(plan, optimize=False).output
+        assert optimized.table_ids() == plain.table_ids()
+
+    def test_difference_identical_without_truncation(self, blend):
+        plan = Plan()
+        plan.add("pos", Seekers.MC(_pairs(blend, 5), k=BIG_K))
+        plan.add("neg", Seekers.MC(_pairs(blend, 6), k=BIG_K))
+        plan.add("d", Combiners.Difference(k=BIG_K), ["pos", "neg"])
+        optimized = blend.run(plan).output
+        plain = blend.run(plan, optimize=False).output
+        assert optimized.table_ids() == plain.table_ids()
+
+    def test_union_never_rewritten(self, blend):
+        plan = Plan()
+        plan.add("a", Seekers.SC(lake_values(blend, 3, 8), k=7))
+        plan.add("b", Seekers.SC(lake_values(blend, 4, 8), k=7))
+        plan.add("u", Combiners.Union(k=20), ["a", "b"])
+        optimized = blend.run(plan).output
+        plain = blend.run(plan, optimize=False).output
+        assert optimized.table_ids() == plain.table_ids()
+
+    def test_counter_never_rewritten(self, blend):
+        plan = Plan()
+        plan.add("a", Seekers.SC(lake_values(blend, 5, 8), k=7))
+        plan.add("b", Seekers.SC(lake_values(blend, 6, 8), k=7))
+        plan.add("c", Combiners.Counter(k=20), ["a", "b"])
+        optimized = blend.run(plan).output
+        plain = blend.run(plan, optimize=False).output
+        assert optimized.table_ids() == plain.table_ids()
+
+
+class TestTheorem1Truncated:
+    @given(seed=st.integers(min_value=0, max_value=50), k=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=15, deadline=None)
+    def test_truncated_intersection_is_superset(self, blend, seed, k):
+        plan = Plan()
+        plan.add("a", Seekers.SC(lake_values(blend, seed, 10), k=k))
+        plan.add("b", Seekers.KW(lake_values(blend, seed + 1000, 5), k=k))
+        plan.add("i", Combiners.Intersect(k=BIG_K), ["a", "b"])
+        optimized = set(blend.run(plan).output.table_ids())
+        plain = set(blend.run(plan, optimize=False).output.table_ids())
+        assert plain <= optimized
+
+    @given(seed=st.integers(min_value=0, max_value=50))
+    @settings(max_examples=10, deadline=None)
+    def test_difference_rewrite_preserves_output(self, blend, seed):
+        """NOT IN rewriting is exact even under truncation: the subtrahend
+        runs unrewritten, and excluding its tables from the minuend's
+        search commutes with excluding them afterwards."""
+        plan = Plan()
+        plan.add("pos", Seekers.SC(lake_values(blend, seed, 10), k=BIG_K))
+        plan.add("neg", Seekers.SC(lake_values(blend, seed + 77, 6), k=4))
+        plan.add("d", Combiners.Difference(k=BIG_K), ["pos", "neg"])
+        optimized = blend.run(plan).output
+        plain = blend.run(plan, optimize=False).output
+        assert optimized.table_ids() == plain.table_ids()
+
+
+def _pairs(blend, seed):
+    values = lake_values(blend, seed, 8)
+    return [(values[i], values[i + 1]) for i in range(0, 6, 2)]

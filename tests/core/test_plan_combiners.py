@@ -1,0 +1,196 @@
+"""Plan API, DAG validation, and combiner semantics."""
+
+import pytest
+
+from repro import Combiners, Plan, ResultList, Seekers, TableHit
+from repro.core.combiners import (
+    Combiner,
+    Counter,
+    Difference,
+    Intersect,
+    Union,
+    combiner_by_name,
+    register_combiner,
+)
+from repro.errors import CombinerError, PlanError
+
+
+def hits(*pairs):
+    return ResultList(TableHit(t, s) for t, s in pairs)
+
+
+class TestCombinerSemantics:
+    def test_intersect(self):
+        result = Intersect(k=10).combine([hits((1, 5), (2, 3)), hits((2, 9), (3, 1))])
+        assert result.table_ids() == [2]
+        assert result.score_of(2) == 12.0
+
+    def test_intersect_empty(self):
+        result = Intersect(k=10).combine([hits((1, 1)), hits((2, 1))])
+        assert len(result) == 0
+
+    def test_intersect_three_inputs(self):
+        result = Intersect(k=10).combine(
+            [hits((1, 1), (2, 1)), hits((2, 1), (3, 1)), hits((2, 1), (4, 1))]
+        )
+        assert result.table_ids() == [2]
+
+    def test_union_sums_scores(self):
+        result = Union(k=10).combine([hits((1, 5), (2, 3)), hits((2, 4))])
+        assert result.table_ids() == [2, 1]  # 2 scores 7, 1 scores 5
+        assert result.score_of(2) == 7.0
+
+    def test_difference_keeps_first_order(self):
+        result = Difference(k=10).combine([hits((1, 9), (2, 8), (3, 7)), hits((2, 1))])
+        assert result.table_ids() == [1, 3]
+        assert result.score_of(1) == 9.0
+
+    def test_difference_requires_exactly_two(self):
+        with pytest.raises(CombinerError):
+            Difference(k=10).combine([hits((1, 1))])
+        with pytest.raises(CombinerError):
+            Difference(k=10).combine([hits((1, 1))] * 3)
+
+    def test_counter_ranks_by_frequency(self):
+        result = Counter(k=10).combine(
+            [hits((1, 1), (2, 1)), hits((1, 1), (3, 1)), hits((1, 1))]
+        )
+        assert result.table_ids()[0] == 1
+        assert result.score_of(1) == 3.0
+
+    def test_counter_tie_break_by_score_sum(self):
+        result = Counter(k=10).combine([hits((1, 9), (2, 1)), hits((1, 1), (2, 9))])
+        # Both appear twice; 1 and 2 have equal summed scores -> id order.
+        assert result.table_ids() == [1, 2]
+
+    def test_counter_accepts_single_input(self):
+        assert Counter(k=5).combine([hits((1, 1))]).table_ids() == [1]
+
+    def test_k_truncation(self):
+        result = Union(k=1).combine([hits((1, 5)), hits((2, 9))])
+        assert result.table_ids() == [2]
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(CombinerError):
+            Union(k=-1)
+
+
+class TestCombinerRegistry:
+    def test_builtin_lookup(self):
+        assert combiner_by_name("intersect") is Intersect
+        assert combiner_by_name("COUNTER") is Counter
+
+    def test_unknown_name(self):
+        with pytest.raises(CombinerError):
+            combiner_by_name("xor")
+
+    def test_register_custom_combiner(self):
+        class First(Combiner):
+            kind = "First"
+            min_inputs = 1
+
+            def combine(self, inputs):
+                return inputs[0].top(self.k)
+
+        register_combiner("first", First)
+        assert combiner_by_name("first") is First
+        # Re-registering the same class is idempotent.
+        register_combiner("first", First)
+
+    def test_register_conflicting_name_rejected(self):
+        class Fake(Combiner):
+            def combine(self, inputs):
+                return inputs[0]
+
+        with pytest.raises(CombinerError):
+            register_combiner("union", Fake)
+
+    def test_register_non_combiner_rejected(self):
+        with pytest.raises(CombinerError):
+            register_combiner("bad", dict)  # type: ignore[arg-type]
+
+
+class TestPlanApi:
+    def test_paper_fig2_plan_builds(self):
+        """The find_dep_heads plan from Fig. 2a."""
+        plan = Plan()
+        plan.add("P_examples", Seekers.MC([("hr", "firenze")]), k=10)
+        plan.add("N_examples", Seekers.MC([("it", "tom riddle")]), k=10)
+        plan.add("exclude", Combiners.Difference(k=10), ["P_examples", "N_examples"])
+        plan.add("dep", Seekers.SC(["hr", "it"]), k=10)
+        plan.add("intersect", Combiners.Intersect(k=10), ["exclude", "dep"])
+        assert len(plan) == 5
+        assert plan.sink().name == "intersect"
+
+    def test_k_override_at_add(self):
+        plan = Plan()
+        plan.add("s", Seekers.SC(["x"], k=3), k=42)
+        assert plan.node("s").operator.k == 42
+
+    def test_duplicate_name_rejected(self):
+        plan = Plan().add("s", Seekers.SC(["x"]))
+        with pytest.raises(PlanError):
+            plan.add("s", Seekers.SC(["y"]))
+
+    def test_seeker_with_inputs_rejected(self):
+        plan = Plan().add("a", Seekers.SC(["x"]))
+        with pytest.raises(PlanError):
+            plan.add("b", Seekers.SC(["y"]), inputs=["a"])
+
+    def test_combiner_without_inputs_rejected(self):
+        with pytest.raises(PlanError):
+            Plan().add("c", Combiners.Union(k=5))
+
+    def test_forward_reference_rejected(self):
+        plan = Plan().add("a", Seekers.SC(["x"]))
+        with pytest.raises(PlanError):
+            plan.add("c", Combiners.Union(k=5), ["a", "later"])
+
+    def test_duplicate_input_rejected(self):
+        plan = Plan().add("a", Seekers.SC(["x"]))
+        with pytest.raises(PlanError):
+            plan.add("c", Combiners.Counter(k=5), ["a", "a"])
+
+    def test_arity_validated_at_add(self):
+        plan = Plan().add("a", Seekers.SC(["x"]))
+        with pytest.raises(CombinerError):
+            plan.add("c", Combiners.Intersect(k=5), ["a"])
+
+    def test_bad_operator_type(self):
+        with pytest.raises(PlanError):
+            Plan().add("x", "not an operator")  # type: ignore[arg-type]
+
+    def test_sinks_and_consumers(self):
+        plan = Plan()
+        plan.add("a", Seekers.SC(["x"]))
+        plan.add("b", Seekers.SC(["y"]))
+        plan.add("c", Combiners.Union(k=5), ["a", "b"])
+        assert [n.name for n in plan.sinks()] == ["c"]
+        assert [n.name for n in plan.consumers_of("a")] == ["c"]
+
+    def test_multi_sink_plan(self):
+        plan = Plan()
+        plan.add("a", Seekers.SC(["x"]))
+        plan.add("b", Seekers.SC(["y"]))
+        assert len(plan.sinks()) == 2
+        with pytest.raises(PlanError):
+            plan.sink()
+
+    def test_topological_order_is_valid(self):
+        plan = Plan()
+        plan.add("a", Seekers.SC(["x"]))
+        plan.add("b", Seekers.SC(["y"]))
+        plan.add("u", Combiners.Union(k=5), ["a", "b"])
+        plan.add("c", Seekers.SC(["z"]))
+        plan.add("i", Combiners.Intersect(k=5), ["u", "c"])
+        order = [n.name for n in plan.topological_order()]
+        assert order.index("u") > order.index("a")
+        assert order.index("i") > order.index("u")
+
+    def test_empty_plan_invalid(self):
+        with pytest.raises(PlanError):
+            Plan().validate()
+
+    def test_unknown_node_lookup(self):
+        with pytest.raises(PlanError):
+            Plan().node("ghost")

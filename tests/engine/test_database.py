@@ -1,0 +1,370 @@
+"""End-to-end SQL tests run against BOTH backends.
+
+Every test is parametrised over the row store and the column store; the
+two executors must agree. This is the main correctness harness for the
+engine substrate.
+"""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import CatalogError, EngineError, PlanningError
+
+
+@pytest.fixture(params=["row", "column"])
+def db(request):
+    database = Database(backend=request.param)
+    database.create_table(
+        "people",
+        [("name", "text"), ("age", "integer"), ("city", "text"), ("score", "float")],
+    )
+    database.insert(
+        "people",
+        [
+            ("alice", 30, "berlin", 1.0),
+            ("bob", 25, "hannover", 2.5),
+            ("carol", 35, "berlin", None),
+            ("dan", None, "waterloo", 4.0),
+            ("erin", 25, None, 0.5),
+        ],
+    )
+    return database
+
+
+class TestProjection:
+    def test_select_columns(self, db):
+        result = db.execute("SELECT name, age FROM people ORDER BY name")
+        assert result.columns == ["name", "age"]
+        assert result.rows[0] == ("alice", 30)
+
+    def test_select_star(self, db):
+        result = db.execute("SELECT * FROM people ORDER BY name LIMIT 1")
+        assert result.rows == [("alice", 30, "berlin", 1.0)]
+
+    def test_expressions(self, db):
+        result = db.execute("SELECT age + 1, age * 2 FROM people WHERE name = 'bob'")
+        assert result.rows == [(26, 50)]
+
+    def test_constant_select_without_from(self, db):
+        assert db.execute("SELECT 1 + 2").scalar() == 3
+
+    def test_aliases_in_output(self, db):
+        result = db.execute("SELECT age AS years FROM people WHERE name = 'bob'")
+        assert result.columns == ["years"]
+
+
+class TestFilters:
+    def test_equality(self, db):
+        result = db.execute("SELECT name FROM people WHERE city = 'berlin' ORDER BY name")
+        assert result.column() == ["alice", "carol"]
+
+    def test_null_never_matches_equality(self, db):
+        result = db.execute("SELECT name FROM people WHERE city = 'nowhere'")
+        assert result.rows == []
+
+    def test_is_null(self, db):
+        result = db.execute("SELECT name FROM people WHERE city IS NULL")
+        assert result.column() == ["erin"]
+
+    def test_is_not_null(self, db):
+        result = db.execute("SELECT COUNT(*) FROM people WHERE score IS NOT NULL")
+        assert result.scalar() == 4
+
+    def test_in_list(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE city IN ('berlin', 'waterloo') ORDER BY name"
+        )
+        assert result.column() == ["alice", "carol", "dan"]
+
+    def test_not_in_excludes_nulls(self, db):
+        # erin has NULL city: NOT IN over a non-null list is UNKNOWN for her.
+        result = db.execute(
+            "SELECT name FROM people WHERE city NOT IN ('berlin') ORDER BY name"
+        )
+        assert result.column() == ["bob", "dan"]
+
+    def test_parameter_in_list(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE city IN (:cities) ORDER BY name",
+            {"cities": ["berlin"]},
+        )
+        assert result.column() == ["alice", "carol"]
+
+    def test_comparison_with_null_is_unknown(self, db):
+        result = db.execute("SELECT name FROM people WHERE age > 20 ORDER BY name")
+        assert "dan" not in result.column()
+
+    def test_between(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE age BETWEEN 25 AND 30 ORDER BY name"
+        )
+        assert result.column() == ["alice", "bob", "erin"]
+
+    def test_and_or_composition(self, db):
+        result = db.execute(
+            "SELECT name FROM people WHERE city = 'berlin' AND age > 30 OR name = 'bob' "
+            "ORDER BY name"
+        )
+        assert result.column() == ["bob", "carol"]
+
+    def test_unbound_parameter_raises(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT name FROM people WHERE city IN (:missing)")
+
+
+class TestAggregation:
+    def test_global_count(self, db):
+        assert db.execute("SELECT COUNT(*) FROM people").scalar() == 5
+
+    def test_count_column_skips_nulls(self, db):
+        assert db.execute("SELECT COUNT(age) FROM people").scalar() == 4
+
+    def test_count_distinct(self, db):
+        assert db.execute("SELECT COUNT(DISTINCT age) FROM people").scalar() == 3
+
+    def test_sum_avg(self, db):
+        result = db.execute("SELECT SUM(age), AVG(age) FROM people")
+        assert result.rows == [(115, 115 / 4)]
+
+    def test_min_max(self, db):
+        assert db.execute("SELECT MIN(age), MAX(age) FROM people").rows == [(25, 35)]
+
+    def test_sum_of_empty_group_is_null(self, db):
+        assert db.execute("SELECT SUM(age) FROM people WHERE name = 'x'").scalar() is None
+
+    def test_count_of_empty_is_zero(self, db):
+        assert db.execute("SELECT COUNT(*) FROM people WHERE name = 'x'").scalar() == 0
+
+    def test_group_by(self, db):
+        result = db.execute(
+            "SELECT city, COUNT(*) FROM people GROUP BY city ORDER BY city"
+        )
+        # NULL city groups together and sorts last.
+        assert result.rows == [("berlin", 2), ("hannover", 1), ("waterloo", 1), (None, 1)]
+
+    def test_group_by_with_aggregate_ordering(self, db):
+        result = db.execute(
+            "SELECT city FROM people WHERE city IS NOT NULL "
+            "GROUP BY city ORDER BY COUNT(*) DESC, city LIMIT 1"
+        )
+        assert result.column() == ["berlin"]
+
+    def test_having(self, db):
+        result = db.execute(
+            "SELECT age FROM people GROUP BY age HAVING COUNT(*) > 1"
+        )
+        assert result.rows == [(25,)]
+
+    def test_sum_distinct(self, db):
+        assert db.execute("SELECT SUM(DISTINCT age) FROM people").scalar() == 90
+
+    def test_aggregate_of_expression(self, db):
+        assert db.execute("SELECT SUM((age > 26)::int) FROM people").scalar() == 2
+
+    def test_ungrouped_column_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT name, COUNT(*) FROM people GROUP BY city")
+
+
+class TestOrderingAndLimit:
+    def test_order_desc_nulls_last(self, db):
+        result = db.execute("SELECT age FROM people ORDER BY age DESC")
+        assert result.column() == [35, 30, 25, 25, None]
+
+    def test_order_asc_nulls_last(self, db):
+        result = db.execute("SELECT age FROM people ORDER BY age")
+        assert result.column() == [25, 25, 30, 35, None]
+
+    def test_multi_key_sort(self, db):
+        result = db.execute("SELECT age, name FROM people ORDER BY age DESC, name DESC")
+        assert result.rows[2:4] == [(25, "erin"), (25, "bob")]
+
+    def test_order_by_alias(self, db):
+        result = db.execute("SELECT age AS years FROM people ORDER BY years LIMIT 1")
+        assert result.column() == [25]
+
+    def test_order_by_ordinal(self, db):
+        result = db.execute("SELECT name FROM people ORDER BY 1 LIMIT 2")
+        assert result.column() == ["alice", "bob"]
+
+    def test_limit_zero(self, db):
+        assert db.execute("SELECT name FROM people LIMIT 0").rows == []
+
+    def test_limit_larger_than_input(self, db):
+        assert len(db.execute("SELECT name FROM people LIMIT 99").rows) == 5
+
+    def test_limit_parameter(self, db):
+        assert len(db.execute("SELECT name FROM people LIMIT :k", {"k": 2}).rows) == 2
+
+    def test_distinct(self, db):
+        result = db.execute("SELECT DISTINCT age FROM people ORDER BY age")
+        assert result.column() == [25, 30, 35, None]
+
+
+class TestJoins:
+    @pytest.fixture
+    def joined_db(self, db):
+        db.create_table("cities", [("city", "text"), ("country", "text")])
+        db.insert(
+            "cities",
+            [("berlin", "de"), ("hannover", "de"), ("waterloo", "ca"), ("paris", "fr")],
+        )
+        return db
+
+    def test_inner_join(self, joined_db):
+        result = joined_db.execute(
+            "SELECT p.name, c.country FROM people p "
+            "INNER JOIN cities c ON p.city = c.city ORDER BY p.name"
+        )
+        assert result.rows == [
+            ("alice", "de"),
+            ("bob", "de"),
+            ("carol", "de"),
+            ("dan", "ca"),
+        ]
+
+    def test_join_nulls_never_match(self, joined_db):
+        result = joined_db.execute(
+            "SELECT COUNT(*) FROM people p INNER JOIN cities c ON p.city = c.city"
+        )
+        assert result.scalar() == 4  # erin's NULL city drops out
+
+    def test_left_join_pads_nulls(self, joined_db):
+        result = joined_db.execute(
+            "SELECT p.name, c.country FROM people p "
+            "LEFT JOIN cities c ON p.city = c.city ORDER BY p.name"
+        )
+        assert ("erin", None) in result.rows
+        assert len(result.rows) == 5
+
+    def test_join_on_multiple_keys(self, joined_db):
+        joined_db.create_table("pairs", [("city", "text"), ("age", "integer")])
+        joined_db.insert("pairs", [("berlin", 30), ("berlin", 99)])
+        result = joined_db.execute(
+            "SELECT p.name FROM people p INNER JOIN pairs q "
+            "ON p.city = q.city AND p.age = q.age"
+        )
+        assert result.column() == ["alice"]
+
+    def test_derived_table_join(self, joined_db):
+        result = joined_db.execute(
+            "SELECT COUNT(*) FROM "
+            "(SELECT * FROM people WHERE age > 24) AS old "
+            "INNER JOIN cities c ON old.city = c.city"
+        )
+        assert result.scalar() == 3
+
+    def test_duplicate_alias_rejected(self, joined_db):
+        with pytest.raises(PlanningError):
+            joined_db.execute(
+                "SELECT 1 FROM people p INNER JOIN cities p ON p.city = p.city"
+            )
+
+    def test_join_multiplicity(self, joined_db):
+        joined_db.create_table("dup", [("city", "text")])
+        joined_db.insert("dup", [("berlin",), ("berlin",)])
+        result = joined_db.execute(
+            "SELECT COUNT(*) FROM people p INNER JOIN dup d ON p.city = d.city"
+        )
+        assert result.scalar() == 4  # 2 berlin people x 2 rows
+
+
+class TestIndexes:
+    def test_index_scan_is_used(self, db):
+        db.create_index("people", "city")
+        result = db.execute("SELECT name FROM people WHERE city IN ('berlin')")
+        assert result.stats.index_scans == 1
+        assert sorted(result.column()) == ["alice", "carol"]
+
+    def test_index_and_filter_agree(self, db):
+        without_index = db.execute(
+            "SELECT name FROM people WHERE city = 'berlin' AND age > 29 ORDER BY name"
+        ).rows
+        db.create_index("people", "city")
+        with_index = db.execute(
+            "SELECT name FROM people WHERE city = 'berlin' AND age > 29 ORDER BY name"
+        ).rows
+        assert with_index == without_index
+
+    def test_index_is_idempotent(self, db):
+        db.create_index("people", "city")
+        db.create_index("people", "city")
+
+    def test_index_updates_on_insert(self, db):
+        db.create_index("people", "city")
+        db.insert("people", [("frank", 40, "berlin", 3.0)])
+        result = db.execute("SELECT COUNT(*) FROM people WHERE city IN ('berlin')")
+        assert result.scalar() == 3
+
+
+class TestCatalog:
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("SELECT 1 FROM missing")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(PlanningError):
+            db.execute("SELECT missing FROM people")
+
+    def test_duplicate_table(self, db):
+        with pytest.raises(CatalogError):
+            db.create_table("people", [("a", "integer")])
+
+    def test_drop_table(self, db):
+        db.drop_table("people")
+        assert not db.has_table("people")
+
+    def test_bad_backend_name(self):
+        with pytest.raises(EngineError):
+            Database(backend="graph")
+
+    def test_row_width_mismatch(self, db):
+        with pytest.raises(EngineError):
+            db.insert("people", [("too", "short")])
+
+    def test_scalar_requires_1x1(self, db):
+        with pytest.raises(EngineError):
+            db.execute("SELECT name FROM people").scalar()
+
+
+class TestBackendAgreement:
+    """The same non-trivial query must give identical results on both
+    backends (modulo row order, which the queries pin down)."""
+
+    QUERIES = [
+        "SELECT city, COUNT(*), SUM(age), MIN(score), MAX(score) FROM people "
+        "GROUP BY city ORDER BY city",
+        "SELECT name FROM people WHERE age IN (25, 35) ORDER BY name",
+        "SELECT age, COUNT(DISTINCT city) FROM people GROUP BY age ORDER BY age",
+        "SELECT COUNT(*) FROM people WHERE score IS NULL OR age IS NULL",
+        "SELECT name, age * 2 + 1 FROM people WHERE age IS NOT NULL ORDER BY age, name",
+        "SELECT SUM((age >= 30)::int) FROM people",
+        "SELECT ABS(-score) FROM people WHERE score IS NOT NULL ORDER BY score",
+    ]
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_agreement(self, query):
+        results = []
+        for backend in ("row", "column"):
+            database = Database(backend=backend)
+            database.create_table(
+                "people",
+                [
+                    ("name", "text"),
+                    ("age", "integer"),
+                    ("city", "text"),
+                    ("score", "float"),
+                ],
+            )
+            database.insert(
+                "people",
+                [
+                    ("alice", 30, "berlin", 1.0),
+                    ("bob", 25, "hannover", 2.5),
+                    ("carol", 35, "berlin", None),
+                    ("dan", None, "waterloo", 4.0),
+                    ("erin", 25, None, 0.5),
+                ],
+            )
+            results.append(database.execute(query).rows)
+        assert results[0] == results[1]

@@ -1,0 +1,251 @@
+"""Unit tests for the SQL lexer and recursive-descent parser."""
+
+import pytest
+
+from repro.engine.sql import ast
+from repro.engine.sql.lexer import tokenize
+from repro.engine.sql.parser import parse
+from repro.errors import SqlSyntaxError
+
+
+class TestLexer:
+    def test_keywords_and_identifiers(self):
+        tokens = tokenize("SELECT TableId FROM AllTables")
+        kinds = [(t.kind, t.value) for t in tokens[:-1]]
+        assert kinds == [
+            ("keyword", "SELECT"),
+            ("identifier", "TableId"),
+            ("keyword", "FROM"),
+            ("identifier", "AllTables"),
+        ]
+
+    def test_string_escapes(self):
+        tokens = tokenize("SELECT 'it''s'")
+        assert tokens[1].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 3e2 .5")
+        assert [t.value for t in tokens[:-1]] == ["1", "2.5", "3e2", ".5"]
+
+    def test_parameters(self):
+        tokens = tokenize("WHERE x IN :values")
+        assert tokens[3].kind == "parameter"
+        assert tokens[3].value == "values"
+
+    def test_double_colon_is_not_parameter(self):
+        tokens = tokenize("x::int")
+        assert [t.value for t in tokens[:-1]] == ["x", "::", "int"]
+
+    def test_comment_skipped(self):
+        tokens = tokenize("SELECT 1 -- trailing comment\n, 2")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["SELECT", "1", ",", "2"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT 'oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("SELECT @x")
+
+    def test_eof_token_terminates(self):
+        assert tokenize("")[-1].kind == "eof"
+
+
+class TestParserBasics:
+    def test_simple_select(self):
+        select = parse("SELECT a, b FROM t")
+        assert len(select.items) == 2
+        assert isinstance(select.source, ast.TableRef)
+        assert select.source.name == "t"
+
+    def test_star(self):
+        select = parse("SELECT * FROM t")
+        assert isinstance(select.items[0].expression, ast.Star)
+
+    def test_qualified_star(self):
+        select = parse("SELECT t.* FROM t")
+        star = select.items[0].expression
+        assert isinstance(star, ast.Star)
+        assert star.table == "t"
+
+    def test_aliases(self):
+        select = parse("SELECT a AS x, b y FROM t z")
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+        assert select.source.alias == "z"
+
+    def test_limit_and_order(self):
+        select = parse("SELECT a FROM t ORDER BY a DESC, b LIMIT 5")
+        assert select.limit == ast.Literal(5)
+        assert select.order_by[0].descending is True
+        assert select.order_by[1].descending is False
+
+    def test_group_by_and_having(self):
+        select = parse("SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2")
+        assert len(select.group_by) == 1
+        assert select.having is not None
+
+    def test_distinct(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_trailing_semicolon(self):
+        parse("SELECT 1;")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT 1 SELECT 2")
+
+
+class TestParserExpressions:
+    def test_precedence_or_and(self):
+        select = parse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        where = select.where
+        assert isinstance(where, ast.BinaryOp)
+        assert where.op == "OR"
+        assert isinstance(where.right, ast.BinaryOp)
+        assert where.right.op == "AND"
+
+    def test_arithmetic_precedence(self):
+        select = parse("SELECT 1 + 2 * 3")
+        expr = select.items[0].expression
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_in_list(self):
+        select = parse("SELECT 1 FROM t WHERE a IN ('x', 'y', :more)")
+        where = select.where
+        assert isinstance(where, ast.InList)
+        assert len(where.items) == 3
+        assert where.items[2] == ast.Parameter("more")
+
+    def test_bare_parameter_in(self):
+        select = parse("SELECT 1 FROM t WHERE a IN :values")
+        assert isinstance(select.where, ast.InList)
+
+    def test_not_in(self):
+        select = parse("SELECT 1 FROM t WHERE a NOT IN (1, 2)")
+        assert select.where.negated is True
+
+    def test_is_null_and_is_not_null(self):
+        assert parse("SELECT 1 FROM t WHERE a IS NULL").where == ast.IsNull(
+            ast.ColumnRef("a")
+        )
+        assert parse("SELECT 1 FROM t WHERE a IS NOT NULL").where.negated is True
+
+    def test_between_desugars(self):
+        where = parse("SELECT 1 FROM t WHERE a BETWEEN 1 AND 3").where
+        assert isinstance(where, ast.BinaryOp)
+        assert where.op == "AND"
+        assert where.left.op == ">="
+        assert where.right.op == "<="
+
+    def test_cast(self):
+        expr = parse("SELECT (a > 1)::int FROM t").items[0].expression
+        assert isinstance(expr, ast.Cast)
+        assert expr.type_name == "int"
+
+    def test_count_star_and_distinct(self):
+        select = parse("SELECT COUNT(*), COUNT(DISTINCT a) FROM t")
+        first, second = (item.expression for item in select.items)
+        assert first == ast.Aggregate("COUNT", None)
+        assert second.distinct is True
+
+    def test_unary_minus(self):
+        expr = parse("SELECT -a FROM t").items[0].expression
+        assert isinstance(expr, ast.UnaryOp)
+        assert expr.op == "-"
+
+    def test_function_call(self):
+        expr = parse("SELECT ABS(a - b) FROM t").items[0].expression
+        assert isinstance(expr, ast.FunctionCall)
+        assert expr.name == "ABS"
+
+    def test_qualified_column(self):
+        expr = parse("SELECT k.TableId FROM t k").items[0].expression
+        assert expr == ast.ColumnRef(name="TableId", table="k")
+
+    def test_scalar_subquery_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT (SELECT 1) FROM t")
+
+
+class TestParserJoins:
+    def test_inner_join(self):
+        select = parse(
+            "SELECT * FROM a INNER JOIN b ON a.x = b.x AND a.y = b.y"
+        )
+        join = select.source
+        assert isinstance(join, ast.Join)
+        assert join.join_type == "inner"
+        assert isinstance(join.condition, ast.BinaryOp)
+
+    def test_derived_table(self):
+        select = parse("SELECT * FROM (SELECT a FROM t) AS sub")
+        sub = select.source
+        assert isinstance(sub, ast.SubqueryRef)
+        assert sub.alias == "sub"
+
+    def test_derived_table_alias_without_as(self):
+        select = parse("SELECT * FROM (SELECT a FROM t) sub")
+        assert select.source.alias == "sub"
+
+    def test_derived_table_requires_alias(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM (SELECT a FROM t)")
+
+    def test_left_join(self):
+        select = parse("SELECT * FROM a LEFT JOIN b ON a.x = b.x")
+        assert select.source.join_type == "left"
+
+    def test_nested_joins_left_deep(self):
+        select = parse(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON a.x = c.x"
+        )
+        outer = select.source
+        assert isinstance(outer.left, ast.Join)
+        assert isinstance(outer.right, ast.TableRef)
+
+
+class TestPaperListings:
+    """The exact query shapes from the paper's Listings 1-3 must parse."""
+
+    def test_listing_1_sc_seeker(self):
+        parse(
+            """
+            SELECT TableId FROM AllTables
+            WHERE CellValue IN ('a', 'b')
+            GROUP BY TableId, ColumnId
+            ORDER BY COUNT(DISTINCT CellValue) DESC
+            LIMIT 10
+            """
+        )
+
+    def test_listing_2_mc_seeker(self):
+        parse(
+            """
+            SELECT * FROM
+            (SELECT * FROM AllTables WHERE CellValue IN (:q1)) AS Q1_index_hits
+            INNER JOIN
+            (SELECT * FROM AllTables WHERE CellValue IN (:q2)) AS Q2_index_hits
+            ON Q1_index_hits.TableId = Q2_index_hits.TableId
+            AND Q1_index_hits.RowId = Q2_index_hits.RowId
+            """
+        )
+
+    def test_listing_3_correlation_seeker(self):
+        parse(
+            """
+            SELECT keys.TableId FROM
+            (SELECT * FROM AllTables WHERE RowId < :h AND CellValue IN (:qj)) keys
+            INNER JOIN
+            (SELECT * FROM AllTables WHERE RowId < :h AND Quadrant IS NOT NULL) nums
+            ON keys.TableId = nums.TableId AND keys.RowId = nums.RowId
+            GROUP BY keys.TableId, nums.ColumnId, keys.ColumnId
+            ORDER BY ABS((2.0 * SUM(((keys.CellValue IN (:k0) AND nums.Quadrant = 0)
+                OR (keys.CellValue IN (:k1) AND nums.Quadrant = 1))::int)
+                - COUNT(*)) / COUNT(*)) DESC
+            LIMIT 10
+            """
+        )

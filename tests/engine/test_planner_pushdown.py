@@ -1,0 +1,118 @@
+"""Planner optimizations: sargable predicate classification and
+projection pushdown annotations."""
+
+import pytest
+
+from repro.engine import Database
+from repro.engine.sql.planner import (
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    ScanNode,
+    SliceColumnsNode,
+    SortNode,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database(backend="column")
+    database.create_table(
+        "t", [("a", "text"), ("b", "integer"), ("c", "float"), ("d", "text")]
+    )
+    database.insert("t", [("x", 1, 1.0, "p"), ("y", 2, 2.0, "q")])
+    return database
+
+
+def _find(node, node_type):
+    """First node of *node_type* in the plan tree."""
+    if isinstance(node, node_type):
+        return node
+    for attr in ("child", "left", "right"):
+        child = getattr(node, attr, None)
+        if child is not None:
+            found = _find(child, node_type)
+            if found is not None:
+                return found
+    return None
+
+
+class TestSargableClassification:
+    def test_in_list_is_sargable(self, db):
+        plan = db.plan("SELECT b FROM t WHERE a IN ('x', 'y')")
+        scan = _find(plan, ScanNode)
+        assert len(scan.sargable) == 1
+        assert scan.sargable[0].column == "a"
+        assert sorted(scan.sargable[0].values) == ["x", "y"]
+
+    def test_equality_is_sargable(self, db):
+        plan = db.plan("SELECT b FROM t WHERE a = 'x'")
+        scan = _find(plan, ScanNode)
+        assert scan.sargable[0].values == ["x"]
+
+    def test_parameter_in_is_sargable(self, db):
+        plan = db.plan("SELECT b FROM t WHERE a IN (:v)", {"v": ["x"]})
+        scan = _find(plan, ScanNode)
+        assert scan.sargable[0].values == ["x"]
+
+    def test_not_in_is_residual(self, db):
+        plan = db.plan("SELECT b FROM t WHERE a NOT IN ('x')")
+        scan = _find(plan, ScanNode)
+        assert scan.sargable == []
+        assert len(scan.residual) == 1
+
+    def test_range_is_residual(self, db):
+        plan = db.plan("SELECT a FROM t WHERE b < 5")
+        scan = _find(plan, ScanNode)
+        assert scan.sargable == []
+        assert len(scan.residual) == 1
+
+    def test_mixed_conjuncts_split(self, db):
+        plan = db.plan("SELECT a FROM t WHERE a IN ('x') AND b < 5 AND c = 1.0")
+        scan = _find(plan, ScanNode)
+        assert {p.column for p in scan.sargable} == {"a", "c"}
+        assert len(scan.residual) == 1
+
+
+class TestProjectionPushdown:
+    def test_unused_columns_pruned(self, db):
+        plan = db.plan("SELECT b FROM t WHERE a IN ('x')")
+        scan = _find(plan, ScanNode)
+        # Only b (selected) is required -- a is handled sargably and d/c
+        # are untouched.
+        assert scan.required == {db.table("t").schema.position_of("b")}
+
+    def test_select_star_requires_all(self, db):
+        plan = db.plan("SELECT * FROM t")
+        scan = _find(plan, ScanNode)
+        assert scan.required == {0, 1, 2, 3}
+
+    def test_order_by_column_is_required(self, db):
+        plan = db.plan("SELECT b FROM t ORDER BY c")
+        scan = _find(plan, ScanNode)
+        positions = {db.table("t").schema.position_of(c) for c in ("b", "c")}
+        assert scan.required == positions
+
+    def test_group_by_requires_keys_and_arguments(self, db):
+        plan = db.plan("SELECT a, SUM(b) FROM t GROUP BY a")
+        scan = _find(plan, ScanNode)
+        positions = {db.table("t").schema.position_of(c) for c in ("a", "b")}
+        assert scan.required == positions
+
+    def test_join_keys_required_on_both_sides(self, db):
+        db.create_table("u", [("a", "text"), ("z", "integer")])
+        db.insert("u", [("x", 9)])
+        plan = db.plan("SELECT t.b, u.z FROM t INNER JOIN u ON t.a = u.a")
+        join = _find(plan, JoinNode)
+        left_scan = _find(join.left, ScanNode)
+        right_scan = _find(join.right, ScanNode)
+        assert db.table("t").schema.position_of("a") in left_scan.required
+        assert db.table("u").schema.position_of("a") in right_scan.required
+
+    def test_pruned_execution_is_correct(self, db):
+        result = db.execute("SELECT b FROM t WHERE a IN ('x', 'y') ORDER BY b")
+        assert result.rows == [(1,), (2,)]
+
+    def test_distinct_requires_all_output_columns(self, db):
+        result = db.execute("SELECT DISTINCT a, b FROM t ORDER BY a")
+        assert result.rows == [("x", 1), ("y", 2)]

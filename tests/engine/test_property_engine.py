@@ -1,0 +1,117 @@
+"""Property-based tests: the row and column executors must agree on
+arbitrary data, and engine invariants must hold under random inputs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database
+
+# Small alphabets make collisions (joins, group keys) likely.
+TEXTS = st.one_of(st.none(), st.sampled_from(["a", "b", "c", "d", "e"]))
+INTS = st.one_of(st.none(), st.integers(min_value=-3, max_value=3))
+FLOATS = st.one_of(
+    st.none(), st.floats(min_value=-5, max_value=5, allow_nan=False, width=32)
+)
+
+ROWS = st.lists(st.tuples(TEXTS, INTS, FLOATS), min_size=0, max_size=40)
+
+AGGREGATE_QUERIES = [
+    "SELECT t, COUNT(*), COUNT(i), COUNT(DISTINCT i) FROM data GROUP BY t ORDER BY t",
+    "SELECT t, SUM(i), MIN(i), MAX(i) FROM data GROUP BY t ORDER BY t",
+    "SELECT i, COUNT(DISTINCT t) FROM data GROUP BY i ORDER BY i",
+    "SELECT COUNT(*) FROM data WHERE i > 0 AND t IN ('a', 'b')",
+    "SELECT t, i FROM data WHERE i IS NOT NULL ORDER BY i DESC, t LIMIT 5",
+    "SELECT SUM((i > 0)::int) FROM data",
+    "SELECT t FROM data GROUP BY t HAVING COUNT(*) > 2 ORDER BY t",
+    "SELECT DISTINCT t FROM data ORDER BY t",
+    "SELECT AVG(f) FROM data WHERE f IS NOT NULL",
+]
+
+
+def _build(backend, rows):
+    db = Database(backend=backend)
+    db.create_table("data", [("t", "text"), ("i", "integer"), ("f", "float")])
+    db.insert("data", rows)
+    return db
+
+
+def _approx_rows(rows):
+    out = []
+    for row in rows:
+        out.append(
+            tuple(
+                round(value, 9) if isinstance(value, float) else value for value in row
+            )
+        )
+    return out
+
+
+class TestExecutorAgreement:
+    @pytest.mark.parametrize("query", AGGREGATE_QUERIES)
+    @given(rows=ROWS)
+    @settings(max_examples=25, deadline=None)
+    def test_row_and_column_agree(self, query, rows):
+        row_result = _build("row", rows).execute(query).rows
+        column_result = _build("column", rows).execute(query).rows
+        assert _approx_rows(row_result) == _approx_rows(column_result)
+
+    @given(rows=ROWS, values=st.lists(st.sampled_from(["a", "b", "z"]), max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_index_matches_full_scan(self, rows, values):
+        """An index scan must return exactly what the filter returns."""
+        results = []
+        for use_index in (False, True):
+            db = _build("column", rows)
+            if use_index:
+                db.create_index("data", "t")
+            result = db.execute(
+                "SELECT t, i FROM data WHERE t IN (:v) ORDER BY t, i",
+                {"v": values},
+            )
+            results.append(result.rows)
+        assert results[0] == results[1]
+
+    @given(rows=ROWS)
+    @settings(max_examples=25, deadline=None)
+    def test_join_agreement(self, rows):
+        query = (
+            "SELECT a.t, b.i FROM "
+            "(SELECT * FROM data WHERE i IS NOT NULL) AS a "
+            "INNER JOIN (SELECT * FROM data WHERE f IS NOT NULL) AS b "
+            "ON a.t = b.t AND a.i = b.i "
+            "ORDER BY a.t, b.i"
+        )
+        row_result = _build("row", rows).execute(query).rows
+        column_result = _build("column", rows).execute(query).rows
+        assert row_result == column_result
+
+
+class TestEngineInvariants:
+    @given(rows=ROWS, k=st.integers(min_value=0, max_value=10))
+    @settings(max_examples=25, deadline=None)
+    def test_limit_is_prefix_of_unlimited(self, rows, k):
+        db = _build("column", rows)
+        unlimited = db.execute("SELECT i FROM data ORDER BY i, t").rows
+        limited = db.execute(f"SELECT i FROM data ORDER BY i, t LIMIT {k}").rows
+        assert limited == unlimited[:k]
+
+    @given(rows=ROWS)
+    @settings(max_examples=25, deadline=None)
+    def test_count_star_equals_row_count(self, rows):
+        db = _build("row", rows)
+        assert db.execute("SELECT COUNT(*) FROM data").scalar() == len(rows)
+
+    @given(rows=ROWS)
+    @settings(max_examples=25, deadline=None)
+    def test_group_counts_sum_to_total(self, rows):
+        db = _build("column", rows)
+        groups = db.execute("SELECT t, COUNT(*) FROM data GROUP BY t").rows
+        assert sum(count for _, count in groups) == len(rows)
+
+    @given(rows=ROWS)
+    @settings(max_examples=20, deadline=None)
+    def test_distinct_is_idempotent(self, rows):
+        db = _build("column", rows)
+        once = db.execute("SELECT DISTINCT t FROM data ORDER BY t").rows
+        assert len(set(once)) == len(once)

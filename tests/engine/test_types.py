@@ -1,0 +1,124 @@
+"""Unit tests for SQL value semantics (three-valued logic, coercion)."""
+
+import pytest
+
+from repro.engine.types import (
+    SqlType,
+    coerce_to_type,
+    sql_and,
+    sql_cast_float,
+    sql_cast_int,
+    sql_compare,
+    sql_equals,
+    sql_not,
+    sql_or,
+    sort_key,
+)
+
+
+class TestSqlTypeNames:
+    def test_aliases_resolve(self):
+        assert SqlType.from_name("nvarchar") is SqlType.TEXT
+        assert SqlType.from_name("BIGINT") is SqlType.INTEGER
+        assert SqlType.from_name("double") is SqlType.FLOAT
+        assert SqlType.from_name("bool") is SqlType.BOOLEAN
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            SqlType.from_name("blob")
+
+
+class TestCoercion:
+    def test_null_passes_through(self):
+        for sql_type in SqlType:
+            assert coerce_to_type(None, sql_type) is None
+
+    def test_integral_float_to_integer(self):
+        assert coerce_to_type(3.0, SqlType.INTEGER) == 3
+
+    def test_fractional_float_to_integer_raises(self):
+        with pytest.raises(ValueError):
+            coerce_to_type(3.5, SqlType.INTEGER)
+
+    def test_text_rejects_numbers(self):
+        with pytest.raises(ValueError):
+            coerce_to_type(7, SqlType.TEXT)
+
+    def test_boolean_accepts_zero_one(self):
+        assert coerce_to_type(1, SqlType.BOOLEAN) is True
+        assert coerce_to_type(0, SqlType.BOOLEAN) is False
+
+    def test_boolean_rejects_other_ints(self):
+        with pytest.raises(ValueError):
+            coerce_to_type(2, SqlType.BOOLEAN)
+
+    def test_bool_to_integer(self):
+        assert coerce_to_type(True, SqlType.INTEGER) == 1
+
+
+class TestThreeValuedLogic:
+    def test_equals_null_propagates(self):
+        assert sql_equals(None, 1) is None
+        assert sql_equals(1, None) is None
+        assert sql_equals(None, None) is None
+
+    def test_equals_bool_int_duality(self):
+        assert sql_equals(True, 1) is True
+        assert sql_equals(False, 0) is True
+
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False
+        assert sql_and(True, None) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(False, True) is True
+        assert sql_or(True, None) is True
+        assert sql_or(False, None) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(False) is True
+        assert sql_not(None) is None
+
+    def test_compare(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare("b", "a") == 1
+        assert sql_compare(2, 2) == 0
+        assert sql_compare(None, 2) is None
+
+    def test_compare_mixed_types_raises(self):
+        with pytest.raises(TypeError):
+            sql_compare(1, "a")
+
+
+class TestCasts:
+    def test_cast_int(self):
+        assert sql_cast_int(True) == 1
+        assert sql_cast_int(False) == 0
+        assert sql_cast_int(3.9) == 3
+        assert sql_cast_int("12") == 12
+        assert sql_cast_int(None) is None
+
+    def test_cast_int_bad_text(self):
+        with pytest.raises(ValueError):
+            sql_cast_int("abc")
+
+    def test_cast_float(self):
+        assert sql_cast_float("2.5") == 2.5
+        assert sql_cast_float(2) == 2.0
+        assert sql_cast_float(None) is None
+
+
+class TestSortKey:
+    def test_nulls_last(self):
+        values = [3, None, 1, None, 2]
+        assert sorted(values, key=sort_key) == [1, 2, 3, None, None]
+
+    def test_mixed_kinds_deterministic(self):
+        values = ["b", 2, "a", 1]
+        assert sorted(values, key=sort_key) == [1, 2, "a", "b"]

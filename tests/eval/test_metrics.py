@@ -1,0 +1,127 @@
+"""Retrieval metrics and harness utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.eval import (
+    ExperimentLog,
+    average_precision_at_k,
+    f1_score,
+    mean_average_precision,
+    measure,
+    precision_at_k,
+    recall_at_k,
+    render_series_chart,
+    render_table,
+    timed,
+)
+
+
+class TestPrecisionRecall:
+    def test_perfect_ranking(self):
+        assert precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+        assert recall_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 9, 2, 8], {1, 2}, 4) == 0.5
+        assert recall_at_k([1, 9], {1, 2, 3, 4}, 2) == 0.25
+
+    def test_precision_normalises_by_retrieved(self):
+        # 2 retrieved, both relevant, k=10 -> precision 1.0 (TUS convention)
+        assert precision_at_k([1, 2], {1, 2, 3}, 10) == 1.0
+
+    def test_empty_cases(self):
+        assert precision_at_k([], {1}, 5) == 0.0
+        assert recall_at_k([1], set(), 5) == 0.0
+        assert precision_at_k([1], {1}, 0) == 0.0
+
+    @given(
+        retrieved=st.lists(st.integers(0, 20), max_size=15, unique=True),
+        relevant=st.sets(st.integers(0, 20), max_size=15),
+        k=st.integers(1, 15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bounds(self, retrieved, relevant, k):
+        p = precision_at_k(retrieved, relevant, k)
+        r = recall_at_k(retrieved, relevant, k)
+        assert 0.0 <= p <= 1.0
+        assert 0.0 <= r <= 1.0
+
+    @given(
+        retrieved=st.lists(st.integers(0, 20), max_size=15, unique=True),
+        relevant=st.sets(st.integers(0, 20), min_size=1, max_size=15),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_recall_monotone_in_k(self, retrieved, relevant):
+        recalls = [recall_at_k(retrieved, relevant, k) for k in range(1, 16)]
+        assert recalls == sorted(recalls)
+
+
+class TestAveragePrecision:
+    def test_front_loaded_ranking_scores_higher(self):
+        good = average_precision_at_k([1, 2, 9, 8], {1, 2}, 4)
+        bad = average_precision_at_k([9, 8, 1, 2], {1, 2}, 4)
+        assert good > bad
+
+    def test_perfect_is_one(self):
+        assert average_precision_at_k([1, 2], {1, 2}, 2) == 1.0
+
+    def test_no_hits_is_zero(self):
+        assert average_precision_at_k([9], {1}, 1) == 0.0
+
+    def test_map_averages(self):
+        runs = [([1], {1}), ([9], {1})]
+        assert mean_average_precision(runs, 1) == 0.5
+
+    def test_map_empty(self):
+        assert mean_average_precision([], 5) == 0.0
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        assert f1_score(1.0, 1.0) == 1.0
+        assert f1_score(0.5, 0.5) == 0.5
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_asymmetric(self):
+        assert f1_score(1.0, 0.0) == 0.0
+
+
+class TestHarness:
+    def test_timed(self):
+        result, seconds = timed(lambda: 42)
+        assert result == 42
+        assert seconds >= 0.0
+
+    def test_measure_aggregates(self):
+        timing = measure(lambda: sum(range(100)), repetitions=3)
+        assert timing.repetitions == 3
+        assert timing.seconds_min <= timing.seconds_mean <= timing.seconds_max
+        assert timing.milliseconds_mean == pytest.approx(timing.seconds_mean * 1e3)
+
+    def test_measure_rejects_zero_reps(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repetitions=0)
+
+    def test_experiment_log(self):
+        log = ExperimentLog()
+        log.record("T3", {"task": "imputation"}, runtime=0.1)
+        log.record("T4", {"seeker": "SC"}, gain=0.2)
+        assert len(log.for_experiment("T3")) == 1
+        assert log.for_experiment("T3")[0].values["runtime"] == 0.1
+
+
+class TestReporting:
+    def test_render_table_contains_cells(self):
+        text = render_table("Demo", ["a", "b"], [[1, "x"], [2.5, "y"]], note="n")
+        assert "Demo" in text
+        assert "2.5" in text
+        assert "note: n" in text
+
+    def test_render_series_chart(self):
+        text = render_series_chart(
+            "Fig", [10, 100], {"BLEND": [0.1, 0.2], "Josie": [0.3, 0.4]}
+        )
+        assert "BLEND" in text and "Josie" in text
+        assert "#" in text

@@ -1,0 +1,89 @@
+"""XASH super-key properties, including the bloom-filter guarantee."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.xash import may_contain, super_key, tuple_hash, xash
+
+TOKENS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789 -", min_size=1, max_size=12
+).map(str.strip).filter(bool)
+
+
+class TestXashBasics:
+    def test_deterministic(self):
+        assert xash("tom riddle") == xash("tom riddle")
+
+    def test_empty_token_is_zero(self):
+        assert xash("") == 0
+
+    def test_fits_hash_size(self):
+        for token in ("a", "zz", "tom riddle", "1234567890"):
+            assert 0 <= xash(token, hash_size=63) < 2**63
+            assert 0 <= xash(token, hash_size=128) < 2**128
+
+    def test_popcount_bounded_by_num_chars(self):
+        for token in ("alpha", "beta", "x"):
+            assert bin(xash(token, num_chars=2)).count("1") <= 2
+            assert bin(xash(token, num_chars=4)).count("1") <= 4
+
+    def test_different_tokens_usually_differ(self):
+        tokens = ["hr", "it", "marketing", "finance", "sales", "r&d"]
+        hashes = {xash(t) for t in tokens}
+        assert len(hashes) >= len(tokens) - 1  # collisions possible but rare
+
+    def test_length_sensitivity(self):
+        # Same rare chars, different length -> rotation differs.
+        assert xash("zq") != xash("zqaaaa")
+
+
+class TestSuperKey:
+    def test_super_key_is_or_of_cell_hashes(self):
+        row = ["hr", "firenze", 2022]
+        key = super_key(row)
+        for value in row:
+            from repro.lake.table import normalize_cell
+
+            assert key | xash(normalize_cell(value)) == key
+
+    def test_nulls_ignored(self):
+        assert super_key(["hr", None, ""]) == super_key(["hr"])
+
+    def test_tuple_hash_alias(self):
+        assert tuple_hash(["a", "b"]) == super_key(["a", "b"])
+
+
+class TestBloomFilterGuarantee:
+    """The load-bearing property: no false negatives, ever."""
+
+    @given(row=st.lists(TOKENS, min_size=1, max_size=8), data=st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_no_false_negatives(self, row, data):
+        subset_size = data.draw(st.integers(min_value=1, max_value=len(row)))
+        subset = data.draw(
+            st.lists(st.sampled_from(row), min_size=subset_size, max_size=subset_size)
+        )
+        row_key = super_key(row)
+        query_hash = tuple_hash(subset)
+        assert may_contain(row_key, query_hash)
+
+    @given(row=st.lists(TOKENS, min_size=1, max_size=4), extra=TOKENS)
+    @settings(max_examples=100, deadline=None)
+    def test_disjoint_value_often_rejected(self, row, extra):
+        """Not a guarantee (bloom filters have FPs), but rejection must be
+        consistent: if may_contain is False the value is truly absent."""
+        row_key = super_key(row)
+        if not may_contain(row_key, xash_of(extra)):
+            from repro.lake.table import normalize_cell
+
+            assert normalize_cell(extra) not in {
+                normalize_cell(v) for v in row
+            }
+
+
+def xash_of(token: str) -> int:
+    from repro.lake.table import normalize_cell
+
+    normalized = normalize_cell(token)
+    return xash(normalized) if normalized else 0

@@ -1,0 +1,96 @@
+"""DataLake container and CSV round-trips."""
+
+import pytest
+
+from repro.errors import LakeError
+from repro.lake import DataLake, Table
+from repro.lake.csvio import parse_cell, read_table, render_cell, write_table
+
+
+@pytest.fixture
+def lake():
+    lake = DataLake("demo")
+    lake.add(Table("alpha", ["a"], [(1,), (2,)]))
+    lake.add(Table("beta", ["b", "c"], [("x", 1.5)]))
+    return lake
+
+
+class TestDataLake:
+    def test_ids_are_insertion_ordered(self, lake):
+        assert lake.id_of("alpha") == 0
+        assert lake.id_of("beta") == 1
+        assert lake.name_of(1) == "beta"
+
+    def test_by_id_and_name(self, lake):
+        assert lake.by_id(0) is lake.by_name("alpha")
+
+    def test_contains_and_len(self, lake):
+        assert "alpha" in lake
+        assert "gamma" not in lake
+        assert len(lake) == 2
+
+    def test_duplicate_name_rejected(self, lake):
+        with pytest.raises(LakeError):
+            lake.add(Table("alpha", ["z"], []))
+
+    def test_unknown_lookups(self, lake):
+        with pytest.raises(LakeError):
+            lake.by_id(99)
+        with pytest.raises(LakeError):
+            lake.by_name("ghost")
+
+    def test_stats(self, lake):
+        stats = lake.stats()
+        assert stats.num_tables == 2
+        assert stats.num_columns == 3
+        assert stats.num_rows == 3
+        assert stats.num_cells == 4
+
+    def test_save_load_round_trip(self, lake, tmp_path):
+        lake.save(tmp_path)
+        loaded = DataLake.load(tmp_path)
+        assert len(loaded) == 2
+        assert loaded.by_name("alpha").rows == [(1,), (2,)]
+        assert loaded.by_name("beta").rows == [("x", 1.5)]
+
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(LakeError):
+            DataLake.load(tmp_path / "missing")
+
+
+class TestCsvCells:
+    def test_parse_int_float_text_null(self):
+        assert parse_cell("3") == 3
+        assert parse_cell("3.5") == 3.5
+        assert parse_cell("abc") == "abc"
+        assert parse_cell("") is None
+
+    def test_render_inverse(self):
+        for value in (3, 3.5, "abc", None):
+            assert parse_cell(render_cell(value)) == value
+
+    def test_render_integral_float(self):
+        assert render_cell(4.0) == "4"
+
+
+class TestCsvTables:
+    def test_round_trip_with_nulls(self, tmp_path):
+        table = Table("t", ["a", "b"], [(1, None), (None, "x")])
+        path = tmp_path / "t.csv"
+        write_table(table, path)
+        loaded = read_table(path)
+        assert loaded.rows == [(1, None), (None, "x")]
+        assert loaded.name == "t"
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(LakeError):
+            read_table(path)
+
+    def test_header_only(self, tmp_path):
+        path = tmp_path / "h.csv"
+        path.write_text("a,b\n")
+        table = read_table(path)
+        assert table.columns == ["a", "b"]
+        assert table.num_rows == 0

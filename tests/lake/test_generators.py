@@ -1,0 +1,176 @@
+"""Benchmark generators: determinism, structure, and ground-truth sanity."""
+
+import pytest
+
+from repro.lake.generators import (
+    CorpusConfig,
+    generate_corpus,
+    make_correlation_benchmark,
+    make_imputation_benchmark,
+    make_join_benchmark,
+    make_multicolumn_benchmark,
+    make_union_benchmark,
+    value_frequencies,
+)
+from repro.lake.generators.vocabulary import POOLS, Vocabulary
+from repro.lake.table import normalize_cell
+
+
+class TestVocabulary:
+    def test_deterministic_under_seed(self):
+        a = Vocabulary(7)
+        b = Vocabulary(7)
+        assert [a.person_name() for _ in range(5)] == [b.person_name() for _ in range(5)]
+
+    def test_synthetic_pool_distinct(self):
+        pool = Vocabulary(1).synthetic_pool(200)
+        assert len(pool) == len(set(pool)) == 200
+
+    def test_zipf_skews_towards_head(self):
+        vocab = Vocabulary(3)
+        pool = POOLS["city"]
+        draws = [vocab.zipf_choice(pool, alpha=1.5) for _ in range(500)]
+        head = sum(1 for d in draws if d == pool[0])
+        tail = sum(1 for d in draws if d == pool[-1])
+        assert head > tail
+
+    def test_code_format(self):
+        assert Vocabulary(0).code("sku", 4).startswith("sku-")
+
+
+class TestCorpusGenerator:
+    def test_deterministic(self):
+        a = generate_corpus(CorpusConfig(num_tables=10, seed=5))
+        b = generate_corpus(CorpusConfig(num_tables=10, seed=5))
+        assert [t.rows for t in a] == [t.rows for t in b]
+
+    def test_different_seeds_differ(self):
+        a = generate_corpus(CorpusConfig(num_tables=10, seed=5))
+        b = generate_corpus(CorpusConfig(num_tables=10, seed=6))
+        assert [t.rows for t in a] != [t.rows for t in b]
+
+    def test_shape_bounds(self):
+        config = CorpusConfig(num_tables=15, min_rows=3, max_rows=9, min_columns=2, max_columns=4)
+        lake = generate_corpus(config)
+        assert len(lake) == 15
+        for table in lake:
+            assert 3 <= table.num_rows <= 9
+            assert 2 <= table.num_columns <= 4
+
+    def test_vocabularies_shared_across_tables(self):
+        """Cross-table token overlap must exist, else discovery is moot."""
+        lake = generate_corpus(CorpusConfig(num_tables=20, seed=1))
+        frequencies = value_frequencies(lake)
+        assert any(count >= 5 for count in frequencies.values())
+
+
+class TestJoinBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_join_benchmark(num_tables=25, query_sizes=(5, 25), queries_per_size=3)
+
+    def test_query_sizes_respected(self, bench):
+        sizes = sorted({q.size for q in bench.queries})
+        assert sizes[0] <= 5 and sizes[-1] >= 20
+
+    def test_ground_truth_ranked_by_overlap(self, bench):
+        query = bench.queries[0]
+        truth = bench.ground_truth(query, 10)
+        overlaps = dict(bench.exact_overlaps(query))
+        scores = [overlaps[t] for t in truth]
+        assert scores == sorted(scores, reverse=True)
+        assert all(score > 0 for score in scores)
+
+    def test_ground_truth_nonempty(self, bench):
+        assert bench.ground_truth(bench.queries[0], 5)
+
+
+class TestMultiColumnBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_multicolumn_benchmark(num_queries=2, distractor_tables=5)
+
+    def test_aligned_tables_have_joinable_rows(self, bench):
+        query = bench.queries[0]
+        aligned_id = bench.lake.id_of("mc_bench_q0_aligned0")
+        assert bench.joinable_rows(query, aligned_id) > 0
+
+    def test_shuffled_tables_rarely_joinable(self, bench):
+        query = bench.queries[0]
+        shuffled_id = bench.lake.id_of("mc_bench_q0_shuffled0")
+        aligned_id = bench.lake.id_of("mc_bench_q0_aligned0")
+        assert bench.joinable_rows(query, shuffled_id) < bench.joinable_rows(
+            query, aligned_id
+        )
+
+
+class TestUnionBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_union_benchmark(num_seeds=4, partitions_per_seed=3, distractor_tables=6)
+
+    def test_families_have_expected_size(self, bench):
+        for query in bench.queries:
+            assert len(bench.ground_truth(query)) == 2  # 3 partitions - self
+
+    def test_queries_are_in_lake(self, bench):
+        for query in bench.queries:
+            assert query in bench.lake
+
+    def test_family_members_share_values(self, bench):
+        query = bench.queries[0]
+        query_tokens = {
+            normalize_cell(v)
+            for _, _, v in bench.lake.by_name(query).iter_cells()
+        }
+        for member_id in bench.ground_truth(query):
+            member_tokens = {
+                normalize_cell(v)
+                for _, _, v in bench.lake.by_id(member_id).iter_cells()
+            }
+            assert query_tokens & member_tokens
+
+
+class TestCorrelationBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_correlation_benchmark(
+            num_queries=2, num_entities=50, tables_per_query=4, rows_per_table=40,
+            distractor_tables=4,
+        )
+
+    def test_ground_truth_prefers_planted_tables(self, bench):
+        query = bench.queries[0]
+        truth = bench.ground_truth(query, 3)
+        planted = {
+            bench.lake.id_of(f"corr_bench_q0_t{i}") for i in range(4)
+        }
+        assert set(truth) <= planted
+
+    def test_exact_correlations_bounded(self, bench):
+        for _, _, coefficient in bench.exact_correlations(bench.queries[0]):
+            assert 0.0 <= coefficient <= 1.0 + 1e-9
+
+    def test_mixed_regime_has_numeric_keys(self):
+        bench = make_correlation_benchmark(
+            num_queries=2, num_entities=30, key_regime="mixed", rows_per_table=20,
+            distractor_tables=2,
+        )
+        assert bench.queries[1].key_is_numeric
+        assert not bench.queries[0].key_is_numeric
+
+
+class TestImputationBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return make_imputation_benchmark(num_queries=2, distractor_tables=5)
+
+    def test_complete_tables_in_ground_truth(self, bench):
+        query = bench.queries[0]
+        truth = bench.ground_truth(query)
+        for copy in range(3):
+            assert bench.lake.id_of(f"impute_bench_q0_full{copy}") in truth
+
+    def test_answers_align_with_query_keys(self, bench):
+        query = bench.queries[0]
+        assert len(query.answers) == len(query.query_keys)

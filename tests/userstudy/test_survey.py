@@ -1,0 +1,83 @@
+"""Table IX regeneration: the aggregation must reproduce the paper's
+published marginals from the reconstructed responses."""
+
+import pytest
+
+from repro.userstudy import (
+    ALL_PARTICIPANTS,
+    INDUSTRY_PARTICIPANTS,
+    RESEARCH_PARTICIPANTS,
+    render_table_ix,
+    summarize,
+)
+
+
+class TestCohorts:
+    def test_cohort_sizes(self):
+        assert len(RESEARCH_PARTICIPANTS) == 9
+        assert len(INDUSTRY_PARTICIPANTS) == 9
+        assert len(ALL_PARTICIPANTS) == 18
+
+    def test_sectors_assigned(self):
+        assert all(p.sector == "research" for p in RESEARCH_PARTICIPANTS)
+        assert all(p.sector == "industry" for p in INDUSTRY_PARTICIPANTS)
+
+
+class TestPublishedMarginals:
+    """Spot-check recomputed aggregates against the paper's Table IX."""
+
+    def test_q1_single_search_success(self):
+        research_avg = sum(
+            p.single_search_success_pct for p in RESEARCH_PARTICIPANTS
+        ) / 9
+        industry_avg = sum(
+            p.single_search_success_pct for p in INDUSTRY_PARTICIPANTS
+        ) / 9
+        assert research_avg == pytest.approx(27.5, abs=0.5)
+        assert industry_avg == pytest.approx(38.8, abs=0.5)
+
+    def test_q2_single_table_sufficient(self):
+        assert sum(p.single_table_sufficient for p in RESEARCH_PARTICIPANTS) == 1
+        assert sum(p.single_table_sufficient for p in INDUSTRY_PARTICIPANTS) == 0
+
+    def test_q3_task_shares(self):
+        # Paper: rows 33 % research / 67 % industry; correlation 44/56.
+        assert sum("rows" in p.frequent_tasks for p in RESEARCH_PARTICIPANTS) == 3
+        assert sum("rows" in p.frequent_tasks for p in INDUSTRY_PARTICIPANTS) == 6
+        assert sum("correlation" in p.frequent_tasks for p in RESEARCH_PARTICIPANTS) == 4
+        assert sum("correlation" in p.frequent_tasks for p in INDUSTRY_PARTICIPANTS) == 5
+
+    def test_q4_custom_scripts(self):
+        # 100 % research, 56 % industry.
+        assert all("scripts" in p.solving_methods for p in RESEARCH_PARTICIPANTS)
+        assert sum("scripts" in p.solving_methods for p in INDUSTRY_PARTICIPANTS) == 5
+
+    def test_q5_python_dominates(self):
+        python_users = sum("python" in p.languages for p in ALL_PARTICIPANTS)
+        assert python_users == 17  # 94 %
+
+    def test_q7_unanimous_dbms(self):
+        assert all(p.would_use_dbms for p in ALL_PARTICIPANTS)
+
+    def test_q9_blend_for_complex_tasks(self):
+        blend = sum(
+            p.complex_api_preference == "blend" for p in ALL_PARTICIPANTS
+        )
+        assert blend == 16  # 89 %
+
+
+class TestRenderedTable:
+    def test_summaries_cover_nine_questions(self):
+        assert len(summarize(ALL_PARTICIPANTS)) == 9
+
+    def test_render_contains_published_values(self):
+        text = render_table_ix(ALL_PARTICIPANTS)
+        for expected in ("27.5%", "100%", "94%", "89%", "Question 9"):
+            assert expected in text
+
+    def test_percentages_recompute_from_raw_data(self):
+        """The pipeline derives percentages from responses, not constants:
+        dropping a participant changes the output."""
+        full = render_table_ix(ALL_PARTICIPANTS)
+        reduced = render_table_ix(ALL_PARTICIPANTS[:-1])
+        assert full != reduced
