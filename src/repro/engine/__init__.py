@@ -3,6 +3,21 @@
 Provides a row-store backend (PostgreSQL's role in the paper) and a
 NumPy-vectorised column-store backend (the commercial column store's
 role), both executing the same SQL subset that BLEND's seekers emit.
+
+Two hot-path facilities back the offline/online split of a discovery
+system:
+
+* **Typed bulk ingest** -- ``Database.insert_columns`` appends
+  ``(data, null_mask)`` column arrays directly to either backend,
+  bypassing per-cell type coercion; the column store dictionary-encodes
+  text via ``np.unique`` (or accepts pre-encoded
+  ``column_store.DictEncodedText``) and seals new batches incrementally
+  instead of rebuilding the table.
+* **Plan cache** -- ``Database.execute`` keeps an LRU of physical plans
+  keyed on ``(sql, backend, parameter shapes)``; repeated statements
+  (the four seeker templates) plan once and are *rebound* to fresh
+  parameter values per call. Hit counters: ``Database.plan_cache_stats``
+  and ``ResultSet.stats.plan_cache_hit``.
 """
 
 from .database import Database, ResultSet

@@ -19,6 +19,7 @@ Example
 from __future__ import annotations
 
 import functools
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
@@ -27,7 +28,13 @@ from .sql import ast
 from .sql.executor_column import Batch, ColumnExecutor
 from .sql.executor_row import QueryStats, RowExecutor
 from .sql.parser import parse
-from .sql.planner import PlanNode, TableResolver, plan_select
+from .sql.planner import (
+    PlanNode,
+    TableResolver,
+    param_shapes,
+    plan_select,
+    rebind_plan,
+)
 from .storage.catalog import Catalog, ColumnDef, TableSchema
 from .storage.column_store import ColumnTable
 from .storage.row_store import RowTable
@@ -75,7 +82,16 @@ def _parse_cached(sql: str) -> ast.Select:
 
 
 class Database:
-    """An embedded single-process database with pluggable storage layout."""
+    """An embedded single-process database with pluggable storage layout.
+
+    ``execute`` keeps an LRU **plan cache** keyed on ``(sql, backend,
+    parameter shapes)``: repeated statements (the four seeker templates,
+    notably) are planned once and merely *rebound* to fresh parameter
+    values on later calls. Hit counters are exposed via
+    :meth:`plan_cache_stats` and per-query on ``ResultSet.stats``.
+    """
+
+    PLAN_CACHE_SIZE = 256
 
     def __init__(self, backend: str = "column") -> None:
         if backend not in BACKENDS:
@@ -83,6 +99,9 @@ class Database:
         self.backend = backend
         self._catalog = Catalog()
         self.last_stats = QueryStats()
+        self._plan_cache: OrderedDict[tuple, PlanNode] = OrderedDict()
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
 
     # -- schema ------------------------------------------------------------------
 
@@ -102,9 +121,11 @@ class Database:
             self._catalog.register(RowTable(schema))
         else:
             self._catalog.register(ColumnTable(schema))
+        self._invalidate_plans()
 
     def drop_table(self, name: str) -> None:
         self._catalog.drop(name)
+        self._invalidate_plans()
 
     def has_table(self, name: str) -> bool:
         return self._catalog.exists(name)
@@ -126,6 +147,13 @@ class Database:
     def insert(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows added."""
         return self._catalog.get(table_name).insert_rows(rows)
+
+    def insert_columns(self, table_name: str, columns: Sequence[tuple]) -> int:
+        """Typed bulk-append: *columns* is one ``(data, null_mask)`` pair
+        per schema column (``null_mask`` may be ``None``). Bypasses the
+        per-cell coercion of :meth:`insert` -- the vectorised ``AllTables``
+        ingest path. Returns the number of rows appended."""
+        return self._catalog.get(table_name).insert_columns(columns)
 
     def num_rows(self, table_name: str) -> int:
         return self._catalog.get(table_name).num_rows
@@ -152,10 +180,13 @@ class Database:
 
         ``params`` binds ``:name`` placeholders; sequence-valued parameters
         may appear in ``IN`` lists (this is how BLEND passes query columns
-        and rewritten intermediate results).
+        and rewritten intermediate results). Plans come from the LRU plan
+        cache when the (sql, backend, parameter-shape) key has been seen
+        before; only parameter values are rebound.
         """
-        plan = self.plan(sql, params)
+        plan, cache_hit = self._cached_plan(sql, params)
         stats = QueryStats()
+        stats.plan_cache_hit = cache_hit
         if self.backend == "row":
             executor = RowExecutor(self._catalog, params, stats)
             rows = executor.execute(plan)
@@ -166,7 +197,38 @@ class Database:
         self.last_stats = stats
         return ResultSet(columns=plan.schema.names(), rows=rows, stats=stats)
 
+    def plan_cache_stats(self) -> dict[str, int]:
+        """Plan-cache effectiveness counters (hits / misses / entries)."""
+        return {
+            "hits": self._plan_cache_hits,
+            "misses": self._plan_cache_misses,
+            "size": len(self._plan_cache),
+        }
+
     # -- internals --------------------------------------------------------------------
+
+    def _cached_plan(
+        self, sql: str, params: Optional[Mapping[str, Any]]
+    ) -> tuple[PlanNode, bool]:
+        """The cached plan for (sql, backend, param shapes), rebound to
+        *params* -- or a freshly planned (and cached) one."""
+        key = (sql, self.backend, param_shapes(params))
+        plan = self._plan_cache.get(key)
+        if plan is not None:
+            self._plan_cache.move_to_end(key)
+            self._plan_cache_hits += 1
+            rebind_plan(plan, params)
+            return plan, True
+        plan = self.plan(sql, params)
+        self._plan_cache_misses += 1
+        self._plan_cache[key] = plan
+        if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
+            self._plan_cache.popitem(last=False)
+        return plan, False
+
+    def _invalidate_plans(self) -> None:
+        """Schema changed: cached plans may embed stale column layouts."""
+        self._plan_cache.clear()
 
     def _column_names(self, table_name: str) -> list[str]:
         if table_name == "__dual__":

@@ -16,7 +16,12 @@ import numpy as np
 
 from ...errors import ExecutionError
 from ..storage.catalog import Catalog
-from ..storage.column_store import ColumnTable
+from ..storage.column_store import (
+    ColumnTable,
+    isin_sorted,
+    normalize_numeric_probes,
+    numeric_probe_array,
+)
 from ..types import sort_key
 from .executor_row import QueryStats, _DescendingKey
 from .planner import (
@@ -680,15 +685,14 @@ def _membership_mask(data: np.ndarray, null: np.ndarray, values: list) -> np.nda
         members = frozenset(v for v in values if v is not None)
         mask = np.fromiter((v in members for v in data), count=len(data), dtype=bool)
     else:
-        numeric = sorted(
-            {float(v) for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)}
-        )
+        numeric = normalize_numeric_probes(values)
         if not numeric:
             return np.zeros(len(data), dtype=bool)
-        wanted = np.array(numeric)
-        idx = np.searchsorted(wanted, data.astype(np.float64))
-        idx = np.minimum(idx, len(wanted) - 1)
-        mask = wanted[idx] == data
+        wanted = numeric_probe_array(numeric, data.dtype)
+        if wanted is None:
+            return np.zeros(len(data), dtype=bool)
+        probe = data if wanted.dtype == data.dtype else data.astype(np.float64)
+        mask = isin_sorted(probe, wanted)
     return mask & ~null
 
 

@@ -42,6 +42,7 @@ class QueryStats:
     seq_scans: int = 0
     rows_joined: int = 0
     groups_built: int = 0
+    plan_cache_hit: bool = False
     extra: dict = field(default_factory=dict)
 
 

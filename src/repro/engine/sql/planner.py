@@ -10,9 +10,14 @@ vectorised); the planner handles everything executor-independent:
 * aggregate discovery and the post-aggregation namespace,
 * ORDER BY / LIMIT / DISTINCT shaping, including alias resolution.
 
-Parameters are bound at plan time, so each ``execute`` call plans against
-the concrete parameter values (this is also how the BLEND optimizer's
-rewritten ``TableId IN :ir`` predicates become sargable).
+Parameters are bound at plan time (this is also how the BLEND optimizer's
+rewritten ``TableId IN :ir`` predicates become sargable) -- but every
+plan-time binding site records its symbolic *source* (literal value or
+parameter name), so a finished plan can be **rebound** to new parameter
+values with :func:`rebind_plan` without re-planning. That is what backs
+the ``Database`` plan cache: plan *structure* depends only on the SQL
+text and each parameter's shape (scalar / sequence / int / null), so the
+four seeker templates plan once and rebind per execution.
 """
 
 from __future__ import annotations
@@ -33,10 +38,43 @@ from .schema import Schema
 
 @dataclass
 class SargablePredicate:
-    """``column IN values`` pushed into a scan (single value for ``=``)."""
+    """``column IN values`` pushed into a scan (single value for ``=``).
+
+    ``sources`` keeps the symbolic recipe behind ``values`` -- a tuple of
+    ``("lit", value)`` / ``("param", name)`` entries -- so a cached plan
+    can recompute ``values`` against fresh parameters (:meth:`rebind`).
+    """
 
     column: str
     values: list[Any]
+    sources: Optional[tuple] = None
+
+    def has_params(self) -> bool:
+        return self.sources is not None and any(
+            kind == "param" for kind, _ in self.sources
+        )
+
+    def rebind(self, params: Optional[Mapping[str, Any]]) -> None:
+        self.values = _expand_sources(self.sources, params)
+
+
+def _expand_sources(
+    sources: tuple, params: Optional[Mapping[str, Any]]
+) -> list[Any]:
+    """Evaluate a sargable-value recipe against concrete parameters,
+    mirroring the plan-time expansion (NULLs dropped, sequences spliced)."""
+    values: list[Any] = []
+    for kind, payload in sources:
+        if kind == "lit":
+            if payload is not None:
+                values.append(payload)
+            continue
+        bound = bind_parameter(params, payload)
+        if isinstance(bound, (list, tuple, set, frozenset)):
+            values.extend(v for v in bound if v is not None)
+        elif bound is not None:
+            values.append(bound)
+    return values
 
 
 @dataclass
@@ -123,6 +161,8 @@ class SortNode(PlanNode):
     key_positions: list[int]
     descending: list[bool]
     limit_hint: Optional[int] = None
+    # Parameter name behind limit_hint, for plan-cache rebinding.
+    limit_param: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.schema = self.child.schema
@@ -132,6 +172,8 @@ class SortNode(PlanNode):
 class LimitNode(PlanNode):
     child: PlanNode
     count: int
+    # Parameter name behind count, for plan-cache rebinding.
+    param: Optional[str] = None
 
     def __post_init__(self) -> None:
         self.schema = self.child.schema
@@ -417,20 +459,20 @@ class _Planner:
         if isinstance(conjunct, ast.InList) and not conjunct.negated:
             if not isinstance(conjunct.operand, ast.ColumnRef):
                 return None
-            values: list[Any] = []
+            sources: list[tuple] = []
             for item in conjunct.items:
                 if isinstance(item, ast.Literal):
-                    if item.value is not None:
-                        values.append(item.value)
+                    sources.append(("lit", item.value))
                 elif isinstance(item, ast.Parameter):
-                    bound = bind_parameter(self._params, item.name)
-                    if isinstance(bound, (list, tuple, set, frozenset)):
-                        values.extend(v for v in bound if v is not None)
-                    elif bound is not None:
-                        values.append(bound)
+                    sources.append(("param", item.name))
                 else:
                     return None
-            return SargablePredicate(column=conjunct.operand.name, values=values)
+            recipe = tuple(sources)
+            return SargablePredicate(
+                column=conjunct.operand.name,
+                values=_expand_sources(recipe, self._params),
+                sources=recipe,
+            )
         if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
             column, constant = None, None
             if isinstance(conjunct.left, ast.ColumnRef) and isinstance(
@@ -447,11 +489,13 @@ class _Planner:
                 value = bind_parameter(self._params, constant.name)
                 if isinstance(value, (list, tuple, set, frozenset)):
                     return None
+                recipe = (("param", constant.name),)
             else:
                 value = constant.value
+                recipe = (("lit", value),)
             if value is None:
                 return None
-            return SargablePredicate(column=column.name, values=[value])
+            return SargablePredicate(column=column.name, values=[value], sources=recipe)
         return None
 
     # -- projection / aggregation pipeline -------------------------------------
@@ -506,13 +550,15 @@ class _Planner:
                 predicate=ast.ColumnRef(name="__having"),
             )
 
-        limit_count = self._evaluate_limit(select.limit)
+        limit_count, limit_param = self._evaluate_limit(select.limit)
         if select.order_by:
+            use_hint = not select.distinct
             node = SortNode(
                 child=node,
                 key_positions=order_positions,
                 descending=[item.descending for item in select.order_by],
-                limit_hint=limit_count if not select.distinct else None,
+                limit_hint=limit_count if use_hint else None,
+                limit_param=limit_param if use_hint else None,
             )
 
         node = SliceColumnsNode(child=node, count=len(select_exprs), names=list(select_names))
@@ -520,7 +566,7 @@ class _Planner:
         if select.distinct:
             node = DistinctNode(child=node)
         if limit_count is not None:
-            node = LimitNode(child=node, count=limit_count)
+            node = LimitNode(child=node, count=limit_count, param=limit_param)
         return node, select_names
 
     def _expand_select_items(
@@ -568,21 +614,18 @@ class _Planner:
             return select_exprs[ordinal - 1]
         return expression
 
-    def _evaluate_limit(self, limit: Optional[ast.Node]) -> Optional[int]:
+    def _evaluate_limit(
+        self, limit: Optional[ast.Node]
+    ) -> tuple[Optional[int], Optional[str]]:
+        """``(count, parameter name)`` -- the name is recorded on the plan
+        so the cache can rebind a different LIMIT without re-planning."""
         if limit is None:
-            return None
+            return None, None
         if isinstance(limit, ast.Literal) and isinstance(limit.value, int):
-            value = limit.value
-        elif isinstance(limit, ast.Parameter):
-            bound = bind_parameter(self._params, limit.name)
-            if not isinstance(bound, int):
-                raise PlanningError("LIMIT parameter must bind an integer")
-            value = bound
-        else:
-            raise PlanningError("LIMIT must be an integer literal or parameter")
-        if value < 0:
-            raise PlanningError("LIMIT must be non-negative")
-        return value
+            return _validate_limit(limit.value), None
+        if isinstance(limit, ast.Parameter):
+            return _validate_limit(bind_parameter(self._params, limit.name)), limit.name
+        raise PlanningError("LIMIT must be an integer literal or parameter")
 
     def _plan_sourceless(self, select: ast.Select) -> PlanNode:
         """``SELECT <expr>, ...`` without FROM -- constant evaluation."""
@@ -598,12 +641,79 @@ class _Planner:
         constant_source = ScanNode(table="__dual__", binding="__dual__", sargable=[], residual=[])
         constant_source.schema = Schema([])
         node: PlanNode = ProjectNode(child=constant_source, expressions=expressions, names=names)
-        limit_count = self._evaluate_limit(select.limit)
+        limit_count, limit_param = self._evaluate_limit(select.limit)
         if select.where is not None:
             node = FilterNode(child=node, predicate=select.where)
         if limit_count is not None:
-            node = LimitNode(child=node, count=limit_count)
+            node = LimitNode(child=node, count=limit_count, param=limit_param)
         return node
+
+
+# --------------------------------------------------------------------------
+# Plan-cache support: parameter shapes and rebinding
+# --------------------------------------------------------------------------
+
+
+def _validate_limit(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise PlanningError("LIMIT parameter must bind an integer")
+    if value < 0:
+        raise PlanningError("LIMIT must be non-negative")
+    return value
+
+
+def param_shapes(params: Optional[Mapping[str, Any]]) -> tuple:
+    """A hashable signature of everything about *params* that can change
+    plan *structure*: which names are bound, and whether each value is a
+    sequence, an int, NULL, or another scalar. Two parameter sets with
+    equal shapes always plan to structurally identical trees, so the
+    shape is a sound plan-cache key component."""
+    if not params:
+        return ()
+    return tuple(sorted((name, _shape_of(value)) for name, value in params.items()))
+
+
+def _shape_of(value: Any) -> str:
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return "seq"
+    if value is None:
+        return "null"
+    if isinstance(value, int) and not isinstance(value, bool):
+        return "int"
+    return "scalar"
+
+
+def rebind_plan(node: PlanNode, params: Optional[Mapping[str, Any]]) -> None:
+    """Re-evaluate every plan-time parameter binding in place.
+
+    Walks the tree and recomputes sargable IN-values and LIMIT counts from
+    their recorded symbolic sources. All other parameter references live
+    in residual/projection expressions, which the executors bind at
+    execution time anyway. Safe to call repeatedly: every binding is
+    recomputed from scratch, so no state leaks between executions.
+    """
+    if isinstance(node, ScanNode):
+        for predicate in node.sargable:
+            if predicate.has_params():
+                predicate.rebind(params)
+        return
+    if isinstance(node, JoinNode):
+        rebind_plan(node.left, params)
+        rebind_plan(node.right, params)
+        return
+    if isinstance(node, LimitNode):
+        if node.param is not None:
+            node.count = _validate_limit(bind_parameter(params, node.param))
+        rebind_plan(node.child, params)
+        return
+    if isinstance(node, SortNode):
+        if node.limit_param is not None:
+            node.limit_hint = _validate_limit(bind_parameter(params, node.limit_param))
+        rebind_plan(node.child, params)
+        return
+    child = getattr(node, "child", None)
+    if child is not None:
+        rebind_plan(child, params)
 
 
 # --------------------------------------------------------------------------

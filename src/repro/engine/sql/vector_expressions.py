@@ -16,6 +16,11 @@ from typing import Any, Callable, Mapping, Optional, Protocol
 import numpy as np
 
 from ...errors import PlanningError
+from ..storage.column_store import (
+    isin_sorted,
+    normalize_numeric_probes,
+    numeric_probe_array,
+)
 from . import ast
 from .expressions import bind_parameter
 from .schema import Schema
@@ -216,12 +221,15 @@ def _compile_in_list(
             raise PlanningError("IN lists may only contain literals and parameters")
     negated = node.negated
     text_values = [v for v in values if isinstance(v, str)]
-    numeric_values = sorted(
-        {float(v) for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)}
-        | {float(v) for v in values if isinstance(v, bool)}
-    )
+    # Shared probe normaliser (bools participate as 0/1 -- the engine's
+    # bool/int duality) so the residual path can never drift from the
+    # sargable scan paths.
+    numeric_set = normalize_numeric_probes(values)
     text_set = frozenset(text_values)
-    numeric_array = np.array(numeric_values, dtype=np.float64)
+    # Exact probe array for integer-dtype operands: float64 membership
+    # would alias int64 values above 2^53 (e.g. SuperKeys).
+    integer_array = numeric_probe_array(numeric_set, np.dtype(np.int64)) if numeric_set else None
+    float_array = numeric_probe_array(numeric_set, np.dtype(np.float64)) if numeric_set else None
 
     def membership(source: ColumnSource) -> VectorResult:
         data, null = operand(source)
@@ -229,14 +237,19 @@ def _compile_in_list(
             found = np.fromiter(
                 (value in text_set for value in data), count=len(data), dtype=bool
             )
+        elif data.dtype.kind in "iu":
+            found = (
+                isin_sorted(data, integer_array)
+                if integer_array is not None
+                else np.zeros(len(data), dtype=bool)
+            )
         else:
             numeric = _as_numeric(data)
-            if numeric_array.size:
-                idx = np.searchsorted(numeric_array, numeric)
-                idx_clipped = np.minimum(idx, numeric_array.size - 1)
-                found = numeric_array[idx_clipped] == numeric
-            else:
-                found = np.zeros(len(data), dtype=bool)
+            found = (
+                isin_sorted(numeric, float_array)
+                if float_array is not None
+                else np.zeros(len(data), dtype=bool)
+            )
         if negated:
             result = ~found
         else:

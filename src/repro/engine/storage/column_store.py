@@ -7,8 +7,18 @@ executor (:mod:`..sql.executor_column`) operates on these arrays directly,
 which is what makes BLEND's scan-heavy seeker queries an order of
 magnitude faster here than on the row store (paper Figs. 5 and 7).
 
-Inserts are buffered in Python lists and sealed into arrays on first read,
-matching the bulk-load-then-query lifecycle of a data-lake index.
+Two ingest paths feed a table:
+
+* ``insert_rows`` -- tuple-at-a-time with per-cell type coercion, buffered
+  in Python lists until the next read seals them into arrays.
+* ``insert_columns`` -- the bulk fast path: already-typed column arrays
+  (``(data, null_mask)`` pairs) are appended directly, dictionary-encoding
+  text via ``np.unique`` and bypassing ``coerce_to_type`` entirely. This
+  is what the vectorised ``AllTables`` builder uses.
+
+Sealing is *incremental*: new rows (from either path) are merged into the
+existing sealed arrays instead of invalidating and rebuilding the whole
+table, so interleaved bulk loads stay linear.
 """
 
 from __future__ import annotations
@@ -20,6 +30,49 @@ import numpy as np
 from ...errors import CatalogError, ExecutionError
 from ..types import SqlType, coerce_to_type
 from .catalog import TableSchema
+
+# A bulk-ingest column chunk: (data, null_mask). ``null_mask`` may be None
+# when the chunk has no NULLs. Accepted dtypes per column type:
+# TEXT -> object array of str (or a pre-encoded DictEncodedText),
+# INTEGER -> any int dtype, FLOAT -> any float dtype, BOOLEAN -> bool/int
+# dtype (int8 with -1 meaning NULL is accepted directly when null_mask is
+# None).
+ColumnChunk = tuple[np.ndarray, Optional[np.ndarray]]
+
+
+class DictEncodedText:
+    """A text chunk already dictionary-encoded by the producer.
+
+    ``dictionary`` must be a *sorted* array of distinct strings and
+    ``codes`` int32 positions into it (``-1`` = NULL) -- exactly what
+    ``np.unique(..., return_inverse=True)`` yields. Passing this instead
+    of raw strings lets a bulk producer that already deduplicated its
+    tokens (the ``AllTables`` ingest does, for XASH) skip the store's own
+    ``np.unique`` sort.
+    """
+
+    __slots__ = ("codes", "dictionary")
+
+    def __init__(self, codes: np.ndarray, dictionary: np.ndarray) -> None:
+        self.codes = np.asarray(codes, dtype=np.int32)
+        self.dictionary = np.asarray(dictionary, dtype=object)
+
+    def __len__(self) -> int:
+        return len(self.codes)
+
+
+def validate_chunk(schema: TableSchema, columns: Sequence[ColumnChunk]) -> int:
+    """Shared bulk-ingest chunk validation (both backends): width must
+    match the schema, all columns equal length. Returns the row count."""
+    if len(columns) != len(schema.columns):
+        raise ExecutionError(
+            f"chunk width {len(columns)} does not match table "
+            f"{schema.name!r} width {len(schema.columns)}"
+        )
+    lengths = {len(data) for data, _ in columns}
+    if len(lengths) > 1:
+        raise ExecutionError(f"ragged column chunk: lengths {sorted(lengths)}")
+    return lengths.pop() if lengths else 0
 
 
 class _ColumnData:
@@ -42,6 +95,10 @@ class ColumnTable:
     def __init__(self, schema: TableSchema) -> None:
         self.schema = schema
         self._pending: list[list[Any]] = [[] for _ in schema.columns]
+        # Encoded-but-unmerged ingest batches, in arrival order. Kept as a
+        # backlog so an F-flush bulk load pays ONE multiway merge at first
+        # read instead of re-merging all prior rows on every flush.
+        self._backlog: list[list[_ColumnData]] = []
         self._sealed: Optional[list[_ColumnData]] = None
         self._num_rows = 0
         self._indexes: dict[str, dict[Any, np.ndarray]] = {}
@@ -53,8 +110,9 @@ class ColumnTable:
         return self._num_rows
 
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
-        """Buffer *rows* for columnar sealing; invalidates sealed arrays
-        and secondary indexes (they are rebuilt lazily)."""
+        """Buffer *rows* for columnar sealing; secondary indexes are
+        invalidated (rebuilt lazily), sealed arrays are kept and merged
+        incrementally at the next seal."""
         types = [column.sql_type for column in self.schema.columns]
         width = len(types)
         inserted = 0
@@ -70,47 +128,64 @@ class ColumnTable:
             inserted += 1
         if inserted:
             self._num_rows += inserted
-            self._sealed = None
             self._indexes = {}
         return inserted
 
+    def insert_columns(self, columns: Sequence[ColumnChunk]) -> int:
+        """Bulk-append already-typed column arrays (the vectorised ingest
+        fast path -- no per-cell ``coerce_to_type``, text dictionary-encoded
+        via ``np.unique``). Returns the number of rows appended."""
+        count = validate_chunk(self.schema, columns)
+        if count == 0:
+            return 0
+        # Preserve arrival order: any row-at-a-time values buffered so far
+        # become their own backlog batch before this chunk is appended.
+        self._flush_pending_to_backlog()
+        self._backlog.append(
+            [
+                _encode_chunk(column_def.sql_type, data, null)
+                for column_def, (data, null) in zip(self.schema.columns, columns)
+            ]
+        )
+        self._num_rows += count
+        self._indexes = {}
+        return count
+
+    def _flush_pending_to_backlog(self) -> None:
+        if any(self._pending):
+            self._backlog.append(
+                [
+                    _encode_values(column_def.sql_type, values)
+                    for column_def, values in zip(self.schema.columns, self._pending)
+                ]
+            )
+            self._pending = [[] for _ in self.schema.columns]
+
     def _seal(self) -> list[_ColumnData]:
-        """Convert buffered values into typed arrays (idempotent)."""
-        if self._sealed is not None:
+        """Merge buffered values into the typed arrays (idempotent).
+
+        Incremental: batches inserted since the last seal are merged onto
+        the existing arrays in ONE multiway pass (single dictionary union
+        for text columns), so sealing stays linear in total rows no matter
+        how many flushes fed the table."""
+        self._flush_pending_to_backlog()
+        if not self._backlog:
+            if self._sealed is None:
+                self._sealed = [
+                    _encode_values(column_def.sql_type, [])
+                    for column_def in self.schema.columns
+                ]
             return self._sealed
-        sealed: list[_ColumnData] = []
-        for column_def, values in zip(self.schema.columns, self._pending):
-            column = _ColumnData(column_def.sql_type)
-            if column_def.sql_type is SqlType.TEXT:
-                column.codes, column.dictionary, column.code_of = _encode_text(values)
-            elif column_def.sql_type is SqlType.BOOLEAN:
-                data = np.empty(len(values), dtype=np.int8)
-                for i, value in enumerate(values):
-                    data[i] = -1 if value is None else int(value)
-                column.data = data
-            elif column_def.sql_type is SqlType.INTEGER:
-                data = np.zeros(len(values), dtype=np.int64)
-                null = np.zeros(len(values), dtype=bool)
-                for i, value in enumerate(values):
-                    if value is None:
-                        null[i] = True
-                    else:
-                        data[i] = value
-                column.data = data
-                column.null = null
-            else:  # FLOAT
-                data = np.zeros(len(values), dtype=np.float64)
-                null = np.zeros(len(values), dtype=bool)
-                for i, value in enumerate(values):
-                    if value is None:
-                        null[i] = True
-                    else:
-                        data[i] = value
-                column.data = data
-                column.null = null
-            sealed.append(column)
-        self._sealed = sealed
-        return sealed
+        parts = ([self._sealed] if self._sealed is not None else []) + self._backlog
+        if len(parts) == 1:
+            self._sealed = parts[0]
+        else:
+            self._sealed = [
+                _merge_many([part[position] for part in parts])
+                for position in range(len(self.schema.columns))
+            ]
+        self._backlog = []
+        return self._sealed
 
     # -- vector access (used by the vectorised executor) ------------------------
 
@@ -161,41 +236,58 @@ class ColumnTable:
         column = self._column(column_name)
         if column.sql_type is SqlType.TEXT:
             code_of = column.code_of
+            if code_of is None:
+                # Built lazily: bulk-ingest chunks skip it (the dict is an
+                # O(distinct) build only the text-probe path needs).
+                code_of = column.code_of = {
+                    value: code for code, value in enumerate(column.dictionary)
+                }
             wanted = np.array(
                 sorted({code_of[v] for v in values if isinstance(v, str) and v in code_of}),
                 dtype=np.int32,
             )
             if wanted.size == 0:
                 return np.zeros(self._num_rows, dtype=bool)
-            return _isin_sorted(column.codes, wanted)
+            return isin_sorted(column.codes, wanted)
         if column.sql_type is SqlType.BOOLEAN:
             wanted_bools = {int(bool(v)) for v in values if v is not None}
             if not wanted_bools:
                 return np.zeros(self._num_rows, dtype=bool)
             return np.isin(column.data, np.array(sorted(wanted_bools), dtype=np.int8))
-        numeric = [v for v in values if isinstance(v, (int, float)) and not isinstance(v, bool)]
+        numeric = normalize_numeric_probes(values)
         if not numeric:
             return np.zeros(self._num_rows, dtype=bool)
-        wanted_arr = np.array(sorted(set(numeric)))
-        mask = _isin_sorted(column.data, wanted_arr.astype(column.data.dtype, copy=False))
+        wanted_arr = numeric_probe_array(numeric, column.data.dtype)
+        if wanted_arr is None:
+            return np.zeros(self._num_rows, dtype=bool)
+        mask = isin_sorted(column.data, wanted_arr)
         if column.null is not None:
             mask &= ~column.null
         return mask
 
     def gather_rows(self, positions: np.ndarray) -> list[tuple]:
         """Materialise full tuples at *positions* (row-store interop and
-        result sets)."""
-        materialised = [
-            self.column_values(column.name, positions) for column in self.schema.columns
-        ]
-        rows: list[tuple] = []
-        for i in range(len(positions)):
-            row = tuple(
-                None if null[i] else _to_python(data[i])
-                for data, null in materialised
-            )
-            rows.append(row)
-        return rows
+        result sets).
+
+        Vectorised: every column is gathered with one fancy-indexing pass
+        and converted to Python values array-at-a-time; a single ``zip``
+        transposes the columns into row tuples.
+        """
+        count = len(positions)
+        if count == 0 or not self.schema.columns:
+            return [()] * count
+        lists: list[list[Any]] = []
+        for column in self.schema.columns:
+            data, null = self.column_values(column.name, positions)
+            if data.dtype == object:
+                values = data.tolist()  # text path: NULLs already None
+            else:
+                boxed = data.astype(object)
+                if null.any():
+                    boxed[null] = None
+                values = boxed.tolist()
+            lists.append(values)
+        return list(zip(*lists))
 
     # -- indexes -----------------------------------------------------------------
 
@@ -293,7 +385,174 @@ def _encode_text(values: list[Any]) -> tuple[np.ndarray, np.ndarray, dict[str, i
     return codes, dictionary, code_of
 
 
-def _isin_sorted(data: np.ndarray, sorted_values: np.ndarray) -> np.ndarray:
+def _encode_values(sql_type: SqlType, values: list[Any]) -> _ColumnData:
+    """Seal one column's buffered (already-coerced) Python values."""
+    column = _ColumnData(sql_type)
+    if sql_type is SqlType.TEXT:
+        column.codes, column.dictionary, column.code_of = _encode_text(values)
+    elif sql_type is SqlType.BOOLEAN:
+        data = np.empty(len(values), dtype=np.int8)
+        for i, value in enumerate(values):
+            data[i] = -1 if value is None else int(value)
+        column.data = data
+    else:
+        dtype = np.int64 if sql_type is SqlType.INTEGER else np.float64
+        data = np.zeros(len(values), dtype=dtype)
+        null = np.zeros(len(values), dtype=bool)
+        for i, value in enumerate(values):
+            if value is None:
+                null[i] = True
+            else:
+                data[i] = value
+        column.data = data
+        column.null = null
+    return column
+
+
+def _encode_chunk(sql_type: SqlType, data: np.ndarray, null: Optional[np.ndarray]) -> _ColumnData:
+    """Seal one bulk-ingest chunk without touching individual cells."""
+    if isinstance(data, DictEncodedText):
+        if sql_type is not SqlType.TEXT:
+            raise ExecutionError("DictEncodedText chunk on a non-text column")
+        column = _ColumnData(sql_type)
+        column.codes = data.codes
+        column.dictionary = data.dictionary
+        return column  # code_of stays lazy (built on first text probe)
+    data = np.asarray(data)
+    if null is not None:
+        null = np.asarray(null, dtype=bool)
+    column = _ColumnData(sql_type)
+    if sql_type is SqlType.TEXT:
+        if data.dtype != object:
+            data = data.astype(object)
+        if null is None:
+            null = np.fromiter((v is None for v in data), dtype=bool, count=len(data))
+        valid = data[~null] if null.any() else data
+        if len(valid):
+            dictionary, inverse = np.unique(valid, return_inverse=True)
+            dictionary = dictionary.astype(object)
+        else:
+            dictionary = np.empty(0, dtype=object)
+            inverse = np.empty(0, dtype=np.int64)
+        codes = np.full(len(data), -1, dtype=np.int32)
+        if null.any():
+            codes[~null] = inverse.astype(np.int32)
+        else:
+            codes = inverse.astype(np.int32)
+        column.codes = codes
+        column.dictionary = dictionary
+        # code_of stays lazy (built on first text probe)
+    elif sql_type is SqlType.BOOLEAN:
+        encoded = data.astype(np.int8)
+        if null is not None and null.any():
+            encoded = np.where(null, np.int8(-1), encoded)
+        column.data = encoded
+    else:
+        dtype = np.int64 if sql_type is SqlType.INTEGER else np.float64
+        if null is not None and null.any():
+            column.data = np.where(null, dtype(0), data).astype(dtype)
+            column.null = null.copy()
+        else:
+            column.data = data.astype(dtype)
+            column.null = np.zeros(len(data), dtype=bool)
+    return column
+
+
+def _merge_many(columns: list[_ColumnData]) -> _ColumnData:
+    """Concatenate sealed batches of one column (incremental seal). Text
+    dictionaries are merged by ONE sorted union across all batches, with
+    every batch's code range remapped -- one pass regardless of how many
+    batches accumulated."""
+    merged = _ColumnData(columns[0].sql_type)
+    if merged.sql_type is SqlType.TEXT:
+        dictionaries = [c.dictionary for c in columns if len(c.dictionary)]
+        if not dictionaries:
+            merged.codes = np.concatenate([c.codes for c in columns])
+            merged.dictionary = columns[0].dictionary
+            merged.code_of = columns[0].code_of
+            return merged
+        if len(dictionaries) == 1:
+            union = dictionaries[0]
+        else:
+            union = np.unique(np.concatenate(dictionaries)).astype(object)
+        code_chunks = []
+        for column in columns:
+            if column.dictionary is union or not len(column.dictionary):
+                code_chunks.append(column.codes)
+            else:
+                mapping = np.searchsorted(union, column.dictionary).astype(np.int32)
+                code_chunks.append(_remap_codes(column.codes, mapping))
+        merged.codes = np.concatenate(code_chunks)
+        merged.dictionary = union
+        return merged  # code_of stays lazy (built on first text probe)
+    merged.data = np.concatenate([c.data for c in columns])
+    if columns[0].null is not None:
+        merged.null = np.concatenate([c.null for c in columns])
+    return merged
+
+
+def _remap_codes(codes: np.ndarray, mapping: np.ndarray) -> np.ndarray:
+    """Apply a dictionary remap, passing NULL codes (-1) through."""
+    if not len(mapping):
+        return codes
+    remapped = mapping[np.maximum(codes, 0)]
+    return np.where(codes < 0, np.int32(-1), remapped)
+
+
+def normalize_numeric_probes(values: Iterable[Any]) -> set:
+    """Distinct numeric probe values of a raw ``IN`` list: NumPy scalars
+    (np.integer / np.floating, from vectorised callers) are unwrapped so
+    dtype promotion matches plain Python values; bools of either kind
+    participate as 0/1 (the engine's bool/int duality -- the row store's
+    Python-equality membership treats ``True == 1``). Shared by every
+    numeric membership path -- sargable scans, residual vector
+    expressions, and batch membership -- so the paths can never drift
+    apart again."""
+    out = set()
+    for v in values:
+        if isinstance(v, (bool, np.bool_)):
+            out.add(int(v))
+        elif isinstance(v, (int, float, np.integer, np.floating)):
+            out.add(v.item() if isinstance(v, np.generic) else v)
+    return out
+
+
+def numeric_probe_array(numeric: set, dtype: np.dtype) -> Optional[np.ndarray]:
+    """Sorted probe array for an ``IN`` scan over a numeric column of
+    *dtype*, or ``None`` when no probe can possibly match.
+
+    Integer columns compare in their own dtype so int64-scale values
+    (SuperKeys) stay exact: integral floats are converted, fractional
+    probes dropped (they can never equal an integer -- the row backend's
+    set-membership agrees), and out-of-range ints dropped rather than
+    overflowing the conversion. Float columns compare in float64, with
+    ints beyond float64 range dropped for the same reason.
+    """
+    if dtype.kind in "iu":
+        bounds = np.iinfo(dtype)
+        integral = set()
+        for value in numeric:
+            if isinstance(value, float):
+                if not value.is_integer():
+                    continue
+                value = int(value)
+            if bounds.min <= value <= bounds.max:
+                integral.add(value)
+        if not integral:
+            return None
+        return np.array(sorted(integral), dtype=dtype)
+    floats = set()
+    for value in numeric:
+        try:
+            floats.add(float(value))
+        except OverflowError:  # int beyond float64 range: cannot match
+            continue
+    if not floats:
+        return None
+    return np.array(sorted(floats), dtype=np.float64)
+
+
+def isin_sorted(data: np.ndarray, sorted_values: np.ndarray) -> np.ndarray:
     """Vectorised membership test against a sorted value array.
 
     ``searchsorted`` beats ``np.isin`` when the probe side is large and the

@@ -13,8 +13,10 @@ from __future__ import annotations
 import sys
 from typing import Any, Iterable, Iterator, Optional, Sequence
 
+import numpy as np
+
 from ...errors import CatalogError, ExecutionError
-from ..types import coerce_to_type
+from ..types import SqlType, coerce_to_type
 from .catalog import TableSchema
 
 # Approximate per-value heap costs used by the storage accounting that
@@ -63,6 +65,33 @@ class RowTable:
                 if value is not None:
                     index.setdefault(value, []).append(row_id)
         return inserted
+
+    def insert_columns(self, columns) -> int:
+        """Bulk-append typed ``(data, null_mask)`` column chunks.
+
+        The row-store counterpart of :meth:`ColumnTable.insert_columns`:
+        values arrive already typed from the vectorised ingest, so the
+        per-cell ``coerce_to_type`` dispatch is skipped and tuples are
+        built with one ``zip`` transpose. Indexes are maintained in place.
+        """
+        from .column_store import validate_chunk
+
+        count = validate_chunk(self.schema, columns)
+        if count == 0:
+            return 0
+        lists = [
+            _chunk_to_python(column_def.sql_type, data, null)
+            for column_def, (data, null) in zip(self.schema.columns, columns)
+        ]
+        start = len(self._rows)
+        self._rows.extend(zip(*lists))
+        for column_name, index in self._indexes.items():
+            position = self.schema.position_of(column_name)
+            values = lists[position]
+            for offset, value in enumerate(values):
+                if value is not None:
+                    index.setdefault(value, []).append(start + offset)
+        return count
 
     def scan(self) -> Iterator[tuple]:
         """Iterate all rows in insertion order."""
@@ -148,6 +177,40 @@ class RowTable:
             index_bytes += len(index) * (_BYTES_POINTER_PAIR)
             index_bytes += sum(len(postings) for postings in index.values()) * _BYTES_PER_POINTER
         return row_bytes + index_bytes
+
+
+def _chunk_to_python(sql_type: SqlType, data, null) -> list:
+    """One bulk-ingest column as a list of stored Python values (matching
+    what ``coerce_to_type`` would have produced)."""
+    from .column_store import DictEncodedText
+
+    if isinstance(data, DictEncodedText):
+        codes = data.codes
+        if not len(data.dictionary):  # all-NULL chunk
+            return [None] * len(codes)
+        gathered = data.dictionary[np.maximum(codes, 0)]
+        values = gathered.tolist()
+        if (codes < 0).any():
+            return [
+                None if code < 0 else value for code, value in zip(codes.tolist(), values)
+            ]
+        return values
+    if data.dtype == object:
+        values = list(data)
+    else:
+        values = data.astype(object).tolist()
+    if sql_type is SqlType.BOOLEAN:
+        if null is not None and null.any():
+            nulls = null.tolist()
+            return [
+                None if is_null or v is None or v < 0 else bool(v)
+                for v, is_null in zip(values, nulls)
+            ]
+        return [None if v is None or v < 0 else bool(v) for v in values]
+    if null is not None and null.any():
+        nulls = null.tolist()
+        return [None if is_null else v for v, is_null in zip(values, nulls)]
+    return values
 
 
 _BYTES_POINTER_PAIR = 2 * _BYTES_PER_POINTER

@@ -1,11 +1,20 @@
 """The unified BLEND index: XASH super keys, Quadrant bits, the AllTables
-builder, lake statistics, and Table VIII storage accounting."""
+builder, lake statistics, and Table VIII storage accounting.
+
+The AllTables builder ships two byte-identical pipelines: the default
+**vectorised** fast path (per-flush token factorisation, batch XASH over
+unique tokens via ``xash_batch``, segmented super-key OR-reduction,
+quadrant bits from ``column_quadrant_matrix``, bulk ``insert_columns``
+appends) and the scalar cell-at-a-time reference
+(``IndexConfig(vectorized=False)``), retained as the test oracle.
+``benchmarks/run_bench.py`` tracks the speedup in ``BENCH_index.json``.
+"""
 
 from .alltables import ALLTABLES_SCHEMA, IndexBuildReport, IndexConfig, build_alltables, index_table
-from .quadrant import column_means, quadrant_bit, split_keys_by_target
+from .quadrant import column_means, column_quadrant_matrix, quadrant_bit, split_keys_by_target
 from .stats import LakeStatistics
 from .storage_model import StorageBreakdown, format_bytes, measure_breakdown
-from .xash import may_contain, super_key, tuple_hash, xash
+from .xash import may_contain, super_key, tuple_hash, xash, xash_batch
 
 __all__ = [
     "ALLTABLES_SCHEMA",
@@ -14,6 +23,7 @@ __all__ = [
     "build_alltables",
     "index_table",
     "column_means",
+    "column_quadrant_matrix",
     "quadrant_bit",
     "split_keys_by_target",
     "LakeStatistics",
@@ -24,4 +34,5 @@ __all__ = [
     "super_key",
     "tuple_hash",
     "xash",
+    "xash_batch",
 ]

@@ -14,20 +14,36 @@ Quadrant (bool/NULL)  BLEND's reformulated QCR statistic
 
 Two in-database hash indexes (CellValue, TableId) provide fast value
 look-up and table loading. All seekers run as SQL over this one relation.
+
+Two build pipelines produce identical output:
+
+* the **vectorised** path (default): each table's cells are normalised
+  into arrays once, XASH runs over the table's *unique* tokens only
+  (:func:`repro.index.xash.xash_batch`) and is broadcast back with an
+  inverse index, super keys are OR-reduced per row with
+  ``np.bitwise_or.reduceat``, quadrant bits come from one matrix pass,
+  and the result is appended through the typed ``insert_columns`` bulk
+  API -- no per-cell Python dispatch anywhere on the hot path;
+* the **scalar** path (``IndexConfig(vectorized=False)``): the original
+  cell-at-a-time loop, kept as the reference oracle -- tests assert the
+  two produce byte-identical ``AllTables`` rows.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..engine.database import Database
+from ..engine.storage.column_store import DictEncodedText
 from ..errors import IndexingError
 from ..lake.datalake import DataLake
 from ..lake.table import normalize_cell
-from .quadrant import column_means, quadrant_bit
-from .xash import DEFAULT_HASH_SIZE, DEFAULT_NUM_CHARS, super_key
+from .quadrant import column_means, column_quadrant_matrix, quadrant_bit
+from .xash import DEFAULT_HASH_SIZE, DEFAULT_NUM_CHARS, super_key, xash_batch
 
 ALLTABLES_SCHEMA = [
     ("CellValue", "nvarchar"),
@@ -38,10 +54,18 @@ ALLTABLES_SCHEMA = [
     ("Quadrant", "boolean"),
 ]
 
+# Bulk-ingest flush threshold (index rows buffered before insert_columns).
+_FLUSH_ROWS = 200_000
+
 
 @dataclass(frozen=True)
 class IndexConfig:
-    """Offline-phase knobs."""
+    """Offline-phase knobs.
+
+    ``hash_size`` > 63 (MATE's 128-bit XASH variant) only fits the row
+    backend -- the column store's ``SuperKey`` column is int64, and both
+    build pipelines reject the combination up front.
+    """
 
     table_name: str = "AllTables"
     hash_size: int = DEFAULT_HASH_SIZE
@@ -50,6 +74,7 @@ class IndexConfig:
     shuffle_seed: int = 0
     build_value_index: bool = True
     build_table_index: bool = True
+    vectorized: bool = True  # False: scalar reference path (test oracle)
 
 
 @dataclass(frozen=True)
@@ -81,9 +106,270 @@ def build_alltables(
             f"database already contains {config.table_name!r}; "
             "drop it or index into a fresh database"
         )
+    _check_hash_width(config, db)
     db.create_table(config.table_name, ALLTABLES_SCHEMA)
     rng = random.Random(config.shuffle_seed)
 
+    if config.vectorized:
+        null_cells = _ingest_vectorized(lake, db, config, rng)
+    else:
+        null_cells = _ingest_scalar(lake, db, config, rng)
+
+    if config.build_value_index:
+        db.create_index(config.table_name, "CellValue")
+    if config.build_table_index:
+        db.create_index(config.table_name, "TableId")
+
+    return IndexBuildReport(
+        table_name=config.table_name,
+        num_tables=len(lake),
+        num_index_rows=db.num_rows(config.table_name),
+        num_null_cells=null_cells,
+        storage_bytes=db.storage_bytes(config.table_name),
+    )
+
+
+def _check_hash_width(config: IndexConfig, db: Database) -> None:
+    """Reject super keys that cannot be stored, with a clear error instead
+    of an OverflowError deep inside the ingest."""
+    if config.hash_size > 63 and db.backend == "column":
+        raise IndexingError(
+            f"hash_size={config.hash_size} super keys exceed the column "
+            "store's int64 SuperKey column; use hash_size <= 63 or the "
+            "row backend"
+        )
+
+
+# --------------------------------------------------------------------------
+# Vectorised pipeline
+# --------------------------------------------------------------------------
+
+
+class _TableParts:
+    """Pre-hash arrays of one lake table: per-cell token codes and
+    quadrant bits, full cell-matrix length (nulls still in place, coded
+    ``-1``). Token resolution and hashing are deferred to flush time so
+    XASH and the dictionary sort run once per ~200k-cell buffer rather
+    than once per table."""
+
+    __slots__ = ("table_id", "codes", "quadrant", "num_rows", "num_cols")
+
+    def __init__(self, table_id, codes, quadrant, num_rows, num_cols):
+        self.table_id = table_id
+        self.codes = codes
+        self.quadrant = quadrant
+        self.num_rows = num_rows
+        self.num_cols = num_cols
+
+
+class _TokenFactorizer:
+    """Streaming cell -> token-code factorisation (one dict probe per cell).
+
+    ``value_code`` memoises whole cell values (hit for every repeated
+    cell, the common case in skewed lake distributions); ``tokens`` grows
+    in first-seen order and is sorted once per flush. NULL-normalising
+    cells code to ``-1``. Booleans are special-cased up front: ``True ==
+    1`` and ``False == 0`` in Python, so they must never share memo slots
+    with the numbers they compare equal to.
+    """
+
+    __slots__ = ("value_code", "token_code", "tokens", "numeric_memo")
+
+    def __init__(self) -> None:
+        self.value_code: dict = {}
+        self.token_code: dict = {}
+        self.tokens: list[str] = []
+        self.numeric_memo: dict = {}  # numeric_value cache for quadrants
+
+    def factorize(self, rows, n_cells: int) -> np.ndarray:
+        """Row-major int32 code array for all cells of *rows*."""
+        value_code = self.value_code
+        get = value_code.get
+        out: list[int] = []
+        append = out.append
+        true_code = false_code = None
+        for row in rows:
+            for value in row:
+                if value is None:
+                    append(-1)
+                elif value is True:
+                    if true_code is None:
+                        true_code = self._token_code("true")
+                    append(true_code)
+                elif value is False:
+                    if false_code is None:
+                        false_code = self._token_code("false")
+                    append(false_code)
+                else:
+                    code = get(value)
+                    if code is None:
+                        token = normalize_cell(value)
+                        code = -1 if token is None else self._token_code(token)
+                        value_code[value] = code
+                    append(code)
+        codes = np.empty(n_cells, dtype=np.int32)
+        codes[:] = out
+        return codes
+
+    def _token_code(self, token: str) -> int:
+        code = self.token_code.get(token)
+        if code is None:
+            code = len(self.tokens)
+            self.token_code[token] = code
+            self.tokens.append(token)
+        return code
+
+
+def _ingest_vectorized(
+    lake: DataLake, db: Database, config: IndexConfig, rng: random.Random
+) -> int:
+    null_cells = 0
+    buffer: list[_TableParts] = []
+    buffered = 0
+    factorizer = _TokenFactorizer()
+    for table_id, table in enumerate(lake):
+        perm: Optional[list[int]] = None
+        if config.shuffle_rows:
+            # Shuffling an index list consumes the identical rng sequence
+            # as shuffling the row list itself, so RowIds match the
+            # scalar path permutation exactly.
+            perm = list(range(table.num_rows))
+            rng.shuffle(perm)
+        parts = _table_parts(table_id, table, factorizer, perm)
+        if parts is not None:
+            buffer.append(parts)
+            buffered += len(parts.codes)
+        if buffered >= _FLUSH_ROWS:
+            null_cells += _hash_and_insert(db, config, buffer, factorizer)[1]
+            buffer, buffered = [], 0
+            factorizer = _TokenFactorizer()
+    if buffer:
+        null_cells += _hash_and_insert(db, config, buffer, factorizer)[1]
+    return null_cells
+
+
+def _table_parts(
+    table_id: int,
+    table,
+    factorizer: _TokenFactorizer,
+    perm: Optional[list[int]] = None,
+) -> Optional[_TableParts]:
+    """Normalise one lake table into flat code arrays (row-major emission
+    order, identical to the scalar loop); ``None`` for empty tables."""
+    n_rows, n_cols = table.num_rows, table.num_columns
+    n_cells = n_rows * n_cols
+    if n_cells == 0:
+        return None
+
+    _, quad = column_quadrant_matrix(table, factorizer.numeric_memo)
+    rows = table.rows
+    if perm is not None:
+        rows = [rows[i] for i in perm]
+        quad = quad[np.asarray(perm, dtype=np.int64)]
+
+    codes = factorizer.factorize(rows, n_cells)
+    return _TableParts(table_id, codes, quad.reshape(-1), n_rows, n_cols)
+
+
+def _hash_and_insert(
+    db: Database,
+    config: IndexConfig,
+    buffer: list[_TableParts],
+    factorizer: _TokenFactorizer,
+) -> tuple[int, int]:
+    """Hash one buffered batch of tables and bulk-append it.
+
+    XASH runs over the batch's *unique* tokens only and is broadcast back
+    through the cell code array; super keys are OR-reduced per (table,
+    row) segment in one ``reduceat`` over the whole buffer. Returns
+    ``(rows_inserted, null_cells)``.
+    """
+    raw_codes = _concat([parts.codes for parts in buffer])
+    quadrant = _concat([parts.quadrant for parts in buffer])
+    non_null = raw_codes >= 0
+    null_count = len(raw_codes) - int(non_null.sum())
+    if null_count == len(raw_codes):
+        return 0, null_count
+
+    # Sort the first-seen-order token list into the store's dictionary
+    # order and remap the per-cell codes through the permutation; the
+    # sorted array doubles as the CellValue dictionary, so the store
+    # skips its own np.unique pass.
+    tokens = np.empty(len(factorizer.tokens), dtype=object)
+    tokens[:] = factorizer.tokens
+    order = np.argsort(tokens)
+    sorted_tokens = tokens[order]
+    remap = np.empty(len(tokens), dtype=np.int32)
+    remap[order] = np.arange(len(tokens), dtype=np.int32)
+
+    cell_codes = raw_codes[non_null]
+    final_codes = remap[cell_codes]
+    encoded_values = DictEncodedText(final_codes, sorted_tokens)
+
+    unique_hashes = xash_batch(
+        factorizer.tokens, config.hash_size, config.xash_chars
+    )
+    cell_hashes = unique_hashes[cell_codes]
+
+    # Per-table id columns, filtered by the buffer-wide non-null mask.
+    column_ids = _concat(
+        [
+            np.tile(np.arange(parts.num_cols, dtype=np.int64), parts.num_rows)
+            for parts in buffer
+        ]
+    )[non_null]
+    row_ids_full = _concat(
+        [
+            np.repeat(np.arange(parts.num_rows, dtype=np.int64), parts.num_cols)
+            for parts in buffer
+        ]
+    )
+    table_ids = np.repeat(
+        np.array([parts.table_id for parts in buffer], dtype=np.int64),
+        np.array([len(parts.codes) for parts in buffer], dtype=np.int64),
+    )[non_null]
+
+    # Global row numbering across the buffer keeps every (table, row)
+    # segment contiguous and ascending, so one segmented OR covers all
+    # buffered tables; rows with no non-null cells never appear and rows
+    # never span flushes (tables are buffered whole). Derived from the
+    # already-built local row ids by shifting each table's span.
+    offsets = np.cumsum([0] + [parts.num_rows for parts in buffer][:-1])
+    cells_per_table = np.array([len(parts.codes) for parts in buffer], dtype=np.int64)
+    global_rows = (row_ids_full + np.repeat(offsets, cells_per_table))[non_null]
+    total_rows = int(offsets[-1]) + buffer[-1].num_rows
+    counts = np.bincount(global_rows, minlength=total_rows)
+    occupied = counts > 0
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    super_keys = np.zeros(total_rows, dtype=unique_hashes.dtype)
+    super_keys[occupied] = np.bitwise_or.reduceat(cell_hashes, starts[occupied])
+
+    inserted = db.insert_columns(
+        config.table_name,
+        [
+            (encoded_values, None),
+            (table_ids, None),
+            (column_ids, None),
+            (row_ids_full[non_null], None),
+            (super_keys[global_rows], None),
+            (quadrant[non_null], None),
+        ],
+    )
+    return inserted, null_count
+
+
+def _concat(arrays: list[np.ndarray]) -> np.ndarray:
+    return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+
+# --------------------------------------------------------------------------
+# Scalar reference pipeline (the seed implementation, kept as test oracle)
+# --------------------------------------------------------------------------
+
+
+def _ingest_scalar(
+    lake: DataLake, db: Database, config: IndexConfig, rng: random.Random
+) -> int:
     index_rows: list[tuple] = []
     null_cells = 0
     for table_id, table in enumerate(lake):
@@ -109,24 +395,12 @@ def build_alltables(
                     )
                 )
         # Flush per table to bound peak memory on large lakes.
-        if len(index_rows) >= 200_000:
+        if len(index_rows) >= _FLUSH_ROWS:
             db.insert(config.table_name, index_rows)
             index_rows.clear()
     if index_rows:
         db.insert(config.table_name, index_rows)
-
-    if config.build_value_index:
-        db.create_index(config.table_name, "CellValue")
-    if config.build_table_index:
-        db.create_index(config.table_name, "TableId")
-
-    return IndexBuildReport(
-        table_name=config.table_name,
-        num_tables=len(lake),
-        num_index_rows=db.num_rows(config.table_name),
-        num_null_cells=null_cells,
-        storage_bytes=db.storage_bytes(config.table_name),
-    )
+    return null_cells
 
 
 def index_table(
@@ -140,12 +414,22 @@ def index_table(
     The single-relation design is what makes maintenance this simple
     (paper §V: heterogeneous per-system indexes are the alternative) --
     appending a table is a plain INSERT; the in-database hash indexes
-    absorb the new rows. Returns the number of index rows added.
+    absorb the new rows. Uses the same vectorised chunk builder as
+    ``build_alltables`` (or the scalar loop under
+    ``IndexConfig(vectorized=False)``). Returns the number of index rows
+    added.
     """
     if not db.has_table(config.table_name):
         raise IndexingError(
             f"no {config.table_name!r} relation; run build_alltables first"
         )
+    _check_hash_width(config, db)
+    if config.vectorized:
+        factorizer = _TokenFactorizer()
+        parts = _table_parts(table_id, table, factorizer)
+        if parts is None:
+            return 0
+        return _hash_and_insert(db, config, [parts], factorizer)[0]
     means = column_means(table)
     rows: list[tuple] = []
     for row_id, row in enumerate(table.rows):

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
+import numpy as np
+
 from ..lake.table import Cell, Table, numeric_value
 
 
@@ -51,6 +53,67 @@ def quadrant_bit(value: Cell, mean: Optional[float]) -> Optional[bool]:
     if numeric is None:
         return None
     return numeric >= mean
+
+
+_MISSING = object()
+
+
+def column_quadrant_matrix(
+    table: Table, memo: Optional[dict] = None
+) -> tuple[list[Optional[float]], np.ndarray]:
+    """Vectorised ``column_means`` + ``quadrant_bit`` over a whole table.
+
+    Returns ``(means, bits)`` where *bits* is a ``num_rows x num_columns``
+    ``int8`` matrix holding the Quadrant column entries in storage form
+    (``-1`` NULL, else 0/1). Bit-identical to calling the scalar functions
+    per cell: numeric cells are extracted once per column, the mean uses
+    the same sequential float summation as :func:`column_means`, and the
+    comparison ``value >= mean`` runs as one array op.
+
+    *memo* optionally caches ``numeric_value`` per distinct cell value
+    across calls (``numeric_value`` is pure). Booleans bypass it --
+    ``True == 1`` would otherwise alias their dict slots.
+    """
+    flags = table.numeric_columns()
+    n_rows, n_cols = table.num_rows, table.num_columns
+    means: list[Optional[float]] = []
+    bits = np.full((n_rows, n_cols), -1, dtype=np.int8)
+    rows = table.rows
+    if memo is None:
+        memo = {}
+    memo_get = memo.get
+    for position in range(n_cols):
+        if not flags[position]:
+            means.append(None)
+            continue
+        values = np.empty(n_rows, dtype=np.float64)
+        is_none = np.zeros(n_rows, dtype=bool)
+        for i, row in enumerate(rows):
+            value = row[position]
+            if value is True or value is False:
+                numeric = None
+            else:
+                numeric = memo_get(value, _MISSING)
+                if numeric is _MISSING:
+                    numeric = numeric_value(value)
+                    memo[value] = numeric
+            if numeric is None:
+                is_none[i] = True
+                values[i] = np.nan
+            else:
+                values[i] = numeric
+        count = n_rows - int(is_none.sum())
+        if count == 0:
+            means.append(None)
+            continue
+        # Sequential Python-float summation in row order: identical
+        # rounding to the scalar ``column_means`` accumulation loop.
+        mean = sum(values[~is_none].tolist()) / count
+        means.append(mean)
+        column_bits = (values >= mean).astype(np.int8)  # NaN -> 0, as scalar
+        column_bits[is_none] = -1
+        bits[:, position] = column_bits
+    return means, bits
 
 
 def split_keys_by_target(

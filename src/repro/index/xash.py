@@ -19,7 +19,9 @@ in the column store; MATE's 128-bit variant is available via ``hash_size``.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Optional
+from typing import Iterable, Optional, Sequence
+
+import numpy as np
 
 from ..lake.table import Cell, normalize_cell
 
@@ -80,6 +82,109 @@ def xash(
         mask |= 1 << bit
     return _rotate_left(mask, length, hash_size)
 
+
+
+# ASCII-indexed view of _CHAR_FREQUENCY for the vectorised path. Index 128
+# is a shared "unknown" slot (frequency 0.0); every key in the table is
+# ASCII, so clipping codes to 128 preserves the scalar lookup semantics.
+_FREQ_TABLE = np.zeros(129, dtype=np.float64)
+for _char, _freq in _CHAR_FREQUENCY.items():
+    _FREQ_TABLE[ord(_char)] = _freq
+del _char, _freq
+
+# Rank key = frequency * _POSITION_SCALE + position. Frequencies differ by
+# >= 0.01, so any two distinct frequencies are separated by >= 1e7 key
+# units -- far above any realistic token length -- while the sum stays well
+# inside float64's 2^53 exact-integer range.
+_POSITION_SCALE = 1e9
+
+# Tokens longer than this fall back to the scalar path inside xash_batch
+# (the batch matrix pads every token to the longest, so outliers would
+# blow up memory quadratically with the per-row sorts).
+_MAX_VECTOR_TOKEN_LEN = 64
+
+
+def xash_batch(
+    tokens: Sequence[str],
+    hash_size: int = DEFAULT_HASH_SIZE,
+    num_chars: int = DEFAULT_NUM_CHARS,
+) -> np.ndarray:
+    """Vectorised :func:`xash` over a batch of normalised tokens.
+
+    Bit-identical to calling ``xash`` per token; the offline indexer calls
+    this over each table's *unique* tokens and broadcasts the result back
+    with an inverse index, replacing the per-call cached loop.
+
+    The final left-rotation by token length distributes over the OR of
+    single-bit masks, so it is folded into the per-bit position arithmetic
+    (``(bit + len) % hash_size``) and no wide-integer rotate is needed.
+
+    Returns an ``int64`` array when ``hash_size <= 63`` (the column-store
+    ``SuperKey`` width) and an object array of Python ints otherwise
+    (MATE's 128-bit variant).
+    """
+    n = len(tokens)
+    wide = hash_size > 63
+    out_dtype = object if wide else np.int64
+    if n == 0:
+        return np.empty(0, dtype=out_dtype)
+    lengths = np.fromiter((len(t) for t in tokens), dtype=np.int64, count=n)
+    if int(lengths.max()) > _MAX_VECTOR_TOKEN_LEN:
+        # The vector path pads every token to the batch maximum, so one
+        # huge cell (embedded JSON, long description) would inflate the
+        # UCS4 matrix to n x max_len. Outlier-long tokens take the scalar
+        # path instead; the rest stay vectorised at bounded width.
+        out = np.empty(n, dtype=out_dtype)
+        long_mask = lengths > _MAX_VECTOR_TOKEN_LEN
+        short_positions = np.nonzero(~long_mask)[0]
+        out[short_positions] = xash_batch(
+            [tokens[i] for i in short_positions], hash_size, num_chars
+        )
+        for i in np.nonzero(long_mask)[0]:
+            out[i] = xash(tokens[i], hash_size, num_chars)
+        return out
+    arr = np.asarray(tokens, dtype=np.str_)
+    width = arr.dtype.itemsize // 4
+    if width == 0:
+        return np.zeros(n, dtype=out_dtype)
+    codes = np.ascontiguousarray(arr).view(np.uint32).reshape(n, width)
+    positions = np.arange(width, dtype=np.int64)
+    pad = positions[None, :] >= lengths[:, None]
+
+    # Duplicate characters: keep only each character's first occurrence
+    # (the scalar path dedups before ranking). A stable per-row sort by
+    # character code puts the earliest occurrence of each code first; any
+    # later equal neighbour is a duplicate, scattered back to token order.
+    order = np.argsort(codes, axis=1, kind="stable")
+    sorted_codes = np.take_along_axis(codes, order, axis=1)
+    dup_sorted = np.zeros((n, width), dtype=bool)
+    dup_sorted[:, 1:] = sorted_codes[:, 1:] == sorted_codes[:, :-1]
+    dup = np.zeros((n, width), dtype=bool)
+    np.put_along_axis(dup, order, dup_sorted, axis=1)
+
+    key = _FREQ_TABLE[np.minimum(codes, 128)] * _POSITION_SCALE
+    key = key + positions[None, :]
+    key[pad | dup] = np.inf
+
+    select = np.argsort(key, axis=1, kind="stable")[:, :num_chars]
+    valid = np.isfinite(np.take_along_axis(key, select, axis=1))
+    chosen_codes = np.take_along_axis(codes, select, axis=1)
+
+    char_space = max(1, hash_size // _LOCATION_BUCKETS)
+    char_slot = (chosen_codes.astype(np.uint64) * np.uint64(_SPREAD_PRIME)) % np.uint64(char_space)
+    safe_len = np.maximum(lengths, 1)[:, None]
+    location = np.minimum(_LOCATION_BUCKETS - 1, (select * _LOCATION_BUCKETS) // safe_len)
+    bit = (char_slot * np.uint64(_LOCATION_BUCKETS) + location.astype(np.uint64)) % np.uint64(hash_size)
+    # Fold the length rotation into the bit position (see docstring).
+    final_bit = (bit + lengths[:, None].astype(np.uint64)) % np.uint64(hash_size)
+
+    if not wide:
+        bits = np.where(valid, np.uint64(1) << final_bit, np.uint64(0))
+        return np.bitwise_or.reduce(bits, axis=1).astype(np.int64)
+    ones = np.ones(final_bit.shape, dtype=object)
+    bits = np.left_shift(ones, final_bit.astype(object))
+    bits[~valid] = 0
+    return np.bitwise_or.reduce(bits, axis=1)
 
 
 def super_key(

@@ -1,0 +1,59 @@
+"""Smoke test for the indexing micro-benchmark harness
+(``benchmarks/bench_index_build.py`` + ``run_bench.py``): tiny lake,
+well-formed ``BENCH_index.json`` payload, and the committed artefact's
+schema."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+sys.path.insert(0, str(BENCHMARKS_DIR))
+
+from bench_index_build import PHASES, format_report, run_benchmark  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_benchmark(seed=3, scale=0.05)
+
+
+def test_all_phases_present(results):
+    assert set(results) >= set(PHASES)
+
+
+def test_payload_well_formed(results, tmp_path):
+    for numbers in results.values():
+        assert numbers["seconds"] >= 0
+        assert numbers["rows_per_sec"] > 0
+    payload = json.dumps(results, indent=2)
+    (tmp_path / "BENCH_index.json").write_text(payload)
+    assert json.loads(payload) == results
+
+
+def test_report_renders(results):
+    text = format_report(results)
+    assert "build speedup" in text and "ingest speedup" in text
+
+
+def test_committed_artifact_schema():
+    artifact = BENCHMARKS_DIR.parent / "BENCH_index.json"
+    assert artifact.exists(), "BENCH_index.json must be committed (run run_bench.py)"
+    payload = json.loads(artifact.read_text())
+    assert set(payload) >= set(PHASES)
+    for numbers in payload.values():
+        assert set(numbers) == {"seconds", "rows_per_sec"}
+    # The PR's acceptance bar, as measured on the committed run.
+    speedup = payload["build_scalar"]["seconds"] / payload["build_vectorized"]["seconds"]
+    assert speedup >= 5.0
+
+
+def test_run_bench_cli(tmp_path):
+    from run_bench import main
+
+    out = tmp_path / "BENCH_index.json"
+    assert main(["--seed", "3", "--scale", "0.05", "--output", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert set(payload) >= set(PHASES)

@@ -1,0 +1,276 @@
+"""The typed bulk-append path (``insert_columns``): equivalence with the
+row-at-a-time path, incremental sealing, dictionary merging, and the
+numeric ``isin_mask`` / ``gather_rows`` satellites."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database
+from repro.engine.storage.column_store import ColumnTable, DictEncodedText
+from repro.errors import ExecutionError
+
+SCHEMA = [("v", "nvarchar"), ("n", "integer"), ("f", "float"), ("b", "boolean")]
+
+ROWS = [
+    ("x", 1, 1.5, True),
+    (None, None, None, None),
+    ("a", 7, 0.5, False),
+    ("x", -3, 2.25, None),
+]
+
+
+def _chunk_for(rows):
+    """ROWS-shaped python rows as (data, null) column chunks."""
+    text = np.array([r[0] for r in rows], dtype=object)
+    ints = np.array([r[1] if r[1] is not None else 0 for r in rows], dtype=np.int64)
+    int_null = np.array([r[1] is None for r in rows])
+    floats = np.array([r[2] if r[2] is not None else 0.0 for r in rows])
+    float_null = np.array([r[2] is None for r in rows])
+    bools = np.array(
+        [-1 if r[3] is None else int(r[3]) for r in rows], dtype=np.int8
+    )
+    return [(text, None), (ints, int_null), (floats, float_null), (bools, None)]
+
+
+@pytest.mark.parametrize("backend", ["row", "column"])
+class TestInsertColumnsEquivalence:
+    def test_matches_insert_rows(self, backend):
+        via_rows = Database(backend=backend)
+        via_rows.create_table("t", SCHEMA)
+        via_rows.insert("t", ROWS)
+
+        via_columns = Database(backend=backend)
+        via_columns.create_table("t", SCHEMA)
+        assert via_columns.insert_columns("t", _chunk_for(ROWS)) == len(ROWS)
+
+        select = "SELECT v, n, f, b FROM t"
+        assert via_columns.execute(select).rows == via_rows.execute(select).rows
+
+    def test_interleaved_with_insert_rows(self, backend):
+        db = Database(backend=backend)
+        db.create_table("t", SCHEMA)
+        db.insert("t", ROWS[:2])
+        db.execute("SELECT * FROM t")  # force a seal between batches
+        db.insert_columns("t", _chunk_for(ROWS[2:]))
+        db.insert("t", [("tail", 99, 9.5, True)])
+        got = db.execute("SELECT v, n FROM t").rows
+        assert got == [(r[0], r[1]) for r in ROWS] + [("tail", 99)]
+
+    def test_indexes_serve_bulk_rows(self, backend):
+        db = Database(backend=backend)
+        db.create_table("t", SCHEMA)
+        db.create_index("t", "v")
+        db.insert_columns("t", _chunk_for(ROWS))
+        got = db.execute("SELECT n FROM t WHERE v IN ('x')").rows
+        assert sorted(got) == [(-3,), (1,)]
+
+    def test_width_mismatch_rejected(self, backend):
+        db = Database(backend=backend)
+        db.create_table("t", SCHEMA)
+        with pytest.raises(ExecutionError):
+            db.insert_columns("t", _chunk_for(ROWS)[:2])
+
+    def test_ragged_chunk_rejected(self, backend):
+        db = Database(backend=backend)
+        db.create_table("t", SCHEMA)
+        chunk = _chunk_for(ROWS)
+        chunk[1] = (chunk[1][0][:2], None)
+        with pytest.raises(ExecutionError):
+            db.insert_columns("t", chunk)
+
+    def test_dict_encoded_text_chunk(self, backend):
+        db = Database(backend=backend)
+        db.create_table("t", SCHEMA)
+        codes = np.array([1, -1, 0, 1], dtype=np.int32)
+        dictionary = np.array(["a", "x"], dtype=object)
+        chunk = _chunk_for(ROWS)
+        chunk[0] = (DictEncodedText(codes, dictionary), None)
+        db.insert_columns("t", chunk)
+        assert db.execute("SELECT v FROM t").column() == ["x", None, "a", "x"]
+
+    def test_all_null_dict_encoded_chunk(self, backend):
+        # Empty dictionary + all -1 codes must store NULLs, not crash.
+        db = Database(backend=backend)
+        db.create_table("t", [("v", "text")])
+        chunk = DictEncodedText(
+            np.array([-1, -1], dtype=np.int32), np.array([], dtype=object)
+        )
+        assert db.insert_columns("t", [(chunk, None)]) == 2
+        assert db.execute("SELECT v FROM t").column() == [None, None]
+
+
+class TestIncrementalSeal:
+    """Sealing must merge new batches instead of rebuilding from scratch
+    (the pending buffer is consumed, text dictionaries are merged)."""
+
+    def test_text_dictionary_merge_across_chunks(self):
+        db = Database(backend="column")
+        db.create_table("t", [("v", "text")])
+        db.insert_columns("t", [(np.array(["m", "c"], dtype=object), None)])
+        db.execute("SELECT * FROM t")
+        db.insert_columns("t", [(np.array(["a", "m", "z"], dtype=object), None)])
+        table: ColumnTable = db.table("t")
+        assert db.execute("SELECT v FROM t").column() == ["m", "c", "a", "m", "z"]
+        # dictionary stays sorted + deduplicated after the merge
+        codes, dictionary = table.text_codes("v")
+        assert list(dictionary) == ["a", "c", "m", "z"]
+        assert codes.tolist() == [2, 1, 0, 2, 3]
+
+    def test_pending_buffer_consumed_by_seal(self):
+        db = Database(backend="column")
+        db.create_table("t", [("n", "integer")])
+        db.insert("t", [(1,), (2,)])
+        db.execute("SELECT * FROM t")
+        table: ColumnTable = db.table("t")
+        assert all(not pending for pending in table._pending)
+        db.insert("t", [(3,)])
+        assert db.execute("SELECT n FROM t ORDER BY n").column() == [1, 2, 3]
+
+    def test_many_unread_chunks_merge_in_order(self):
+        # The backlog path: F flushes with no read in between must merge
+        # once, in arrival order, including interleaved row inserts.
+        db = Database(backend="column")
+        db.create_table("t", [("v", "text"), ("n", "integer")])
+        expected = []
+        for batch in range(6):
+            tokens = [f"tok{batch}", f"tok{batch - 1}"]
+            db.insert_columns(
+                "t",
+                [
+                    (np.array(tokens, dtype=object), None),
+                    (np.array([batch, batch]), None),
+                ],
+            )
+            expected += list(zip(tokens, [batch, batch]))
+            db.insert("t", [(f"row{batch}", batch)])
+            expected.append((f"row{batch}", batch))
+        assert db.execute("SELECT v, n FROM t").rows == expected
+
+    def test_superkey_scale_membership_exact(self):
+        # Non-indexed sargable membership on int64 values above 2^53 must
+        # not alias through float64.
+        db = Database(backend="column")
+        db.create_table("t", [("k", "bigint"), ("g", "integer")])
+        big = 2**62
+        db.insert("t", [(big, 0), (big + 1, 0), (big + 2, 1)])
+        got = db.execute(
+            "SELECT k FROM t WHERE k IN (:ks) AND g IN (:gs)",
+            {"ks": [big + 1], "gs": [0, 1]},
+        ).rows
+        assert got == [(big + 1,)]
+
+    def test_group_and_filter_after_merge(self):
+        db = Database(backend="column")
+        db.create_table("t", [("v", "text"), ("n", "integer")])
+        db.insert_columns(
+            "t", [(np.array(["p", "q"], dtype=object), None), (np.arange(2), None)]
+        )
+        db.insert_columns(
+            "t", [(np.array(["q", "p"], dtype=object), None), (np.arange(2, 4), None)]
+        )
+        got = db.execute(
+            "SELECT v, COUNT(*), SUM(n) FROM t GROUP BY v ORDER BY v"
+        ).rows
+        assert got == [("p", 2, 3), ("q", 2, 3)]
+
+
+class TestNumericIsinMask:
+    """Satellite fix: NumPy integer/float scalars must probe numeric
+    columns instead of silently yielding an empty mask."""
+
+    @pytest.fixture
+    def table(self) -> ColumnTable:
+        db = Database(backend="column")
+        db.create_table("t", [("n", "integer"), ("f", "float")])
+        db.insert("t", [(1, 0.5), (2, 1.5), (None, None), (7, 2.5)])
+        return db.table("t")
+
+    def test_numpy_integer_probe(self, table):
+        mask = table.isin_mask("n", [np.int64(2), np.int32(7)])
+        assert mask.tolist() == [False, True, False, True]
+
+    def test_numpy_float_probe(self, table):
+        mask = table.isin_mask("f", [np.float64(1.5)])
+        assert mask.tolist() == [False, True, False, False]
+
+    def test_numpy_float_probe_on_int_column(self, table):
+        mask = table.isin_mask("n", [np.float64(7.0)])
+        assert mask.tolist() == [False, False, False, True]
+
+    def test_bool_probes_follow_int_duality(self, table):
+        # True == 1 in the engine's comparison semantics (and the row
+        # store's set membership), so bool probes match 0/1 values.
+        assert table.isin_mask("n", [np.bool_(True)]).tolist() == [True, False, False, False]
+        assert table.isin_mask("n", [False]).tolist() == [False, False, False, False]
+
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    def test_bool_predicate_after_index_scan_agrees(self, backend):
+        # A boolean sargable predicate evaluated AFTER an index-driven scan
+        # (the batch-membership path) must agree with the row backend.
+        db = Database(backend=backend)
+        db.create_table("t", [("n", "bigint"), ("b", "boolean")])
+        db.create_index("t", "n")
+        db.insert("t", [(1, True), (2, False), (3, True)])
+        got = db.execute("SELECT n FROM t WHERE n IN (1, 2, 3) AND b = TRUE").rows
+        assert sorted(got) == [(1,), (3,)]
+
+    def test_large_int64_exact(self):
+        db = Database(backend="column")
+        db.create_table("t", [("k", "bigint")])
+        big = 2**62 + 3
+        db.insert("t", [(big,), (big + 1,)])
+        mask = db.table("t").isin_mask("k", [np.int64(big)])
+        assert mask.tolist() == [True, False]
+
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    def test_hostile_numeric_probes_agree_across_backends(self, backend):
+        # Out-of-range ints must not overflow; fractional probes must not
+        # truncate-match; float-integral probes match (as in the row store).
+        db = Database(backend=backend)
+        db.create_table("s", [("key", "bigint"), ("g", "integer")])
+        base = 2**61 + 7
+        db.insert("s", [(base + i, i % 2) for i in range(6)])
+        sql = "SELECT key FROM s WHERE key IN (:ks) AND g IN (:gs)"
+        assert db.execute(sql, {"ks": [base + 2, base + 5], "gs": [0]}).rows == [(base + 2,)]
+        assert db.execute("SELECT key FROM s WHERE key IN (:ks)", {"ks": [2**70]}).rows == []
+        assert db.execute("SELECT g FROM s WHERE g IN (:gs)", {"gs": [1.5]}).rows == []
+        assert len(db.execute("SELECT g FROM s WHERE g IN (:gs)", {"gs": [1.0]}).rows) == 3
+        # residual (non-sargable) IN must be int64-exact too: OR keeps the
+        # predicate out of the scan pushdown, exercising the vectorised
+        # expression path on the column backend.
+        residual = "SELECT key FROM s WHERE key IN (:ks) OR g = :never"
+        hit = db.execute(residual, {"ks": [base + 1], "never": 99}).rows
+        miss = db.execute(residual, {"ks": [base + 1 + 2**53], "never": 99}).rows
+        assert hit == [(base + 1,)]
+        assert miss == []
+        # numpy scalars and beyond-float64 ints through the residual path
+        np_hit = db.execute(residual, {"ks": [np.int64(base + 1)], "never": 99}).rows
+        assert np_hit == [(base + 1,)]
+        assert db.execute(residual, {"ks": [10**400], "never": 99}).rows == []
+
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    def test_huge_int_probe_on_float_column(self, backend):
+        db = Database(backend=backend)
+        db.create_table("f", [("x", "float")])
+        db.insert("f", [(1.5,)])
+        got = db.execute("SELECT x FROM f WHERE x IN (:v)", {"v": [10**400, 1.5]}).rows
+        assert got == [(1.5,)]
+
+
+class TestGatherRows:
+    def test_matches_expected_python_values(self):
+        db = Database(backend="column")
+        db.create_table("t", SCHEMA)
+        db.insert("t", ROWS)
+        table: ColumnTable = db.table("t")
+        got = table.gather_rows(np.array([3, 0, 1]))
+        assert got == [("x", -3, 2.25, None), ("x", 1, 1.5, 1), (None, None, None, None)]
+        assert all(
+            value is None or type(value) in (str, int, float) for row in got for value in row
+        )
+
+    def test_empty_positions(self):
+        db = Database(backend="column")
+        db.create_table("t", SCHEMA)
+        db.insert("t", ROWS)
+        assert db.table("t").gather_rows(np.array([], dtype=np.int64)) == []

@@ -1,0 +1,127 @@
+"""The Database plan cache: templates plan once per (sql, backend, param
+shape), rebinding fresh parameter values must not leak state between
+executions, and schema changes invalidate cached plans."""
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import PlanningError
+
+
+@pytest.fixture(params=["row", "column"])
+def db(request) -> Database:
+    database = Database(backend=request.param)
+    database.create_table("t", [("v", "text"), ("g", "integer"), ("n", "integer")])
+    database.insert(
+        "t",
+        [
+            ("a", 0, 1),
+            ("b", 0, 2),
+            ("c", 1, 3),
+            ("d", 1, 4),
+            ("e", 2, 5),
+        ],
+    )
+    return database
+
+
+SQL_IN = "SELECT v, n FROM t WHERE v IN (:tokens) ORDER BY n"
+
+
+class TestCacheHits:
+    def test_repeat_execution_hits(self, db):
+        db.execute(SQL_IN, {"tokens": ["a", "b"]})
+        stats = db.plan_cache_stats()
+        assert stats["misses"] >= 1 and stats["hits"] == 0
+        db.execute(SQL_IN, {"tokens": ["a", "b"]})
+        assert db.plan_cache_stats()["hits"] == 1
+        assert db.last_stats.plan_cache_hit is True
+
+    def test_first_execution_reports_miss(self, db):
+        result = db.execute(SQL_IN, {"tokens": ["a"]})
+        assert result.stats.plan_cache_hit is False
+
+    def test_shape_change_is_separate_entry(self, db):
+        # list vs scalar binding of the same IN parameter: distinct keys.
+        db.execute(SQL_IN, {"tokens": ["a", "b"]})
+        db.execute(SQL_IN, {"tokens": "a"})
+        stats = db.plan_cache_stats()
+        assert stats["misses"] >= 2 and stats["hits"] == 0
+
+    def test_null_equality_shape(self, db):
+        # '=' against NULL is not sargable; '=' against a value is. The
+        # shape key separates them and both give correct SQL semantics.
+        sql = "SELECT n FROM t WHERE v = :p"
+        assert db.execute(sql, {"p": "a"}).column() == [1]
+        assert db.execute(sql, {"p": None}).column() == []
+        assert db.execute(sql, {"p": "b"}).column() == [2]
+        stats = db.plan_cache_stats()
+        assert stats["misses"] >= 2 and stats["hits"] == 1
+
+    def test_lru_eviction_bounded(self, db):
+        for i in range(Database.PLAN_CACHE_SIZE + 10):
+            db.execute(f"SELECT n FROM t WHERE n = {i}")
+        assert db.plan_cache_stats()["size"] <= Database.PLAN_CACHE_SIZE
+
+
+class TestRebindingNoLeak:
+    def test_different_in_lists(self, db):
+        first = db.execute(SQL_IN, {"tokens": ["a", "b"]}).rows
+        second = db.execute(SQL_IN, {"tokens": ["c"]}).rows
+        third = db.execute(SQL_IN, {"tokens": ["a", "e"]}).rows
+        assert first == [("a", 1), ("b", 2)]
+        assert second == [("c", 3)]
+        assert third == [("a", 1), ("e", 5)]
+        assert db.plan_cache_stats()["hits"] == 2
+
+    def test_rewrite_ids_rebind(self, db):
+        # The seeker rewrite pattern: same SQL, different :__rewrite_ids.
+        sql = "SELECT v FROM t WHERE v IN (:tokens) AND g IN (:__rewrite_ids)"
+        tokens = ["a", "b", "c", "d", "e"]
+        assert db.execute(sql, {"tokens": tokens, "__rewrite_ids": [0]}).column() == ["a", "b"]
+        assert db.execute(sql, {"tokens": tokens, "__rewrite_ids": [1, 2]}).column() == ["c", "d", "e"]
+        assert db.execute(sql, {"tokens": tokens, "__rewrite_ids": []}).column() == []
+        assert db.execute(sql, {"tokens": ["e"], "__rewrite_ids": [2]}).column() == ["e"]
+        assert db.plan_cache_stats()["hits"] == 3
+
+    def test_limit_parameter_rebinds(self, db):
+        sql = "SELECT n FROM t ORDER BY n DESC LIMIT :k"
+        assert db.execute(sql, {"k": 2}).column() == [5, 4]
+        assert db.execute(sql, {"k": 4}).column() == [5, 4, 3, 2]
+        assert db.execute(sql, {"k": 0}).column() == []
+        assert db.plan_cache_stats()["hits"] == 2
+
+    def test_limit_validation_on_rebind(self, db):
+        sql = "SELECT n FROM t LIMIT :k"
+        db.execute(sql, {"k": 1})
+        with pytest.raises(PlanningError):
+            db.execute(sql, {"k": -1})
+
+    def test_equality_parameter_rebinds(self, db):
+        sql = "SELECT n FROM t WHERE v = :p"
+        assert db.execute(sql, {"p": "a"}).column() == [1]
+        assert db.execute(sql, {"p": "d"}).column() == [4]
+        assert db.execute(sql, {"p": "zz"}).column() == []
+        assert db.plan_cache_stats()["hits"] == 2
+
+    def test_residual_parameters_stay_runtime_bound(self, db):
+        # Parameters outside sargable position bind at execution time;
+        # the cached plan must not pin the first value.
+        sql = "SELECT v FROM t WHERE n + 0 = :target"
+        assert db.execute(sql, {"target": 3}).column() == ["c"]
+        assert db.execute(sql, {"target": 5}).column() == ["e"]
+
+
+class TestInvalidation:
+    def test_drop_and_recreate_table(self, db):
+        db.execute(SQL_IN, {"tokens": ["a"]})
+        db.drop_table("t")
+        db.create_table("t", [("x", "integer"), ("v", "text"), ("n", "integer")])
+        db.insert("t", [(0, "a", 9)])
+        # Same SQL against the new layout must re-plan, not reuse positions.
+        assert db.execute(SQL_IN, {"tokens": ["a"]}).rows == [("a", 9)]
+
+    def test_plan_api_not_cached(self, db):
+        plan_a = db.plan(SQL_IN, {"tokens": ["a"]})
+        plan_b = db.plan(SQL_IN, {"tokens": ["a"]})
+        assert plan_a is not plan_b

@@ -1,0 +1,178 @@
+"""Vectorised AllTables ingest vs the scalar reference oracle.
+
+The acceptance bar for the columnar fast path: *byte-identical*
+``AllTables`` rows (same values, same physical order) and identical
+seeker rankings, under both storage backends and both shuffle modes.
+"""
+
+import pytest
+
+from repro.core.seekers import SeekerContext, Seekers
+from repro.engine import Database
+from repro.index import IndexConfig, build_alltables
+from repro.index.alltables import index_table
+from repro.lake import DataLake, Table
+from repro.lake.generators import CorpusConfig, generate_corpus
+
+
+def _edge_lake() -> DataLake:
+    """Hand-built tables exercising every normalisation edge: NULLs,
+    empty/whitespace strings, bools (True == 1 hazards), numeric strings,
+    floats that normalise to ints, NaN/inf, all-null rows, repeated
+    values, and a 1-column table."""
+    lake = DataLake("edges")
+    lake.add(
+        Table(
+            "mixed",
+            ["name", "value", "flag"],
+            [
+                ("Alice", 10, True),
+                ("bob ", 20.0, False),
+                ("", None, None),
+                (None, None, None),
+                ("alice", "30", True),
+                ("carol", float("nan"), False),
+                ("dave", float("inf"), True),
+                ("1", 1, True),  # token collision with bool/int forms
+            ],
+        )
+    )
+    lake.add(Table("single", ["only"], [("x",), (None,), ("x",), ("Y",)]))
+    lake.add(
+        Table(
+            "numbers",
+            ["k", "n", "m"],
+            [(f"k{i}", i, i * 1.5) for i in range(25)],
+        )
+    )
+    return lake
+
+
+def _generated_lake() -> DataLake:
+    return generate_corpus(
+        CorpusConfig(name="vec_parity", num_tables=40, min_rows=10, max_rows=60, seed=77)
+    )
+
+
+@pytest.fixture(scope="module", params=["edge", "generated"])
+def parity_lake(request):
+    return _edge_lake() if request.param == "edge" else _generated_lake()
+
+
+class TestBitIdenticalBuild:
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    @pytest.mark.parametrize("shuffle", [False, True])
+    def test_rows_identical(self, parity_lake, backend, shuffle):
+        results = {}
+        for vectorized in (False, True):
+            db = Database(backend=backend)
+            report = build_alltables(
+                parity_lake,
+                db,
+                IndexConfig(vectorized=vectorized, shuffle_rows=shuffle, shuffle_seed=11),
+            )
+            # Physical insertion order, no ORDER BY: byte-identical means
+            # identical storage order too.
+            results[vectorized] = (db.execute("SELECT * FROM AllTables").rows, report)
+        rows_scalar, report_scalar = results[False]
+        rows_vector, report_vector = results[True]
+        assert rows_vector == rows_scalar
+        assert report_vector == report_scalar
+
+    def test_report_counts(self, parity_lake):
+        db = Database(backend="column")
+        report = build_alltables(parity_lake, db, IndexConfig(vectorized=True))
+        assert report.num_index_rows == db.num_rows("AllTables")
+        assert report.num_tables == len(parity_lake)
+
+
+class TestIncrementalParity:
+    def test_index_table_matches_scalar(self):
+        new_table = Table(
+            "t_new", ["a", "b"], [("p", 1), (None, 2), ("q", None), (None, None)]
+        )
+        rows = {}
+        for vectorized in (False, True):
+            lake = _edge_lake()
+            db = Database(backend="column")
+            build_alltables(lake, db, IndexConfig(vectorized=vectorized))
+            added = index_table(len(lake), new_table, db, IndexConfig(vectorized=vectorized))
+            assert added == 4
+            rows[vectorized] = db.execute("SELECT * FROM AllTables").rows
+        assert rows[True] == rows[False]
+
+    @pytest.mark.parametrize("vectorized", [False, True])
+    def test_128_bit_rejected_on_column_store_up_front(self, vectorized):
+        from repro.errors import IndexingError
+
+        lake = _edge_lake()
+        db = Database(backend="column")
+        with pytest.raises(IndexingError, match="int64 SuperKey"):
+            build_alltables(lake, db, IndexConfig(hash_size=128, vectorized=vectorized))
+
+    def test_128_bit_builds_on_row_store(self):
+        lake = _edge_lake()
+        rows = {}
+        for vectorized in (False, True):
+            db = Database(backend="row")
+            build_alltables(lake, db, IndexConfig(hash_size=128, vectorized=vectorized))
+            rows[vectorized] = db.execute("SELECT * FROM AllTables").rows
+        assert rows[True] == rows[False]
+        assert any(row[4] >= 2**63 for row in rows[True])  # real 128-bit keys
+
+    def test_index_empty_table_is_noop(self):
+        lake = _edge_lake()
+        db = Database(backend="column")
+        build_alltables(lake, db)
+        before = db.num_rows("AllTables")
+        assert index_table(99, Table("empty", ["c"], []), db) == 0
+        assert db.num_rows("AllTables") == before
+
+
+class TestSeekerRankingsIdentical:
+    """The end-to-end bar: both build paths must give every seeker the
+    same answer."""
+
+    @pytest.fixture(scope="class")
+    def contexts(self):
+        lake = _generated_lake()
+        out = []
+        for vectorized in (False, True):
+            db = Database(backend="column")
+            build_alltables(lake, db, IndexConfig(vectorized=vectorized))
+            out.append(SeekerContext(db=db, lake=lake))
+        return out
+
+    def _query_values(self, lake):
+        table = lake.by_id(0)
+        column = table.columns[0]
+        return [v for v in table.column_values(column) if v is not None][:8]
+
+    def test_sc_and_kw(self, contexts):
+        values = self._query_values(contexts[0].lake)
+        for seeker in (Seekers.SC(values, k=5), Seekers.KW(values, k=5)):
+            ranked = [seeker.execute(ctx).table_ids() for ctx in contexts]
+            assert ranked[0] == ranked[1]
+
+    def test_mc(self, contexts):
+        table = contexts[0].lake.by_id(0)
+        rows = [r for r in table.rows if all(v is not None for v in r[:2])][:6]
+        seeker = Seekers.MC([r[:2] for r in rows], k=5)
+        ranked = [seeker.execute(ctx).table_ids() for ctx in contexts]
+        assert ranked[0] == ranked[1]
+
+    def test_correlation(self, contexts):
+        lake = contexts[0].lake
+        pair = None
+        for table in lake:
+            flags = table.numeric_columns()
+            if any(flags) and not all(flags):
+                key_col = table.columns[flags.index(False)]
+                num_col = table.columns[flags.index(True)]
+                pair = (table.column_values(key_col), table.column_values(num_col))
+                break
+        if pair is None:
+            pytest.skip("generated lake has no (text, numeric) column pair")
+        seeker = Seekers.Correlation(pair[0], pair[1], k=5, min_support=2)
+        ranked = [seeker.execute(ctx).table_ids() for ctx in contexts]
+        assert ranked[0] == ranked[1]

@@ -1,0 +1,100 @@
+"""Batch-XASH equivalence: ``xash_batch`` must be bit-identical to the
+scalar ``xash`` / ``super_key`` reference for arbitrary tokens, row widths,
+and both the 63-bit (column-store) and 128-bit (MATE) hash sizes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.xash import super_key, xash, xash_batch
+from repro.lake.table import normalize_cell
+
+# Unicode-heavy token alphabet: frequency-table characters, characters
+# outside the table, multi-byte code points, and the null character.
+TOKENS = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789 -._/ABCÉØπ中文ß\x00",
+    min_size=1,
+    max_size=24,
+)
+
+HASH_SIZES = st.sampled_from([63, 128])
+NUM_CHARS = st.integers(min_value=1, max_value=4)
+
+
+class TestBatchEqualsScalar:
+    @given(tokens=st.lists(TOKENS, min_size=1, max_size=40), hash_size=HASH_SIZES, num_chars=NUM_CHARS)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_xash(self, tokens, hash_size, num_chars):
+        batch = xash_batch(tokens, hash_size, num_chars)
+        assert len(batch) == len(tokens)
+        for token, hashed in zip(tokens, batch):
+            assert int(hashed) == xash(token, hash_size, num_chars)
+
+    @given(hash_size=HASH_SIZES)
+    @settings(max_examples=10, deadline=None)
+    def test_empty_batch(self, hash_size):
+        out = xash_batch([], hash_size)
+        assert len(out) == 0
+
+    def test_dtype_by_hash_size(self):
+        assert xash_batch(["alpha"], 63).dtype == np.int64
+        assert xash_batch(["alpha"], 128).dtype == object
+
+    def test_63_bit_fits_signed_int64(self):
+        tokens = [f"token-{i}" for i in range(500)]
+        batch = xash_batch(tokens, 63)
+        assert int(batch.max()) < 2**63
+        assert int(batch.min()) >= 0
+
+    def test_128_bit_values_match_and_exceed_64_bits(self):
+        tokens = [f"value {i} xyz" for i in range(200)]
+        batch = xash_batch(tokens, 128)
+        assert all(int(h) == xash(t, 128) for t, h in zip(tokens, batch))
+        assert any(int(h) >= 2**64 for h in batch)  # rotation reaches high bits
+
+    def test_duplicate_chars_deduplicated_like_scalar(self):
+        # "zza": the duplicate 'z' must not displace 'a' from the top-2.
+        for token in ("zza", "aabbcc", "zzzzzz", "abab"):
+            assert int(xash_batch([token])[0]) == xash(token)
+
+    def test_accepts_object_arrays(self):
+        tokens = np.array(["x", "yy", "zzz"], dtype=object)
+        assert [int(v) for v in xash_batch(tokens)] == [xash("x"), xash("yy"), xash("zzz")]
+
+    @pytest.mark.parametrize("hash_size", [63, 128])
+    def test_outlier_long_tokens_fall_back_to_scalar(self, hash_size):
+        # One huge token must not inflate the padded batch matrix -- long
+        # tokens take the scalar path, still bit-identical.
+        tokens = ["short", "x" * 65, "y" * 5000, "z" * 64]
+        batch = xash_batch(tokens, hash_size)
+        assert [int(v) for v in batch] == [xash(t, hash_size) for t in tokens]
+
+    def test_all_long_tokens(self):
+        tokens = ["a" * 100, "b" * 200]
+        assert [int(v) for v in xash_batch(tokens)] == [xash(t) for t in tokens]
+
+
+class TestBatchSuperKeys:
+    """OR-reduction over batch hashes equals the scalar super_key."""
+
+    @given(
+        rows=st.lists(
+            st.lists(TOKENS, min_size=1, max_size=6), min_size=1, max_size=12
+        ),
+        hash_size=HASH_SIZES,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_row_or_reduction(self, rows, hash_size):
+        for row in rows:
+            tokens = [normalize_cell(v) for v in row]
+            tokens = [t for t in tokens if t is not None]
+            expected = super_key(row, hash_size)
+            if not tokens:
+                assert expected == 0
+                continue
+            hashes = xash_batch(tokens, hash_size)
+            key = 0
+            for hashed in hashes:
+                key |= int(hashed)
+            assert key == expected
