@@ -1,17 +1,23 @@
 #!/usr/bin/env python
-"""Entry point for the indexing micro-benchmark: runs
-``bench_index_build`` with a fixed seed and emits ``BENCH_index.json``
-(schema ``{phase: {"seconds": ..., "rows_per_sec": ...}}``) so future PRs
-can diff the perf trajectory.
+"""Entry point for the perf-trajectory micro-benchmarks.
+
+Two suites, each emitting one committed JSON artefact at the repo root:
+
+* ``--suite index`` (default): ``bench_index_build`` ->
+  ``BENCH_index.json`` (schema ``{phase: {"seconds": ...,
+  "rows_per_sec": ...}}``);
+* ``--suite seeker``: ``bench_seeker`` -> ``BENCH_seeker.json`` (schema
+  ``{phase: {"seconds": ..., "queries_per_sec": ...}}``), asserting the
+  scalar MC oracle agrees with the batched pipeline before timing;
+* ``--suite all``: both.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_bench.py [--seed N] [--scale S]
-        [--output PATH] [--repeat R]
+    PYTHONPATH=src python benchmarks/run_bench.py [--suite S] [--seed N]
+        [--scale S] [--output PATH] [--repeat R]
 
 ``--repeat`` keeps the fastest-of-R result per phase, damping scheduler
-noise. The default output path is ``BENCH_index.json`` at the repo root
-(the committed artefact).
+noise. ``--output`` overrides the artefact path for single-suite runs.
 """
 
 from __future__ import annotations
@@ -24,31 +30,51 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-from bench_index_build import DEFAULT_SEED, format_report, run_benchmark  # noqa: E402
+import bench_index_build  # noqa: E402
+import bench_seeker  # noqa: E402
+
+DEFAULT_SEED = bench_index_build.DEFAULT_SEED
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+SUITES = {
+    "index": (bench_index_build, _REPO_ROOT / "BENCH_index.json"),
+    "seeker": (bench_seeker, _REPO_ROOT / "BENCH_seeker.json"),
+}
+
+
+def _run_suite(module, output: Path, args) -> None:
+    best: dict[str, dict[str, float]] = {}
+    for _ in range(max(1, args.repeat)):
+        results = module.run_benchmark(seed=args.seed, scale=args.scale)
+        for phase, numbers in results.items():
+            if phase not in best or numbers["seconds"] < best[phase]["seconds"]:
+                best[phase] = numbers
+
+    output.write_text(json.dumps(best, indent=2) + "\n", encoding="utf-8")
+    print(module.format_report(best))
+    print(f"[written to {output}]")
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--suite", choices=(*SUITES, "all"), default="index")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--scale", type=float, default=1.0, help="lake size multiplier")
     parser.add_argument("--repeat", type=int, default=1, help="keep fastest of N runs")
     parser.add_argument(
         "--output",
         type=Path,
-        default=Path(__file__).resolve().parent.parent / "BENCH_index.json",
+        default=None,
+        help="artefact path override (single-suite runs only)",
     )
     args = parser.parse_args(argv)
 
-    best: dict[str, dict[str, float]] = {}
-    for _ in range(max(1, args.repeat)):
-        results = run_benchmark(seed=args.seed, scale=args.scale)
-        for phase, numbers in results.items():
-            if phase not in best or numbers["seconds"] < best[phase]["seconds"]:
-                best[phase] = numbers
-
-    args.output.write_text(json.dumps(best, indent=2) + "\n", encoding="utf-8")
-    print(format_report(best))
-    print(f"[written to {args.output}]")
+    selected = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.output is not None and len(selected) > 1:
+        parser.error("--output requires a single --suite")
+    for name in selected:
+        module, default_output = SUITES[name]
+        _run_suite(module, args.output or default_output, args)
     return 0
 
 

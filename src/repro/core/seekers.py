@@ -19,10 +19,17 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
+import numpy as np
+
 from ..engine.database import Database
 from ..errors import SeekerError
 from ..index.quadrant import split_keys_by_target
-from ..index.xash import may_contain, tuple_hash
+from ..index.xash import (
+    may_contain,
+    may_contain_batch,
+    tuple_hash,
+    tuple_hashes_batch,
+)
 from ..lake.datalake import DataLake
 from ..lake.table import Cell, Table, normalize_cell
 from .results import ResultList, TableHit
@@ -59,6 +66,11 @@ class SeekerContext:
     ``semantic`` is the optional vector index of the semantic extension
     (:mod:`repro.core.semantic`); ``None`` unless the deployment called
     ``Blend.enable_semantic()``.
+
+    ``vectorized`` selects the batched MC phase-2/3 pipeline (the
+    default); ``False`` runs the seed scalar phases, kept as the
+    reference oracle exactly like ``IndexConfig(vectorized=False)`` on
+    the offline side.
     """
 
     db: Database
@@ -67,6 +79,7 @@ class SeekerContext:
     hash_size: int = 63
     xash_chars: int = 2
     semantic: Optional[Any] = None
+    vectorized: bool = True
 
 
 def _normalize_values(values: Iterable[Cell]) -> list[str]:
@@ -255,6 +268,14 @@ class MultiColumnSeeker(Seeker):
         self.width = widths.pop()
         if self.width < 2:
             raise SeekerError("MC seeker requires a composite key (>= 2 columns)")
+        # Lazy per-(hash_size, xash_chars) tuple-hash arrays and the
+        # factorized validation requirements (built on first vectorized
+        # execution, reused across executions and rewrites). The cell
+        # memo persists across executions too: the query vocabulary is
+        # fixed per seeker, so a lake cell's code never changes.
+        self._hash_cache: dict[tuple[int, int], np.ndarray] = {}
+        self._requirements: Optional[_QueryRequirements] = None
+        self._cell_memo: dict[Any, int] = {}
 
     def column_tokens(self, position: int) -> list[str]:
         """Distinct tokens of one query column."""
@@ -294,6 +315,8 @@ class MultiColumnSeeker(Seeker):
         return params
 
     def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        if context.vectorized:
+            return self._execute_vectorized(context, rewrite)
         candidates = self.fetch_candidates(context, rewrite)
         filtered = self.superkey_filter(candidates, context)
         validated = self.validate(filtered, context)
@@ -303,6 +326,25 @@ class MultiColumnSeeker(Seeker):
         ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
         return ResultList(
             TableHit(table_id, float(count)) for table_id, count in ranked[: self.k]
+        )
+
+    def _execute_vectorized(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> ResultList:
+        """The batched pipeline: columnar candidate fetch, one bitwise
+        pass for phase 2, per-table factorized validation for phase 3."""
+        table_ids, row_ids, super_keys = self.fetch_candidate_arrays(context, rewrite)
+        table_ids, row_ids = self.superkey_filter_batch(
+            table_ids, row_ids, super_keys, context
+        )
+        table_ids, row_ids = self.validate_batch(table_ids, row_ids, context)
+        if len(table_ids) == 0:
+            return ResultList([])
+        unique_tables, counts = np.unique(table_ids, return_counts=True)
+        ranked = np.lexsort((unique_tables, -counts))
+        return ResultList(
+            TableHit(int(unique_tables[i]), float(counts[i]))
+            for i in ranked[: self.k]
         )
 
     # -- the three MC phases, exposed for tests and Table V ------------------------
@@ -343,12 +385,151 @@ class MultiColumnSeeker(Seeker):
         validated: list[tuple[int, int]] = []
         for table_id, row_id in candidates:
             table = context.lake.by_id(table_id)
-            if row_id >= table.num_rows:
-                continue
+            if not 0 <= row_id < table.num_rows:
+                continue  # stale index rows; negatives must not wrap
             row_tokens = [normalize_cell(v) for v in table.rows[row_id]]
             if _row_contains_any_tuple(row_tokens, query_tuples, self.width):
                 validated.append((table_id, row_id))
         return validated
+
+    # -- batched phases (the vectorized pipeline; scalar methods above are
+    # -- the reference oracle) -----------------------------------------------------
+
+    def fetch_candidate_arrays(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Phase 1, array form: deduplicated ``(TableId, RowId, SuperKey)``
+        columns straight from the executor -- no per-row Python tuples."""
+        sql = self.sql(rewrite).format(index=context.index_table)
+        result = context.db.execute_columnar(sql, self.params(rewrite))
+        table_ids = result.arrays[0][0]
+        row_ids = result.arrays[1][0]
+        super_keys = result.arrays[2][0]
+        if len(table_ids) == 0:
+            return table_ids, row_ids, super_keys
+        order = np.lexsort((row_ids, table_ids))
+        table_ids = table_ids[order]
+        row_ids = row_ids[order]
+        super_keys = super_keys[order]
+        first = np.ones(len(table_ids), dtype=bool)
+        first[1:] = (table_ids[1:] != table_ids[:-1]) | (row_ids[1:] != row_ids[:-1])
+        return table_ids[first], row_ids[first], super_keys[first]
+
+    def superkey_filter_batch(
+        self,
+        table_ids: np.ndarray,
+        row_ids: np.ndarray,
+        super_keys: np.ndarray,
+        context: SeekerContext,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Phase 2, array form: one bitwise-AND pass per distinct query
+        hash over the full candidate array."""
+        mask = may_contain_batch(super_keys, self._tuple_hash_array(context))
+        return table_ids[mask], row_ids[mask]
+
+    def validate_batch(
+        self, table_ids: np.ndarray, row_ids: np.ndarray, context: SeekerContext
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Phase 3, array form: survivors grouped per table, each table's
+        candidate rows gathered in one lake call, then ONE global
+        containment check over factorized token codes.
+
+        A row contains a tuple row-aligned iff, for every distinct token
+        of the tuple, the row holds at least as many cells with that token
+        as the tuple does (Hall's condition -- positions of distinct
+        tokens are disjoint, so the bipartite matching of the scalar
+        oracle decomposes into per-token counts). For tuples without
+        repeated tokens -- the overwhelmingly common case -- that is a
+        presence check, evaluated for all (row, tuple) pairs at once as
+        an integer matmul against the tuple-incidence matrix.
+        """
+        if len(table_ids) == 0:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        requirements = self._query_requirements()
+        order = np.argsort(table_ids, kind="stable")
+        sorted_tables = table_ids[order]
+        sorted_rows = row_ids[order]
+        boundaries = np.nonzero(sorted_tables[1:] != sorted_tables[:-1])[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(sorted_tables)]))
+        kept_tables: list[np.ndarray] = []
+        kept_rows: list[np.ndarray] = []
+        gathered: list[tuple] = []
+        for start, end in zip(starts, ends):
+            table_id = int(sorted_tables[start])
+            kept, rows = context.lake.gather_rows(table_id, sorted_rows[start:end])
+            if not rows:
+                continue
+            kept_tables.append(np.full(len(kept), table_id, dtype=np.int64))
+            kept_rows.append(np.asarray(kept, dtype=np.int64))
+            gathered.extend(rows)
+        if not gathered:
+            return (
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        counts = _token_count_matrix(
+            gathered, requirements.vocabulary, self._cell_memo
+        )
+        valid = np.zeros(len(gathered), dtype=bool)
+        if requirements.incidence is not None:
+            hits = (counts > 0).astype(np.int32) @ requirements.incidence
+            valid |= (hits == requirements.widths).any(axis=1)
+        for codes, required in requirements.multisets:
+            valid |= (counts[:, codes] >= required).all(axis=1)
+        all_tables = np.concatenate(kept_tables)
+        all_rows = np.concatenate(kept_rows)
+        return all_tables[valid], all_rows[valid]
+
+    def _tuple_hash_array(self, context: SeekerContext) -> np.ndarray:
+        """Distinct query-tuple hashes, computed once per hash config."""
+        key = (context.hash_size, context.xash_chars)
+        cached = self._hash_cache.get(key)
+        if cached is None:
+            distinct = list(dict.fromkeys(self.tuples))
+            cached = np.unique(tuple_hashes_batch(distinct, *key))
+            self._hash_cache[key] = cached
+        return cached
+
+    def _query_requirements(self) -> "_QueryRequirements":
+        """The factorized containment requirements of this query, built
+        once: token -> dense code vocabulary, a (vocab x tuples)
+        incidence matrix for repeat-free tuples, and explicit
+        ``(codes, counts)`` multisets for tuples with repeated tokens."""
+        if self._requirements is None:
+            vocabulary: dict[str, int] = {}
+            simple: list[list[int]] = []
+            multisets: list[tuple[np.ndarray, np.ndarray]] = []
+            for query_tuple in dict.fromkeys(self.tuples):
+                needed: dict[int, int] = {}
+                for token in query_tuple:
+                    code = vocabulary.setdefault(token, len(vocabulary))
+                    needed[code] = needed.get(code, 0) + 1
+                if all(count == 1 for count in needed.values()):
+                    simple.append(list(needed))
+                else:
+                    multisets.append(
+                        (
+                            np.fromiter(needed.keys(), dtype=np.int64, count=len(needed)),
+                            np.fromiter(needed.values(), dtype=np.int64, count=len(needed)),
+                        )
+                    )
+            incidence: Optional[np.ndarray] = None
+            widths = np.empty(0, dtype=np.int32)
+            if simple:
+                incidence = np.zeros((len(vocabulary), len(simple)), dtype=np.int32)
+                for column, codes in enumerate(simple):
+                    incidence[codes, column] = 1
+                widths = np.fromiter(
+                    (len(codes) for codes in simple), dtype=np.int32, count=len(simple)
+                )
+            self._requirements = _QueryRequirements(
+                vocabulary, incidence, widths, multisets
+            )
+        return self._requirements
 
     def query_cardinality(self) -> int:
         return sum(len(self.column_tokens(i)) for i in range(self.width))
@@ -361,6 +542,54 @@ class MultiColumnSeeker(Seeker):
         for i in range(self.width):
             tokens.extend(self.column_tokens(i))
         return tokens
+
+
+@dataclass(frozen=True)
+class _QueryRequirements:
+    """Factorized containment requirements of one MC query.
+
+    ``incidence``/``widths`` cover tuples without repeated tokens (a row
+    contains such a tuple iff its token-presence vector hits the tuple's
+    full width); ``multisets`` lists the rare repeated-token tuples as
+    explicit per-code minimum counts."""
+
+    vocabulary: dict[str, int]
+    incidence: Optional[np.ndarray]
+    widths: np.ndarray
+    multisets: list[tuple[np.ndarray, np.ndarray]]
+
+
+_MISS = object()
+
+
+def _token_count_matrix(
+    rows: list[tuple], vocabulary: dict[str, int], memo: dict[Any, int]
+) -> np.ndarray:
+    """Per-row occurrence counts of each query-vocabulary token.
+
+    One dict probe per cell: *memo* maps raw cell values to their vocab
+    code (``-1`` = not a query token), so repeated values -- the common
+    case in skewed lakes -- skip normalisation entirely. Booleans bypass
+    the memo: ``True == 1`` in Python, so they must never share memo
+    slots with the numbers they compare equal to (their *tokens* differ:
+    ``"true"`` vs ``"1"``).
+    """
+    counts = np.zeros((len(rows), len(vocabulary)), dtype=np.int32)
+    for i, row in enumerate(rows):
+        for value in row:
+            if value is None:
+                continue
+            if isinstance(value, bool):
+                code = vocabulary.get("true" if value else "false", -1)
+            else:
+                code = memo.get(value, _MISS)
+                if code is _MISS:
+                    token = normalize_cell(value)
+                    code = -1 if token is None else vocabulary.get(token, -1)
+                    memo[value] = code
+            if code >= 0:
+                counts[i, code] += 1
+    return counts
 
 
 def _row_contains_any_tuple(

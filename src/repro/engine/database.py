@@ -23,10 +23,13 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
+import numpy as np
+
 from ..errors import CatalogError, EngineError
 from .sql import ast
 from .sql.executor_column import Batch, ColumnExecutor
 from .sql.executor_row import QueryStats, RowExecutor
+from .sql.lexer import tokenize
 from .sql.parser import parse
 from .sql.planner import (
     PlanNode,
@@ -36,7 +39,7 @@ from .sql.planner import (
     rebind_plan,
 )
 from .storage.catalog import Catalog, ColumnDef, TableSchema
-from .storage.column_store import ColumnTable
+from .storage.column_store import ColumnTable, decode_if_coded
 from .storage.row_store import RowTable
 from .types import SqlType
 
@@ -74,11 +77,87 @@ class ResultSet:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
+@dataclass
+class ColumnarResult:
+    """Query result as typed ``(data, null_mask)`` column arrays.
+
+    The array-native sibling of :class:`ResultSet`, produced by
+    :meth:`Database.execute_columnar` for consumers that keep computing in
+    NumPy (the vectorised MC seeker phases)."""
+
+    columns: list[str]
+    arrays: list[tuple[np.ndarray, np.ndarray]]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return int(len(self.arrays[0][0])) if self.arrays else 0
+
+    def column(self, index: int = 0) -> np.ndarray:
+        """The data array of one output column."""
+        return self.arrays[index][0]
+
+
+def _rows_to_arrays(rows: list[tuple], width: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Transpose row tuples into typed column arrays (row-backend
+    fallback for :meth:`Database.execute_columnar`). Integer columns that
+    fit int64 become int64 (the seeker id/super-key shape); floats become
+    float64; anything mixed stays object."""
+    arrays: list[tuple[np.ndarray, np.ndarray]] = []
+    for position in range(width):
+        values = [row[position] for row in rows]
+        null = np.fromiter((v is None for v in values), dtype=bool, count=len(values))
+        data: Optional[np.ndarray] = None
+        present = [v for v in values if v is not None]
+        if present and all(
+            isinstance(v, int) and not isinstance(v, bool) for v in present
+        ):
+            try:
+                data = np.array([0 if v is None else v for v in values], dtype=np.int64)
+            except OverflowError:  # 128-bit super keys stay Python ints
+                data = None
+        elif present and all(
+            isinstance(v, (int, float)) and not isinstance(v, bool) for v in present
+        ):
+            data = np.array([0.0 if v is None else float(v) for v in values], dtype=np.float64)
+        if data is None:
+            data = np.empty(len(values), dtype=object)
+            data[:] = values
+        arrays.append((data, null))
+    return arrays
+
+
 @functools.lru_cache(maxsize=512)
 def _parse_cached(sql: str) -> ast.Select:
     """AST cache -- seeker SQL templates repeat across executions with only
     parameters changing, so parsing is amortised away."""
     return parse(sql)
+
+
+@functools.lru_cache(maxsize=2048)
+def _normalize_sql_key(sql: str) -> str:
+    """Whitespace-insensitive cache-key form of a SQL statement.
+
+    Built from the *real* lexer's token stream, so the key agrees with
+    the parser on every lexical rule -- ``--`` comments, quoted
+    identifiers, ``''`` escapes -- by construction: trivially reformatted
+    statements (newlines, indentation, comments) map to one plan-cache
+    entry, while any two statements with different token streams keep
+    distinct keys. Statements the lexer rejects key on their raw text
+    (the subsequent parse raises the real error). The raw text is still
+    what gets parsed -- this shapes only the key.
+    """
+    try:
+        tokens = tokenize(sql)
+    except EngineError:
+        # Distinct prefix: raw text (whatever it contains) can never
+        # collide with a normalised key.
+        return "raw\x00" + sql
+    # Length-prefixed records are prefix-decodable, so no token value --
+    # not even one containing a separator-looking byte inside a string
+    # literal -- can forge a token boundary and collide two statements.
+    return "tok\x00" + "".join(
+        f"{token.kind}:{len(token.value)}:{token.value}" for token in tokens
+    )
 
 
 class Database:
@@ -197,6 +276,34 @@ class Database:
         self.last_stats = stats
         return ResultSet(columns=plan.schema.names(), rows=rows, stats=stats)
 
+    def execute_columnar(self, sql: str, params: Optional[Mapping[str, Any]] = None) -> "ColumnarResult":
+        """Run a SELECT and return its result as typed column arrays.
+
+        The vectorised consumer path (the MC seeker's candidate fetch,
+        notably): on the column backend the executor's batch is handed
+        over directly -- no Python tuple materialisation at all; on the
+        row backend the row tuples are transposed into typed arrays once.
+        Each column comes back as ``(data, null_mask)`` with ``int64`` /
+        ``float64`` dtype where all values fit, object otherwise.
+        """
+        plan, cache_hit = self._cached_plan(sql, params)
+        stats = QueryStats()
+        stats.plan_cache_hit = cache_hit
+        names = plan.schema.names()
+        if self.backend == "row":
+            executor = RowExecutor(self._catalog, params, stats)
+            rows = executor.execute(plan)
+            self.last_stats = stats
+            return ColumnarResult(names, _rows_to_arrays(rows, len(names)), stats)
+        executor = ColumnExecutor(self._catalog, params, stats)
+        batch = executor.execute(plan)
+        arrays: list[tuple[np.ndarray, np.ndarray]] = []
+        for position in range(len(names)):
+            data, null = batch.column(position)
+            arrays.append((decode_if_coded(data), null))
+        self.last_stats = stats
+        return ColumnarResult(names, arrays, stats)
+
     def plan_cache_stats(self) -> dict[str, int]:
         """Plan-cache effectiveness counters (hits / misses / entries)."""
         return {
@@ -212,7 +319,7 @@ class Database:
     ) -> tuple[PlanNode, bool]:
         """The cached plan for (sql, backend, param shapes), rebound to
         *params* -- or a freshly planned (and cached) one."""
-        key = (sql, self.backend, param_shapes(params))
+        key = (_normalize_sql_key(sql), self.backend, param_shapes(params))
         plan = self._plan_cache.get(key)
         if plan is not None:
             self._plan_cache.move_to_end(key)

@@ -18,10 +18,13 @@ from ...errors import ExecutionError
 from ..storage.catalog import Catalog
 from ..storage.column_store import (
     ColumnTable,
+    DictCodes,
+    decode_if_coded,
     isin_sorted,
     normalize_numeric_probes,
     numeric_probe_array,
 )
+from ..types import SqlType
 from ..types import sort_key
 from .executor_row import QueryStats, _DescendingKey
 from .planner import (
@@ -84,7 +87,9 @@ class Batch:
                     "materialising a batch with pruned columns -- planner bug"
                 )
             data, null = column
-            if data.dtype == object:
+            if isinstance(data, DictCodes):
+                values = data.decode()
+            elif data.dtype == object:
                 values = data
             else:
                 values = data.tolist()
@@ -226,12 +231,23 @@ class ColumnExecutor:
             positions = subset if positions is None else positions[subset]
 
         required = node.required
-        columns: list = [
-            table.column_values(name, positions)
-            if required is None or position in required
-            else None
-            for position, name in enumerate(names)
-        ]
+        coded = node.coded or ()
+        schema_types = [column.sql_type for column in table.schema.columns]
+        columns: list = []
+        for position, name in enumerate(names):
+            if required is not None and position not in required:
+                columns.append(None)
+                continue
+            if position in coded and schema_types[position] is SqlType.TEXT:
+                # Every consumer is code-safe: deliver dictionary codes
+                # instead of gathered strings (decoded lazily at result
+                # materialisation, if ever).
+                codes, dictionary = table.text_codes(name, positions)
+                columns.append(
+                    (DictCodes(codes, dictionary), np.asarray(codes) < 0)
+                )
+                continue
+            columns.append(table.column_values(name, positions))
         length = table.num_rows if positions is None else int(len(positions))
         return Batch(columns, length)
 
@@ -641,6 +657,10 @@ def _join_key_codes(
 
 
 def _concat_arrays(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    if isinstance(left, DictCodes) or isinstance(right, DictCodes):
+        # Codes from different scans index different dictionaries; decode
+        # to plain strings before mixing (left-join padding, unions).
+        left, right = decode_if_coded(left), decode_if_coded(right)
     if left.dtype == right.dtype:
         return np.concatenate([left, right])
     return np.concatenate([left.astype(object), right.astype(object)])

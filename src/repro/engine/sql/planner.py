@@ -94,6 +94,12 @@ class ScanNode(PlanNode):
     # ``None`` = all columns. Residual predicates read the table directly
     # and do not require materialisation, so they are not included here.
     required: Optional[set[int]] = None
+    # Dictionary-code pushup: positions whose every consumer is code-safe
+    # (grouping, COUNT(DISTINCT), pass-through projection); the column
+    # executor delivers these as ``DictCodes`` instead of gathered
+    # strings. Annotated by :func:`_annotate_coded`; only text columns
+    # are affected at execution time.
+    coded: Optional[set[int]] = None
 
     def __post_init__(self) -> None:
         self.schema = Schema([])  # filled by the planner
@@ -229,6 +235,7 @@ def plan_select(
     pushdown annotated on the scans)."""
     root = _Planner(resolver, params).plan(select)
     _prune_columns(root, set(range(len(root.schema))))
+    _annotate_coded(root, [True] * len(root.schema))
     return root
 
 
@@ -304,6 +311,99 @@ def _prune_columns(node: PlanNode, needed: set[int]) -> None:
         _prune_columns(node.child, set(range(node.count)) | set())
         return
     raise PlanningError(f"cannot prune columns of {type(node).__name__}")
+
+
+def _annotate_coded(node: PlanNode, safe: list[bool]) -> None:
+    """Dictionary-code pushup: mark scan positions whose every consumer
+    tolerates ``DictCodes`` (int32 codes over a sorted dictionary) in
+    place of materialised strings.
+
+    ``safe[i]`` says position *i* of *node*'s output may carry codes. The
+    root output is always safe (result materialisation decodes); walking
+    down, a position stays safe only while every read is code-exact:
+
+    * pass-through projection / group keys that are bare column refs
+      (factorisation over codes equals factorisation over strings -- the
+      dictionary is sorted and deduplicated),
+    * ``COUNT`` / ``COUNT(DISTINCT)`` over a bare column ref,
+    * DISTINCT / LIMIT / result output (these decode first).
+
+    Anything else -- expressions, comparisons, join keys, sort keys,
+    other aggregates -- needs real values and clears the flag. The
+    annotation is purely structural, so cached plans keep it across
+    rebinds.
+    """
+    if isinstance(node, ScanNode):
+        node.coded = {i for i, ok in enumerate(safe) if ok}
+        return
+    if isinstance(node, SubqueryNode):
+        _annotate_coded(node.child, safe)
+        return
+    if isinstance(node, JoinNode):
+        combined = list(safe)
+        unsafe = set(
+            position
+            for predicate in node.residual
+            for position in _expression_positions(predicate, node.schema)
+        )
+        left_width = len(node.left.schema)
+        unsafe.update(node.left_key_positions)
+        unsafe.update(p + left_width for p in node.right_key_positions)
+        for position in unsafe:
+            combined[position] = False
+        _annotate_coded(node.left, combined[:left_width])
+        _annotate_coded(node.right, combined[left_width:])
+        return
+    if isinstance(node, FilterNode):
+        child_safe = list(safe)
+        for position in _expression_positions(node.predicate, node.child.schema):
+            child_safe[position] = False
+        _annotate_coded(node.child, child_safe)
+        return
+    if isinstance(node, GroupNode):
+        child_safe = [True] * len(node.child.schema)
+        for i, key in enumerate(node.keys):
+            if isinstance(key, ast.ColumnRef):
+                position = node.child.schema.resolve(key.name, key.table)
+                child_safe[position] = child_safe[position] and safe[i]
+            else:
+                for position in _expression_positions(key, node.child.schema):
+                    child_safe[position] = False
+        for aggregate in node.aggregates:
+            if aggregate.argument is None:
+                continue
+            if aggregate.func == "COUNT" and isinstance(aggregate.argument, ast.ColumnRef):
+                continue  # count/count-distinct are code-exact
+            for position in _expression_positions(aggregate.argument, node.child.schema):
+                child_safe[position] = False
+        _annotate_coded(node.child, child_safe)
+        return
+    if isinstance(node, ProjectNode):
+        child_safe = [True] * len(node.child.schema)
+        for i, expression in enumerate(node.expressions):
+            if isinstance(expression, ast.ColumnRef):
+                position = node.child.schema.resolve(expression.name, expression.table)
+                child_safe[position] = child_safe[position] and safe[i]
+            else:
+                for position in _expression_positions(expression, node.child.schema):
+                    child_safe[position] = False
+        _annotate_coded(node.child, child_safe)
+        return
+    if isinstance(node, SortNode):
+        child_safe = list(safe)
+        for position in node.key_positions:
+            child_safe[position] = False
+        _annotate_coded(node.child, child_safe)
+        return
+    if isinstance(node, (DistinctNode, LimitNode)):
+        _annotate_coded(node.child, list(safe))
+        return
+    if isinstance(node, SliceColumnsNode):
+        child_safe = list(safe[: node.count])
+        child_safe.extend([True] * (len(node.child.schema) - len(child_safe)))
+        _annotate_coded(node.child, child_safe)
+        return
+    raise PlanningError(f"cannot annotate coded columns of {type(node).__name__}")
 
 
 class _Planner:

@@ -75,6 +75,49 @@ def validate_chunk(schema: TableSchema, columns: Sequence[ColumnChunk]) -> int:
     return lengths.pop() if lengths else 0
 
 
+class DictCodes(np.ndarray):
+    """An int32 code array that remembers its (sorted) text dictionary.
+
+    This is how dictionary-encoded text flows through the vectorised
+    executor *without* materialising strings: the planner marks scan
+    columns whose every consumer is code-safe (grouping, COUNT(DISTINCT),
+    pass-through projection), the scan delivers this view instead of
+    gathered strings, and decoding happens only at result-materialisation
+    time. Because the dictionary is sorted, code order equals string
+    order, so factorisation and grouping on raw codes are exact.
+
+    Fancy indexing preserves the class and its dictionary
+    (``__array_finalize__``), so codes survive gathers, group
+    representatives, and batch slicing unchanged.
+    """
+
+    def __new__(cls, codes: np.ndarray, dictionary: np.ndarray) -> "DictCodes":
+        obj = np.asarray(codes, dtype=np.int32).view(cls)
+        obj.dictionary = dictionary
+        return obj
+
+    def __array_finalize__(self, obj) -> None:
+        if obj is not None:
+            self.dictionary = getattr(obj, "dictionary", None)
+
+    def decode(self) -> np.ndarray:
+        """Materialise the strings (``None`` at NULL positions, code -1)."""
+        null = np.asarray(self) < 0
+        base = np.asarray(np.maximum(self, 0))
+        if self.dictionary is not None and len(self.dictionary):
+            out = self.dictionary[base].copy()
+        else:
+            out = np.empty(len(self), dtype=object)
+        out[null] = None
+        return out
+
+
+def decode_if_coded(data: np.ndarray) -> np.ndarray:
+    """Plain data array for *data*: dictionary codes are decoded to their
+    object-string form, anything else passes through untouched."""
+    return data.decode() if isinstance(data, DictCodes) else data
+
+
 class _ColumnData:
     """One sealed column: typed array + null mask (or codes + dictionary)."""
 

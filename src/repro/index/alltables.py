@@ -43,7 +43,13 @@ from ..errors import IndexingError
 from ..lake.datalake import DataLake
 from ..lake.table import normalize_cell
 from .quadrant import column_means, column_quadrant_matrix, quadrant_bit
-from .xash import DEFAULT_HASH_SIZE, DEFAULT_NUM_CHARS, super_key, xash_batch
+from .xash import (
+    DEFAULT_HASH_SIZE,
+    DEFAULT_NUM_CHARS,
+    segmented_or,
+    super_key,
+    xash_batch,
+)
 
 ALLTABLES_SCHEMA = [
     ("CellValue", "nvarchar"),
@@ -342,7 +348,7 @@ def _hash_and_insert(
     occupied = counts > 0
     starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
     super_keys = np.zeros(total_rows, dtype=unique_hashes.dtype)
-    super_keys[occupied] = np.bitwise_or.reduceat(cell_hashes, starts[occupied])
+    super_keys[occupied] = segmented_or(cell_hashes, starts[occupied])
 
     inserted = db.insert_columns(
         config.table_name,

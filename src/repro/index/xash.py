@@ -187,6 +187,87 @@ def xash_batch(
     return np.bitwise_or.reduce(bits, axis=1)
 
 
+def segmented_or(values: np.ndarray, starts: np.ndarray) -> np.ndarray:
+    """OR-reduce contiguous segments of *values* (``int64`` or object
+    Python ints) starting at *starts* -- the shared super-key fold used by
+    both the offline ingest (per-row cell hashes) and the online MC seeker
+    (per-tuple query hashes)."""
+    if len(values) == 0:
+        return np.empty(0, dtype=values.dtype)
+    return np.bitwise_or.reduceat(values, starts)
+
+
+def tuple_hashes_batch(
+    tuples: Sequence[Sequence[str]],
+    hash_size: int = DEFAULT_HASH_SIZE,
+    num_chars: int = DEFAULT_NUM_CHARS,
+) -> np.ndarray:
+    """Vectorised :func:`tuple_hash` over a batch of normalised-token
+    tuples: XASH runs once over the batch's *unique* tokens and each
+    tuple's hash is an OR over its token positions -- the online mirror of
+    the ingest pipeline's unique-token broadcast.
+
+    Returns one hash per tuple (``int64`` for ``hash_size <= 63``, object
+    otherwise), bit-identical to calling ``tuple_hash`` per tuple.
+    """
+    wide = hash_size > 63
+    out_dtype = object if wide else np.int64
+    if not tuples:
+        return np.empty(0, dtype=out_dtype)
+    vocab: dict[str, int] = {}
+    flat: list[int] = []
+    lengths = np.empty(len(tuples), dtype=np.int64)
+    for i, values in enumerate(tuples):
+        lengths[i] = len(values)
+        for token in values:
+            code = vocab.get(token)
+            if code is None:
+                code = len(vocab)
+                vocab[token] = code
+            flat.append(code)
+    unique_hashes = xash_batch(list(vocab), hash_size, num_chars)
+    starts = np.concatenate(([0], np.cumsum(lengths)[:-1]))
+    hashes = np.zeros(len(tuples), dtype=out_dtype)
+    occupied = lengths > 0
+    gathered = unique_hashes[np.asarray(flat, dtype=np.int64)]
+    if occupied.any():
+        hashes[occupied] = segmented_or(gathered, starts[occupied])
+    return hashes
+
+
+# Bound on the (candidates x hashes) bitwise matrix: ~32 MB of int64.
+_CONTAIN_BLOCK_CELLS = 1 << 22
+
+
+def may_contain_batch(super_keys: np.ndarray, query_hashes: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`may_contain`: for each row super key, can it
+    bit-contain *any* of the query hashes?
+
+    The int64 fast path runs one broadcast bitwise-AND over the full
+    (candidates x hashes) matrix, blocked over hash columns to bound peak
+    memory; the 128-bit variant (object arrays of Python ints) falls back
+    to one pass per distinct hash.
+    """
+    mask = np.zeros(len(super_keys), dtype=bool)
+    if len(super_keys) == 0 or len(query_hashes) == 0:
+        return mask
+    if super_keys.dtype == object or query_hashes.dtype == object:
+        # Mixed widths happen: 128-bit query hashes are always object,
+        # but a candidate batch whose super keys all fit 63 bits arrives
+        # as int64 -- AND-ing a >2^63 Python int into an int64 array
+        # would raise OverflowError, so promote the keys first.
+        keys = super_keys if super_keys.dtype == object else super_keys.astype(object)
+        for query_hash in query_hashes:
+            mask |= (keys & query_hash) == query_hash
+        return mask
+    block = max(1, _CONTAIN_BLOCK_CELLS // max(len(super_keys), 1))
+    keys = super_keys[:, None]
+    for start in range(0, len(query_hashes), block):
+        hashes = query_hashes[None, start : start + block]
+        mask |= ((keys & hashes) == hashes).any(axis=1)
+    return mask
+
+
 def super_key(
     row: Iterable[Cell],
     hash_size: int = DEFAULT_HASH_SIZE,

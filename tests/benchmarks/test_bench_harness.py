@@ -1,7 +1,6 @@
-"""Smoke test for the indexing micro-benchmark harness
-(``benchmarks/bench_index_build.py`` + ``run_bench.py``): tiny lake,
-well-formed ``BENCH_index.json`` payload, and the committed artefact's
-schema."""
+"""Smoke tests for the micro-benchmark harness (``bench_index_build.py``,
+``bench_seeker.py``, ``run_bench.py``): tiny lakes, well-formed JSON
+payloads, and the committed artefacts' schemas and acceptance bars."""
 
 import json
 import sys
@@ -12,6 +11,7 @@ import pytest
 BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 sys.path.insert(0, str(BENCHMARKS_DIR))
 
+import bench_seeker  # noqa: E402
 from bench_index_build import PHASES, format_report, run_benchmark  # noqa: E402
 
 
@@ -57,3 +57,66 @@ def test_run_bench_cli(tmp_path):
     assert main(["--seed", "3", "--scale", "0.05", "--output", str(out)]) == 0
     payload = json.loads(out.read_text())
     assert set(payload) >= set(PHASES)
+
+
+class TestSeekerSuite:
+    """The seeker benchmark: runs end-to-end on a tiny lake (asserting
+    the scalar-oracle parity internally), and the committed
+    ``BENCH_seeker.json`` meets the PR's acceptance bar."""
+
+    @pytest.fixture(scope="class")
+    def seeker_results(self):
+        return bench_seeker.run_benchmark(seed=3, scale=0.1)
+
+    def test_phases_and_schema(self, seeker_results):
+        assert set(seeker_results) >= set(bench_seeker.PHASES)
+        for numbers in seeker_results.values():
+            assert set(numbers) == {"seconds", "queries_per_sec"}
+            assert numbers["seconds"] >= 0
+            assert numbers["queries_per_sec"] > 0
+        assert json.loads(json.dumps(seeker_results)) == seeker_results
+
+    def test_report_renders(self, seeker_results):
+        assert "MC end-to-end speedup" in bench_seeker.format_report(seeker_results)
+
+    def test_oracle_divergence_raises(self, monkeypatch):
+        """The in-run parity assertion is live, not decorative."""
+        from repro.core.seekers import MultiColumnSeeker
+
+        monkeypatch.setattr(
+            MultiColumnSeeker,
+            "validate_batch",
+            lambda self, table_ids, row_ids, context: (table_ids[:0], row_ids[:0]),
+        )
+        with pytest.raises(AssertionError, match="divergence"):
+            bench_seeker.run_benchmark(seed=3, scale=0.1)
+
+    def test_run_bench_cli_seeker_suite(self, tmp_path):
+        from run_bench import main
+
+        out = tmp_path / "BENCH_seeker.json"
+        args = ["--suite", "seeker", "--seed", "3", "--scale", "0.1", "--output", str(out)]
+        assert main(args) == 0
+        payload = json.loads(out.read_text())
+        assert set(payload) >= set(bench_seeker.PHASES)
+        for numbers in payload.values():
+            assert set(numbers) == {"seconds", "queries_per_sec"}
+
+    def test_committed_artifact_meets_acceptance_bar(self):
+        artifact = BENCHMARKS_DIR.parent / "BENCH_seeker.json"
+        assert artifact.exists(), "BENCH_seeker.json must be committed (run_bench --suite seeker)"
+        payload = json.loads(artifact.read_text())
+        assert set(payload) >= set(bench_seeker.PHASES)
+        for numbers in payload.values():
+            assert set(numbers) == {"seconds", "queries_per_sec"}
+        # >= 3x MC end-to-end throughput over the seed scalar phases.
+        speedup = payload["mc_scalar"]["seconds"] / payload["mc_vectorized"]["seconds"]
+        assert speedup >= 3.0
+
+    @pytest.mark.slow
+    def test_full_scale_benchmark(self):
+        """Benchmark-scale run (tier-2): the speedup holds at the
+        committed artefact's lake size, not just the smoke lake."""
+        results = bench_seeker.run_benchmark(seed=bench_seeker.DEFAULT_SEED, scale=1.0)
+        speedup = results["mc_scalar"]["seconds"] / results["mc_vectorized"]["seconds"]
+        assert speedup >= 3.0

@@ -3,7 +3,13 @@
 Both storage backends interpret the same plans; the seekers add
 deterministic tie-break sort keys, so rankings AND scores must agree
 exactly -- with and without optimizer rewrites, and with the plan cache
-warm (second round repeats every query against cached plans)."""
+warm (second round repeats every query against cached plans).
+
+The MC seeker additionally has two phase-2/3 pipelines (scalar oracle vs
+vectorized); every MC phase output is cross-checked over the full
+{row, column} x {scalar, vectorized} grid."""
+
+import dataclasses
 
 import pytest
 
@@ -65,3 +71,48 @@ def test_plan_cache_engaged_on_both_backends(contexts, lake):
     for context in contexts.values():
         stats = context.db.plan_cache_stats()
         assert stats["hits"] > 0, "parity run should have exercised cached plans"
+
+
+@pytest.mark.parametrize("rewrite", [None, Rewrite("intersect", (0, 1, 2, 3, 4, 7, 9))])
+def test_mc_phases_four_way_parity(contexts, lake, rewrite):
+    """Candidates, survivors, validated sets, and final rankings must
+    agree across {row, column} x {scalar, vectorized}."""
+    seeker = _seekers(lake).get("MC")
+    assert seeker is not None, "parity lake must support an MC query"
+    phase_outputs = {}
+    rankings = {}
+    for backend, base in contexts.items():
+        scalar = dataclasses.replace(base, vectorized=False)
+        vector = dataclasses.replace(base, vectorized=True)
+
+        candidates = seeker.fetch_candidates(scalar, rewrite)
+        survivors = seeker.superkey_filter(candidates, scalar)
+        validated = seeker.validate(survivors, scalar)
+        phase_outputs[(backend, "scalar")] = (
+            {(t, r) for t, r, _ in candidates},
+            set(survivors),
+            set(validated),
+        )
+        rankings[(backend, "scalar")] = [
+            (hit.table_id, hit.score) for hit in seeker.execute(scalar, rewrite)
+        ]
+
+        t, r, s = seeker.fetch_candidate_arrays(vector, rewrite)
+        ft, fr = seeker.superkey_filter_batch(t, r, s, vector)
+        vt, vr = seeker.validate_batch(ft, fr, vector)
+        phase_outputs[(backend, "vectorized")] = (
+            set(zip(t.tolist(), r.tolist())),
+            set(zip(ft.tolist(), fr.tolist())),
+            set(zip(vt.tolist(), vr.tolist())),
+        )
+        rankings[(backend, "vectorized")] = [
+            (hit.table_id, hit.score) for hit in seeker.execute(vector, rewrite)
+        ]
+
+    reference_phases = phase_outputs[("row", "scalar")]
+    reference_ranking = rankings[("row", "scalar")]
+    assert all(c for c in reference_phases), "parity query must produce candidates"
+    for key, output in phase_outputs.items():
+        assert output == reference_phases, key
+    for key, ranking in rankings.items():
+        assert ranking == reference_ranking, key

@@ -64,6 +64,82 @@ class TestCacheHits:
         assert db.plan_cache_stats()["size"] <= Database.PLAN_CACHE_SIZE
 
 
+class TestWhitespaceNormalisedKeys:
+    """Trivially reformatted statements share one plan-cache entry; only
+    whitespace INSIDE string literals stays significant."""
+
+    def test_reformatted_sql_hits_cache(self, db):
+        db.execute(SQL_IN, {"tokens": ["a", "b"]})
+        reformatted = "SELECT v,  n\n\tFROM t\n  WHERE v IN (:tokens)\n  ORDER BY n"
+        result = db.execute(reformatted, {"tokens": ["a", "b"]})
+        assert result.rows == [("a", 1), ("b", 2)]
+        assert result.stats.plan_cache_hit is True
+        stats = db.plan_cache_stats()
+        assert stats["hits"] == 1 and stats["size"] == 1
+
+    def test_hit_rate_across_reformattings(self, db):
+        """The regression bar: N reformattings of one template = N-1 hits."""
+        variants = [
+            SQL_IN,
+            SQL_IN.replace(" ", "  "),
+            SQL_IN.replace(" FROM", "\nFROM").replace(" WHERE", "\n  WHERE"),
+            f"  {SQL_IN}  ",
+        ]
+        for variant in variants:
+            db.execute(variant, {"tokens": ["a", "e"]})
+        stats = db.plan_cache_stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == len(variants) - 1
+
+    def test_literal_whitespace_stays_significant(self, db):
+        db.insert("t", [("a b", 9, 6), ("a  b", 9, 7)])
+        single = db.execute("SELECT n FROM t WHERE v = 'a b'")
+        double = db.execute("SELECT n FROM t WHERE v = 'a  b'")
+        assert single.column() == [6]
+        assert double.column() == [7]
+        assert db.plan_cache_stats()["hits"] == 0
+
+    def test_quoted_literal_with_escapes_is_opaque(self, db):
+        db.insert("t", [("it's  x", 9, 8)])
+        result = db.execute("SELECT n FROM t WHERE v = 'it''s  x'")
+        assert result.column() == [8]
+
+    def test_comment_terminated_by_newline_keeps_distinct_key(self, db):
+        """'-- note\\nWHERE ...' filters; '-- note WHERE ...' comments the
+        WHERE away entirely. The key comes from the real lexer, so the
+        two must never share a cached plan."""
+        filtered = db.execute("SELECT n FROM t\n-- note\nWHERE n = 1")
+        unfiltered = db.execute("SELECT n FROM t -- note WHERE n = 1")
+        assert filtered.column() == [1]
+        assert unfiltered.column() == [1, 2, 3, 4, 5]
+        assert db.plan_cache_stats()["hits"] == 0
+
+    def test_comment_only_reformatting_hits_cache(self, db):
+        first = db.execute("SELECT n FROM t WHERE n = 2")
+        second = db.execute("SELECT n FROM t  -- fetch the row\nWHERE n = 2")
+        assert first.column() == second.column() == [2]
+        assert db.plan_cache_stats()["hits"] == 1
+
+    def test_separator_injection_cannot_forge_token_boundaries(self, db):
+        """A string literal containing key-separator bytes must not
+        collide with a statement whose token stream encodes the same
+        bytes (length-prefixed records are prefix-decodable)."""
+        from repro.engine.database import _normalize_sql_key
+
+        forged = "SELECT 'a\x00identifier\x01b' FROM t"
+        plain = "SELECT 'a' b FROM t"
+        assert _normalize_sql_key(forged) != _normalize_sql_key(plain)
+        assert db.execute(forged).rows != db.execute(plain).rows
+
+    def test_keyword_case_shares_key(self, db):
+        # The lexer uppercases keywords, so keyword case is free sharing;
+        # identifier case stays significant (conservative: a miss, never
+        # a wrong hit).
+        db.execute("SELECT n FROM t WHERE n = 3")
+        assert db.execute("select n from t where n = 3").column() == [3]
+        assert db.plan_cache_stats()["hits"] == 1
+
+
 class TestRebindingNoLeak:
     def test_different_in_lists(self, db):
         first = db.execute(SQL_IN, {"tokens": ["a", "b"]}).rows
