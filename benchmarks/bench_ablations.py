@@ -166,9 +166,10 @@ def test_ablation_sample_size(benchmark, corr_setup, report_writer):
             precisions, times = [], []
             for query in bench.queries:
                 truth = bench.ground_truth(query, 10)
-                run = lambda: blend.correlation_search(
-                    list(query.keys), list(query.targets), k=10, h=h
-                ).table_ids()
+                def run():
+                    return blend.correlation_search(
+                        list(query.keys), list(query.targets), k=10, h=h
+                    ).table_ids()
                 run()  # warm
                 retrieved, seconds = timed(run)
                 precisions.append(precision_at_k(retrieved, truth, 10))

@@ -6,6 +6,10 @@ Phases measured (all on a seeded Table-II-style generated lake):
 ==================  ========================================================
 build_scalar        seed cell-at-a-time ``build_alltables`` (reference)
 build_vectorized    columnar fast path (batch XASH + ``insert_columns``)
+build_parallel_wN   sharded build, ``IndexConfig(workers=N)`` (the
+                    ``--workers`` axis; adaptive scheduling, so on a
+                    single-CPU host this measures the in-process sharded
+                    kernel and the fan-out engages where cores exist)
 ingest_rows         storage-layer ``insert`` of prepared AllTables tuples
 ingest_columns      storage-layer typed bulk ``insert_columns`` of the same
 query_cold          four seeker templates, plan cache cleared per query
@@ -24,7 +28,6 @@ smoke-tests the harness under CI.
 
 from __future__ import annotations
 
-import json
 import time
 from typing import Any, Callable
 
@@ -33,7 +36,7 @@ import numpy as np
 from repro.core.seekers import SeekerContext, Seekers
 from repro.engine import Database
 from repro.index import IndexConfig, build_alltables
-from repro.index.alltables import ALLTABLES_SCHEMA
+from repro.index.alltables import ALLTABLES_SCHEMA, _available_cpus
 from repro.index.xash import xash
 from repro.lake.generators import CorpusConfig, generate_corpus
 
@@ -70,9 +73,12 @@ def _bench_lake(seed: int, scale: float = 1.0):
     return lake
 
 
-def run_benchmark(seed: int = DEFAULT_SEED, scale: float = 1.0) -> dict[str, dict[str, float]]:
+def run_benchmark(
+    seed: int = DEFAULT_SEED, scale: float = 1.0, workers: int = 4
+) -> dict[str, dict[str, float]]:
     """Time every phase on a freshly generated lake; returns the
-    ``BENCH_index.json`` payload."""
+    ``BENCH_index.json`` payload. *workers* adds one ``build_parallel_wN``
+    phase for the sharded build (0 disables the phase)."""
     lake = _bench_lake(seed, scale)
     results: dict[str, dict[str, float]] = {}
 
@@ -90,6 +96,18 @@ def run_benchmark(seed: int = DEFAULT_SEED, scale: float = 1.0) -> dict[str, dic
         lambda: build_alltables(lake, db_vector, IndexConfig(vectorized=True))
     )
     results["build_vectorized"] = _phase(seconds, index_rows)
+
+    if workers:
+        db_parallel = Database(backend="column")
+        seconds, parallel_report = _timed(
+            lambda: build_alltables(lake, db_parallel, IndexConfig(workers=workers))
+        )
+        if parallel_report.num_index_rows != index_rows:
+            raise AssertionError(
+                f"parallel build produced {parallel_report.num_index_rows} "
+                f"index rows, serial produced {index_rows}"
+            )
+        results[f"build_parallel_w{workers}"] = _phase(seconds, index_rows)
 
     # -- storage-layer ingest: tuple inserts vs typed bulk append -------------
     rows = db_vector.execute("SELECT * FROM AllTables").rows
@@ -191,6 +209,17 @@ def format_report(results: dict[str, dict[str, float]]) -> str:
     fast = results.get("build_vectorized", {}).get("seconds")
     if build and fast:
         lines.append(f"build speedup: {build / fast:.1f}x")
+    parallel = [
+        (phase, numbers["seconds"])
+        for phase, numbers in results.items()
+        if phase.startswith("build_parallel_w")
+    ]
+    for phase, seconds in parallel:
+        if fast and seconds:
+            lines.append(
+                f"parallel build speedup ({phase[len('build_parallel_'):]}, "
+                f"{_available_cpus()} cpu available): {fast / seconds:.2f}x vs vectorized serial"
+            )
     ingest, bulk = (
         results.get("ingest_rows", {}).get("seconds"),
         results.get("ingest_columns", {}).get("seconds"),
@@ -206,9 +235,46 @@ def format_report(results: dict[str, dict[str, float]]) -> str:
     return "\n".join(lines)
 
 
+def run_check(seed: int = DEFAULT_SEED, scale: float = 0.25, workers: int = 4) -> str:
+    """Hardware-independent parity smoke (``run_bench.py --check-only``):
+    assert the scalar oracle, the vectorised serial build, and the
+    sharded parallel build (both adaptive and pinned-pool scheduling)
+    produce byte-identical ``AllTables`` relations on a reduced-scale
+    lake. No timing thresholds -- raises ``AssertionError`` on any
+    divergence, returns a summary line otherwise.
+    """
+    lake = _bench_lake(seed, scale)
+    configs = {
+        "scalar": IndexConfig(vectorized=False),
+        "vectorized": IndexConfig(vectorized=True),
+    }
+    if workers:  # 0 disables the parallel pipelines, mirroring run_benchmark
+        configs[f"parallel_w{workers}"] = IndexConfig(workers=workers)
+        configs[f"parallel_w{workers}_pinned"] = IndexConfig(
+            workers=workers, pin_workers=True
+        )
+    rows = {}
+    for name, config in configs.items():
+        db = Database(backend="column")
+        build_alltables(lake, db, config)
+        rows[name] = db.execute("SELECT * FROM AllTables").rows
+    reference = rows.pop("scalar")
+    for name, produced in rows.items():
+        if produced != reference:
+            raise AssertionError(
+                f"build parity violated: {name} produced {len(produced)} rows "
+                f"diverging from the scalar oracle ({len(reference)} rows)"
+            )
+    return (
+        f"index build parity OK: {len(configs)} pipelines x "
+        f"{len(reference)} identical AllTables rows (scale={scale})"
+    )
+
+
 PHASES = (
     "build_scalar",
     "build_vectorized",
+    "build_parallel_w4",
     "ingest_rows",
     "ingest_columns",
     "query_cold",

@@ -30,7 +30,6 @@ import random
 import time
 from typing import Any, Callable
 
-import numpy as np
 
 from repro.core.seekers import SeekerContext, Seekers
 from repro.engine import Database
@@ -179,6 +178,25 @@ def run_benchmark(seed: int = DEFAULT_SEED, scale: float = 1.0) -> dict[str, dic
     results["kw_query"] = _phase(seconds, total_values)
 
     return results
+
+
+def run_check(seed: int = DEFAULT_SEED, scale: float = 0.25) -> str:
+    """Hardware-independent parity smoke (``run_bench.py --check-only``):
+    assert the scalar MC oracle and the batched pipeline produce
+    identical validated row sets and rankings on a reduced-scale lake.
+    No timing -- raises ``AssertionError`` on divergence."""
+    lake = _bench_lake(seed, scale)
+    xash.cache_clear()
+    db = Database(backend="column")
+    build_alltables(lake, db)
+    scalar = SeekerContext(db=db, lake=lake, vectorized=False)
+    vector = SeekerContext(db=db, lake=lake, vectorized=True)
+    queries = _mc_queries(lake, seed)
+    _assert_oracle_parity(queries, scalar, vector)
+    return (
+        f"MC seeker oracle parity OK: {len(queries)} queries, scalar and "
+        f"batched pipelines agree on validated rows and rankings (scale={scale})"
+    )
 
 
 def format_report(results: dict[str, dict[str, float]]) -> str:

@@ -233,40 +233,48 @@ def test_table03_report(
             if task == "negative_examples":
                 positive, negative = negative_task_inputs(impute_bench, query_index)
                 if system == "baseline":
-                    runner = lambda: negative_examples_baseline(
-                        mate_i, impute_bench.lake, positive, negative, k=K
-                    )
+                    def runner():
+                        return negative_examples_baseline(
+                            mate_i, impute_bench.lake, positive, negative, k=K
+                        )
                 else:
                     plan = tasks.negative_examples_plan(positive, negative, k=K)
-                    runner = lambda: impute_blend.run(plan, optimize=(system == "blend"))
+                    def runner(plan=plan):
+                        return impute_blend.run(plan, optimize=(system == "blend"))
             elif task == "imputation":
                 query = impute_bench.queries[query_index]
                 examples, queries = list(query.examples), list(query.query_keys)
                 if system == "baseline":
-                    runner = lambda: imputation_baseline(mate_i, josie_i, examples, queries, k=K)
+                    def runner():
+                        return imputation_baseline(mate_i, josie_i, examples, queries, k=K)
                 else:
                     plan = tasks.imputation_plan(examples, queries, k=K)
-                    runner = lambda: impute_blend.run(plan, optimize=(system == "blend"))
+                    def runner(plan=plan):
+                        return impute_blend.run(plan, optimize=(system == "blend"))
             elif task == "feature_discovery":
                 join_rows, keys, target, features = feature_task_inputs(corr_bench, query_index)
                 if system == "baseline":
-                    runner = lambda: feature_discovery_baseline(
-                        qcr, mate_c, join_rows, keys, target, features, k=K
-                    )
+                    def runner():
+                        return feature_discovery_baseline(
+                            qcr, mate_c, join_rows, keys, target, features, k=K
+                        )
                 else:
                     plan = tasks.feature_discovery_plan(join_rows, keys, target, features, k=K)
-                    runner = lambda: corr_blend.run(plan, optimize=(system == "blend"))
+                    def runner(plan=plan):
+                        return corr_blend.run(plan, optimize=(system == "blend"))
             else:  # multi_objective
                 keywords, examples = multi_objective_inputs(corr_bench, query_index)
                 if system == "baseline":
-                    runner = lambda: multi_objective_baseline(
-                        josie_c, starmie, qcr, keywords, examples, "key", "target", k=K
-                    )
+                    def runner():
+                        return multi_objective_baseline(
+                            josie_c, starmie, qcr, keywords, examples, "key", "target", k=K
+                        )
                 else:
                     plan = tasks.multi_objective_plan_no_imputation(
                         keywords, examples, "key", "target", k=K
                     )
-                    runner = lambda: corr_blend.run(plan, optimize=(system == "blend"))
+                    def runner(plan=plan):
+                        return corr_blend.run(plan, optimize=(system == "blend"))
             runner()  # warm-up: parse caches, XASH cache, sealed columns
             samples.extend(timed(runner)[1] for _ in range(3))
         return statistics.fmean(samples)

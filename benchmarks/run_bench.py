@@ -14,15 +14,22 @@ Two suites, each emitting one committed JSON artefact at the repo root:
 Usage::
 
     PYTHONPATH=src python benchmarks/run_bench.py [--suite S] [--seed N]
-        [--scale S] [--output PATH] [--repeat R]
+        [--scale S] [--output PATH] [--repeat R] [--workers N]
+        [--check-only]
 
 ``--repeat`` keeps the fastest-of-R result per phase, damping scheduler
 noise. ``--output`` overrides the artefact path for single-suite runs.
+``--workers`` sets the sharded-build axis of the index suite
+(``build_parallel_wN``; 0 disables it). ``--check-only`` runs each
+suite's oracle-parity assertions on a reduced-scale lake and writes no
+artefact -- no timing thresholds, so the exit code is hardware
+independent (the CI smoke job runs exactly this).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from pathlib import Path
@@ -42,10 +49,20 @@ SUITES = {
 }
 
 
+def _suite_kwargs(fn, args, **overrides) -> dict:
+    """Keyword arguments for a suite entry point (only the index suite
+    has a workers axis; forwarding is signature-driven so suites stay
+    decoupled)."""
+    kwargs = {"seed": args.seed, "scale": args.scale, **overrides}
+    if "workers" in inspect.signature(fn).parameters:
+        kwargs["workers"] = args.workers
+    return kwargs
+
+
 def _run_suite(module, output: Path, args) -> None:
     best: dict[str, dict[str, float]] = {}
     for _ in range(max(1, args.repeat)):
-        results = module.run_benchmark(seed=args.seed, scale=args.scale)
+        results = module.run_benchmark(**_suite_kwargs(module.run_benchmark, args))
         for phase, numbers in results.items():
             if phase not in best or numbers["seconds"] < best[phase]["seconds"]:
                 best[phase] = numbers
@@ -55,12 +72,36 @@ def _run_suite(module, output: Path, args) -> None:
     print(f"[written to {output}]")
 
 
+def _run_checks(selected: list[str], args) -> int:
+    """``--check-only``: reduced-scale oracle-parity assertions, no
+    artefacts, no timing. Prints one OK line per suite; an
+    AssertionError in any suite fails the run."""
+    check_scale = min(args.scale, 0.25)
+    for name in selected:
+        module, _ = SUITES[name]
+        kwargs = _suite_kwargs(module.run_check, args, scale=check_scale)
+        summary = module.run_check(**kwargs)
+        print(f"[{name}] {summary}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--suite", choices=(*SUITES, "all"), default="index")
     parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
     parser.add_argument("--scale", type=float, default=1.0, help="lake size multiplier")
     parser.add_argument("--repeat", type=int, default=1, help="keep fastest of N runs")
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="sharded-build axis of the index suite (0 disables)",
+    )
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="run oracle-parity assertions at reduced scale; no timing, no artefacts",
+    )
     parser.add_argument(
         "--output",
         type=Path,
@@ -70,6 +111,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     selected = list(SUITES) if args.suite == "all" else [args.suite]
+    if args.check_only:
+        return _run_checks(selected, args)
     if args.output is not None and len(selected) > 1:
         parser.error("--output requires a single --suite")
     for name in selected:

@@ -95,7 +95,6 @@ def negative_examples_baseline(
         tokens = tuple(normalize_cell(value) for value in row)
         if all(token is not None for token in tokens):
             negative_tuples.append(tokens)
-    width = len(negative_tuples[0]) if negative_tuples else 0
     surviving = []
     for hit in candidates:
         table = lake.by_id(hit.table_id)

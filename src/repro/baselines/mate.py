@@ -18,8 +18,8 @@ has no false negatives).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 from ..core.results import ResultList, TableHit
 from ..core.seekers import _row_contains_any_tuple

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Sequence
 
 from ..core.results import ResultList, TableHit
 from ..index.quadrant import column_means, quadrant_bit

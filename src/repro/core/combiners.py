@@ -18,7 +18,7 @@ Score semantics (scores are operator-local; "higher is better"):
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..errors import CombinerError
 from .results import ResultList, TableHit

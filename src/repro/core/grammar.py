@@ -114,7 +114,7 @@ class _Parser:
         self._counter = 0
 
     def parse(self) -> Plan:
-        root = self._parse_expression()
+        self._parse_expression()  # builds self._plan as it recurses
         if self._peek().kind != "eof":
             token = self._peek()
             raise PlanError(

@@ -17,7 +17,7 @@ existence, seeker/combiner placement, and combiner arity.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Optional, Union
 
 from ..errors import PlanError

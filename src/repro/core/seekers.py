@@ -16,7 +16,7 @@ factor bounds the group fan-out per table (exact for tables with up to
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterable, Optional, Sequence
 
 import numpy as np

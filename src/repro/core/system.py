@@ -20,7 +20,6 @@ the standard plans of §VII-A.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from ..engine.database import Database
@@ -31,7 +30,7 @@ from ..lake.datalake import DataLake
 from ..lake.table import Cell, Table
 from .combiners import Combiners
 from .executor import PlanExecutor, PlanRunResult
-from .optimizer.cost_model import CostModel, TrainingReport, train_cost_model
+from .optimizer.cost_model import TrainingReport, train_cost_model
 from .optimizer.planner import ExecutionPlan, Optimizer
 from .plan import Plan
 from .results import ResultList

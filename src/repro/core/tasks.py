@@ -7,9 +7,7 @@ Table III benchmark and compared against the federated baselines in
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
 
-from ..lake.table import Cell, Table
 from .combiners import Combiners
 from .plan import Plan
 from .seekers import Seekers

@@ -25,9 +25,9 @@ from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import CatalogError, EngineError
+from ..errors import EngineError
 from .sql import ast
-from .sql.executor_column import Batch, ColumnExecutor
+from .sql.executor_column import ColumnExecutor
 from .sql.executor_row import QueryStats, RowExecutor
 from .sql.lexer import tokenize
 from .sql.parser import parse
@@ -231,7 +231,10 @@ class Database:
         """Typed bulk-append: *columns* is one ``(data, null_mask)`` pair
         per schema column (``null_mask`` may be ``None``). Bypasses the
         per-cell coercion of :meth:`insert` -- the vectorised ``AllTables``
-        ingest path. Returns the number of rows appended."""
+        ingest path, and the append side of the sharded build's merge
+        (one call per shard part; parts sharing one ``DictEncodedText``
+        dictionary object concatenate without a union at seal time).
+        Returns the number of rows appended."""
         return self._catalog.get(table_name).insert_columns(columns)
 
     def num_rows(self, table_name: str) -> int:

@@ -10,7 +10,7 @@ advantage on scan-heavy seeker queries (Figs. 5 and 7).
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
 
@@ -495,7 +495,6 @@ def _group_ids(key_vectors: list[VectorResult]) -> tuple[np.ndarray, int, np.nda
         codes, n_codes = _factorize(data, null)
         combined = combined * n_codes + codes
         uniques, combined = np.unique(combined, return_inverse=True)
-        n = len(uniques)
     uniques, representatives, group_ids = np.unique(
         combined, return_index=True, return_inverse=True
     )

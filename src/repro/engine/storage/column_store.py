@@ -349,12 +349,23 @@ class ColumnTable:
             sorted_codes = column.codes[order]
             boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
             starts = np.concatenate(([0], boundaries))
-            ends = np.concatenate((boundaries, [len(sorted_codes)]))
-            for start, end in zip(starts, ends):
-                code = sorted_codes[start]
-                if code < 0:
-                    continue
-                index[column.dictionary[code]] = order[start:end]
+            if sorted_codes[starts[0]] < 0:
+                # NULL codes sort first; drop their whole run up front so
+                # the group loop below is branch-free.
+                order = order[starts[1] if len(starts) > 1 else len(order):]
+                sorted_codes = column.codes[order]
+                boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+                starts = np.concatenate(([0], boundaries))
+            if len(order):
+                # One gather for the keys, C-level slice views for the
+                # posting arrays, one C-level dict build -- no per-group
+                # Python loop.
+                keys = column.dictionary[sorted_codes[starts]]
+                ends = np.concatenate((boundaries, [len(order)]))
+                postings = map(
+                    order.__getitem__, map(slice, starts.tolist(), ends.tolist())
+                )
+                index = dict(zip(keys.tolist(), postings))
         else:
             data = column.data
             order = np.argsort(data, kind="stable")
@@ -514,7 +525,13 @@ def _merge_many(columns: list[_ColumnData]) -> _ColumnData:
             merged.dictionary = columns[0].dictionary
             merged.code_of = columns[0].code_of
             return merged
-        if len(dictionaries) == 1:
+        if len(dictionaries) == 1 or all(
+            d is dictionaries[0] for d in dictionaries[1:]
+        ):
+            # One batch, or every batch shares one dictionary *object* --
+            # the sharded AllTables merge appends all its parts against a
+            # single global dictionary, so the union (and every remap) is
+            # free: the codes just concatenate.
             union = dictionaries[0]
         else:
             union = np.unique(np.concatenate(dictionaries)).astype(object)

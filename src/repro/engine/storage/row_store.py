@@ -11,7 +11,7 @@ aggregations.
 from __future__ import annotations
 
 import sys
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 

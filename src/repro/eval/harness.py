@@ -10,7 +10,7 @@ from __future__ import annotations
 import statistics
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional, TypeVar
+from typing import Any, Callable, TypeVar
 
 T = TypeVar("T")
 

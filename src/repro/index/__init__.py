@@ -1,13 +1,16 @@
 """The unified BLEND index: XASH super keys, Quadrant bits, the AllTables
 builder, lake statistics, and Table VIII storage accounting.
 
-The AllTables builder ships two byte-identical pipelines: the default
+The AllTables builder ships three byte-identical pipelines: the default
 **vectorised** fast path (per-flush token factorisation, batch XASH over
 unique tokens via ``xash_batch``, segmented super-key OR-reduction,
 quadrant bits from ``column_quadrant_matrix``, bulk ``insert_columns``
-appends) and the scalar cell-at-a-time reference
+appends), the **sharded parallel** build (``IndexConfig(workers=N)``:
+cell-balanced table shards fanned out over worker processes, shard
+outputs recoded into one global sorted dictionary and merged in
+table-id order), and the scalar cell-at-a-time reference
 (``IndexConfig(vectorized=False)``), retained as the test oracle.
-``benchmarks/run_bench.py`` tracks the speedup in ``BENCH_index.json``.
+``benchmarks/run_bench.py`` tracks the speedups in ``BENCH_index.json``.
 """
 
 from .alltables import ALLTABLES_SCHEMA, IndexBuildReport, IndexConfig, build_alltables, index_table

@@ -26,23 +26,41 @@ Two build pipelines produce identical output:
   API -- no per-cell Python dispatch anywhere on the hot path;
 * the **scalar** path (``IndexConfig(vectorized=False)``): the original
   cell-at-a-time loop, kept as the reference oracle -- tests assert the
-  two produce byte-identical ``AllTables`` rows.
+  two produce byte-identical ``AllTables`` rows;
+* the **sharded parallel** path (``IndexConfig(workers=N)``): tables are
+  partitioned into cell-balanced contiguous shards, each shard runs
+  factorisation + batched XASH + the super-key fold in a worker process
+  (its own :class:`_FastFactorizer`), and shard outputs are merged
+  deterministically -- local token codes are recoded into one global
+  sorted dictionary (``np.unique`` union + ``np.searchsorted`` remap)
+  and bulk-appended through ``insert_columns``. Output is byte-identical
+  to the serial builds for any worker count. Scheduling is adaptive:
+  worker processes are only spawned up to the CPUs actually available
+  (``pin_workers=True`` forces the requested count), and when one CPU is
+  all there is the sharded pipeline runs in-process, hashing each unique
+  token once against the global dictionary instead of once per shard.
 """
 
 from __future__ import annotations
 
+import atexit
+import concurrent.futures
+import multiprocessing
+import os
 import random
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from itertools import chain
+from typing import Optional
 
 import numpy as np
 
 from ..engine.database import Database
 from ..engine.storage.column_store import DictEncodedText
 from ..errors import IndexingError
-from ..lake.datalake import DataLake
+from ..lake.datalake import DataLake, LakeShard
 from ..lake.table import normalize_cell
-from .quadrant import column_means, column_quadrant_matrix, quadrant_bit
+from .quadrant import column_means, column_quadrant_matrix, column_quadrant_matrix_fast, quadrant_bit
 from .xash import (
     DEFAULT_HASH_SIZE,
     DEFAULT_NUM_CHARS,
@@ -69,8 +87,17 @@ class IndexConfig:
     """Offline-phase knobs.
 
     ``hash_size`` > 63 (MATE's 128-bit XASH variant) only fits the row
-    backend -- the column store's ``SuperKey`` column is int64, and both
+    backend -- the column store's ``SuperKey`` column is int64, and all
     build pipelines reject the combination up front.
+
+    ``workers`` selects the sharded parallel build: ``None`` (default)
+    keeps the serial vectorised pipeline, ``N >= 1`` partitions the lake
+    into cell-balanced shards and fans them out over worker processes.
+    The output is byte-identical for every setting. By default the
+    process count is clamped to the CPUs this process may actually use
+    (spawning more just adds IPC); ``pin_workers=True`` forces exactly
+    ``workers`` processes -- tests use it to exercise the pool on any
+    machine.
     """
 
     table_name: str = "AllTables"
@@ -81,6 +108,8 @@ class IndexConfig:
     build_value_index: bool = True
     build_table_index: bool = True
     vectorized: bool = True  # False: scalar reference path (test oracle)
+    workers: Optional[int] = None  # N >= 1: sharded multiprocess build
+    pin_workers: bool = False  # force exactly `workers` processes
 
 
 @dataclass(frozen=True)
@@ -113,10 +142,13 @@ def build_alltables(
             "drop it or index into a fresh database"
         )
     _check_hash_width(config, db)
+    _check_workers(config)
     db.create_table(config.table_name, ALLTABLES_SCHEMA)
     rng = random.Random(config.shuffle_seed)
 
-    if config.vectorized:
+    if config.workers is not None:
+        null_cells = _ingest_sharded(lake, db, config, rng)
+    elif config.vectorized:
         null_cells = _ingest_vectorized(lake, db, config, rng)
     else:
         null_cells = _ingest_scalar(lake, db, config, rng)
@@ -143,6 +175,22 @@ def _check_hash_width(config: IndexConfig, db: Database) -> None:
             f"hash_size={config.hash_size} super keys exceed the column "
             "store's int64 SuperKey column; use hash_size <= 63 or the "
             "row backend"
+        )
+
+
+def _check_workers(config: IndexConfig) -> None:
+    """Reject unusable worker settings up front."""
+    if config.workers is None:
+        return
+    if config.workers < 1:
+        raise IndexingError(
+            f"IndexConfig.workers must be >= 1 (or None for the serial "
+            f"build), got {config.workers}"
+        )
+    if not config.vectorized:
+        raise IndexingError(
+            "IndexConfig(workers=...) requires the vectorized pipeline; "
+            "the scalar reference path is serial by definition"
         )
 
 
@@ -180,6 +228,11 @@ class _TokenFactorizer:
     """
 
     __slots__ = ("value_code", "token_code", "tokens", "numeric_memo")
+
+    # How this factorizer computes the Quadrant matrix (the sharded
+    # pipeline's :class:`_FastFactorizer` overrides with the vectorised
+    # per-column variant; both are bit-identical by contract).
+    quadrant_matrix = staticmethod(column_quadrant_matrix)
 
     def __init__(self) -> None:
         self.value_code: dict = {}
@@ -226,6 +279,79 @@ class _TokenFactorizer:
         return code
 
 
+class _ValueMemo(dict):
+    """Cell-value -> token-code memo whose miss logic lives in
+    ``__missing__``, so a whole flush factorises as one C-level
+    ``map(memo.__getitem__, cells)`` with the interpreter entered only on
+    first-seen values.
+
+    Bit-identical to :class:`_TokenFactorizer` coding by construction:
+    NULL is pre-seeded to ``-1``, and the Python bool/int duality
+    (``True == 1``, ``False == 0``) is handled by *exclusion* -- no value
+    comparing equal to 0 or 1 is ever memoised, so a bulk lookup can
+    never serve ``True`` the code of ``1`` (or vice versa); all such
+    cells take the miss path every time, where identity checks pick the
+    right token.
+    """
+
+    __slots__ = ("token_code", "tokens")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self[None] = -1
+        self.token_code: dict = {}
+        self.tokens: list[str] = []
+
+    def _token_code(self, token: str) -> int:
+        code = self.token_code.get(token)
+        if code is None:
+            code = len(self.tokens)
+            self.token_code[token] = code
+            self.tokens.append(token)
+        return code
+
+    def __missing__(self, value) -> int:
+        if value is True:
+            return self._token_code("true")
+        if value is False:
+            return self._token_code("false")
+        token = normalize_cell(value)
+        code = -1 if token is None else self._token_code(token)
+        if not (value == 0 or value == 1):
+            self[value] = code
+        return code
+
+
+class _FastFactorizer:
+    """The sharded pipeline's factoriser: same duck type as
+    :class:`_TokenFactorizer` (``tokens`` / ``numeric_memo`` /
+    ``factorize`` / ``quadrant_matrix``), with the per-cell interpreter
+    loop replaced by a flat ``itertools.chain`` flatten plus one
+    ``map`` over :class:`_ValueMemo`, and the vectorised per-column
+    Quadrant pass."""
+
+    __slots__ = ("memo", "numeric_memo")
+
+    quadrant_matrix = staticmethod(column_quadrant_matrix_fast)
+
+    def __init__(self) -> None:
+        self.memo = _ValueMemo()
+        self.numeric_memo: dict = {}
+
+    @property
+    def tokens(self) -> list[str]:
+        return self.memo.tokens
+
+    def factorize(self, rows, n_cells: int) -> np.ndarray:
+        codes = np.array(
+            list(map(self.memo.__getitem__, chain.from_iterable(rows))),
+            dtype=np.int32,
+        )
+        if len(codes) != n_cells:  # pragma: no cover - Table guarantees width
+            raise IndexingError("ragged rows in shard factorisation")
+        return codes
+
+
 def _ingest_vectorized(
     lake: DataLake, db: Database, config: IndexConfig, rng: random.Random
 ) -> int:
@@ -267,7 +393,7 @@ def _table_parts(
     if n_cells == 0:
         return None
 
-    _, quad = column_quadrant_matrix(table, factorizer.numeric_memo)
+    _, quad = factorizer.quadrant_matrix(table, factorizer.numeric_memo)
     rows = table.rows
     if perm is not None:
         rows = [rows[i] for i in perm]
@@ -277,45 +403,87 @@ def _table_parts(
     return _TableParts(table_id, codes, quad.reshape(-1), n_rows, n_cols)
 
 
-def _hash_and_insert(
-    db: Database,
-    config: IndexConfig,
-    buffer: list[_TableParts],
-    factorizer: _TokenFactorizer,
-) -> tuple[int, int]:
-    """Hash one buffered batch of tables and bulk-append it.
+class _ShardPart:
+    """One flush buffer, encoded and ready to merge.
 
-    XASH runs over the batch's *unique* tokens only and is broadcast back
-    through the cell code array; super keys are OR-reduced per (table,
-    row) segment in one ``reduceat`` over the whole buffer. Returns
-    ``(rows_inserted, null_cells)``.
+    All arrays are aligned on the part's non-null cells in emission order
+    (row-major within each table, tables in id order). ``codes`` index
+    into the part-local sorted ``tokens`` dictionary; the merge recodes
+    them into the global dictionary. ``super_keys`` is per-cell and
+    either already folded (pool mode hashes inside the worker) or
+    ``None`` with ``row_starts`` marking the (table, row) segments so the
+    fold can run after the global dictionary is hashed once (in-process
+    mode). Plain slots of NumPy arrays: cheap to pickle back from worker
+    processes.
+    """
+
+    __slots__ = (
+        "codes",
+        "tokens",
+        "table_ids",
+        "column_ids",
+        "row_ids",
+        "quadrant",
+        "super_keys",
+        "row_starts",
+        "null_count",
+    )
+
+    def __init__(self, codes, tokens, table_ids, column_ids, row_ids, quadrant,
+                 super_keys, row_starts, null_count):
+        self.codes = codes
+        self.tokens = tokens
+        self.table_ids = table_ids
+        self.column_ids = column_ids
+        self.row_ids = row_ids
+        self.quadrant = quadrant
+        self.super_keys = super_keys
+        self.row_starts = row_starts
+        self.null_count = null_count
+
+
+def _encode_part(
+    buffer: list[_TableParts],
+    factorizer,
+    hash_size: int,
+    xash_chars: int,
+    hash_now: bool,
+    sort_tokens: bool = True,
+) -> Optional[_ShardPart]:
+    """Encode one buffered batch of tables into a :class:`_ShardPart`.
+
+    With ``sort_tokens`` the batch's first-seen token list is sorted into
+    dictionary order and the per-cell codes remapped through the
+    permutation (the serial flush, where the part dictionary is stored
+    as-is); sharded parts skip the local sort -- the merge recodes them
+    against the globally sorted dictionary anyway, and ``searchsorted``
+    does not care whether its probe side is sorted. The id/quadrant
+    columns are laid out filtered by the batch-wide non-null mask. With
+    ``hash_now`` XASH runs over the batch's unique tokens and super keys
+    are OR-reduced per (table, row) segment in one ``reduceat``;
+    otherwise the segment starts are kept so the fold can run against
+    globally-hashed tokens at merge time. All-null batches yield a part
+    whose array fields are ``None`` (only the NULL count survives).
     """
     raw_codes = _concat([parts.codes for parts in buffer])
     quadrant = _concat([parts.quadrant for parts in buffer])
     non_null = raw_codes >= 0
     null_count = len(raw_codes) - int(non_null.sum())
     if null_count == len(raw_codes):
-        return 0, null_count
+        return _ShardPart(None, None, None, None, None, None, None, None, null_count)
 
-    # Sort the first-seen-order token list into the store's dictionary
-    # order and remap the per-cell codes through the permutation; the
-    # sorted array doubles as the CellValue dictionary, so the store
-    # skips its own np.unique pass.
     tokens = np.empty(len(factorizer.tokens), dtype=object)
     tokens[:] = factorizer.tokens
-    order = np.argsort(tokens)
-    sorted_tokens = tokens[order]
-    remap = np.empty(len(tokens), dtype=np.int32)
-    remap[order] = np.arange(len(tokens), dtype=np.int32)
-
     cell_codes = raw_codes[non_null]
-    final_codes = remap[cell_codes]
-    encoded_values = DictEncodedText(final_codes, sorted_tokens)
-
-    unique_hashes = xash_batch(
-        factorizer.tokens, config.hash_size, config.xash_chars
-    )
-    cell_hashes = unique_hashes[cell_codes]
+    if sort_tokens:
+        order = np.argsort(tokens)
+        sorted_tokens = tokens[order]
+        remap = np.empty(len(tokens), dtype=np.int32)
+        remap[order] = np.arange(len(tokens), dtype=np.int32)
+        final_codes = remap[cell_codes]
+    else:
+        sorted_tokens = tokens  # first-seen order; the merge recodes
+        final_codes = cell_codes
 
     # Per-table id columns, filtered by the buffer-wide non-null mask.
     column_ids = _concat(
@@ -346,26 +514,291 @@ def _hash_and_insert(
     total_rows = int(offsets[-1]) + buffer[-1].num_rows
     counts = np.bincount(global_rows, minlength=total_rows)
     occupied = counts > 0
-    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))
-    super_keys = np.zeros(total_rows, dtype=unique_hashes.dtype)
-    super_keys[occupied] = segmented_or(cell_hashes, starts[occupied])
+    starts = np.concatenate(([0], np.cumsum(counts)[:-1]))[occupied]
+    seg_counts = counts[occupied]
 
-    inserted = db.insert_columns(
+    part = _ShardPart(
+        final_codes,
+        sorted_tokens,
+        table_ids,
+        column_ids,
+        row_ids_full[non_null],
+        quadrant[non_null],
+        None,
+        starts.astype(np.int64),
+        null_count,
+    )
+    if hash_now:
+        unique_hashes = xash_batch(sorted_tokens.tolist(), hash_size, xash_chars)
+        part.super_keys = np.repeat(segmented_or(unique_hashes[final_codes], starts), seg_counts)
+        part.row_starts = None
+    return part
+
+
+def _fold_super_keys(part: _ShardPart, cell_hashes: np.ndarray) -> np.ndarray:
+    """Per-cell super keys from a deferred part's segment layout."""
+    seg = segmented_or(cell_hashes, part.row_starts)
+    seg_counts = np.diff(np.append(part.row_starts, len(part.codes)))
+    return np.repeat(seg, seg_counts)
+
+
+def _insert_part(
+    db: Database,
+    config: IndexConfig,
+    part: _ShardPart,
+    codes: np.ndarray,
+    dictionary: np.ndarray,
+    super_keys: np.ndarray,
+) -> int:
+    """Bulk-append one encoded part; the sorted *dictionary* doubles as
+    the CellValue dictionary, so the store skips its own np.unique pass."""
+    return db.insert_columns(
         config.table_name,
         [
-            (encoded_values, None),
-            (table_ids, None),
-            (column_ids, None),
-            (row_ids_full[non_null], None),
-            (super_keys[global_rows], None),
-            (quadrant[non_null], None),
+            (DictEncodedText(codes, dictionary), None),
+            (part.table_ids, None),
+            (part.column_ids, None),
+            (part.row_ids, None),
+            (super_keys, None),
+            (part.quadrant, None),
         ],
     )
-    return inserted, null_count
+
+
+def _hash_and_insert(
+    db: Database,
+    config: IndexConfig,
+    buffer: list[_TableParts],
+    factorizer: _TokenFactorizer,
+) -> tuple[int, int]:
+    """Hash one buffered batch of tables and bulk-append it (the serial
+    vectorised flush). XASH runs over the batch's *unique* tokens only
+    and is broadcast back through the cell code array. Returns
+    ``(rows_inserted, null_cells)``.
+    """
+    part = _encode_part(buffer, factorizer, config.hash_size, config.xash_chars, hash_now=True)
+    if part.codes is None:
+        return 0, part.null_count
+    inserted = _insert_part(db, config, part, part.codes, part.tokens, part.super_keys)
+    return inserted, part.null_count
 
 
 def _concat(arrays: list[np.ndarray]) -> np.ndarray:
     return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+
+
+# --------------------------------------------------------------------------
+# Sharded parallel pipeline (IndexConfig(workers=N))
+# --------------------------------------------------------------------------
+
+# Shards per worker process: finer than the pool so a skewed shard does
+# not leave the other workers idle at the tail of the build.
+_SHARDS_PER_WORKER = 2
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One picklable unit of shard work sent to a worker process."""
+
+    shard: LakeShard
+    perms: Optional[tuple]  # per-table shuffle permutations, or None
+    hash_size: int
+    xash_chars: int
+    hash_in_worker: bool  # False: defer XASH to the global merge
+
+
+def _shard_worker(task: _ShardTask) -> list[_ShardPart]:
+    """Process one shard: factorise + quadrant every table, flush into
+    encoded parts. Runs in a worker process in pool mode (hashing its
+    parts locally) and inline for the single-CPU degradation (hashing
+    deferred to the merge, where the global dictionary is hashed once).
+    """
+    if task.hash_in_worker and os.environ.get("REPRO_INDEX_WORKER_CRASH"):
+        # Test hook: simulate a hard worker death. Gated on pool mode so
+        # the inline degradation path can never exit the main process.
+        os._exit(17)
+    parts: list[_ShardPart] = []
+    factorizer = _FastFactorizer()
+    buffer: list[_TableParts] = []
+    buffered = 0
+    for offset, table in enumerate(task.shard.tables):
+        perm = list(task.perms[offset]) if task.perms is not None else None
+        table_parts = _table_parts(task.shard.first_table_id + offset, table, factorizer, perm)
+        if table_parts is not None:
+            buffer.append(table_parts)
+            buffered += len(table_parts.codes)
+        if buffered >= _FLUSH_ROWS:
+            parts.append(
+                _encode_part(
+                    buffer, factorizer, task.hash_size, task.xash_chars,
+                    task.hash_in_worker, sort_tokens=False,
+                )
+            )
+            buffer, buffered = [], 0
+            factorizer = _FastFactorizer()
+    if buffer:
+        parts.append(
+            _encode_part(
+                buffer, factorizer, task.hash_size, task.xash_chars,
+                task.hash_in_worker, sort_tokens=False,
+            )
+        )
+    return parts
+
+
+def _ingest_sharded(lake: DataLake, db: Database, config: IndexConfig, rng: random.Random) -> int:
+    """Shard the lake, fan the shards out, merge deterministically.
+
+    Shuffle permutations are drawn up front from the single build rng (in
+    table-id order, exactly the sequence the serial paths consume), so
+    workers never need the shared rng. Shard outputs are merged in
+    table-id order, which makes the result byte-identical to the serial
+    vectorised build for any worker count.
+    """
+    perms: Optional[list[tuple[int, ...]]] = None
+    if config.shuffle_rows:
+        perms = []
+        for table in lake:
+            perm = list(range(table.num_rows))
+            rng.shuffle(perm)
+            perms.append(tuple(perm))
+
+    workers = _effective_workers(config)
+    if workers <= 1 or len(lake) <= 1:
+        # Single-CPU (or single-table) degradation: same sharded pipeline
+        # inline -- no IPC, and XASH runs once over the merged global
+        # dictionary instead of once per shard.
+        task = _ShardTask(
+            lake.shard(0, len(lake)),
+            tuple(perms) if perms is not None else None,
+            config.hash_size,
+            config.xash_chars,
+            hash_in_worker=False,
+        )
+        parts = _shard_worker(task)
+    else:
+        tasks = []
+        for shard in lake.shard_plan(workers * _SHARDS_PER_WORKER):
+            shard_perms = None
+            if perms is not None:
+                start = shard.first_table_id
+                shard_perms = tuple(perms[start : start + len(shard.tables)])
+            tasks.append(
+                _ShardTask(shard, shard_perms, config.hash_size, config.xash_chars, True)
+            )
+        parts = _run_shard_tasks(tasks, workers)
+    return _merge_and_insert(db, config, parts)
+
+
+def _run_shard_tasks(tasks: list[_ShardTask], workers: int) -> list[_ShardPart]:
+    """Fan shard tasks out over the shared worker pool, preserving shard
+    order. A worker that dies (OOM-kill, segfault, ``os._exit``) breaks
+    the pool: that surfaces as an :class:`IndexingError` naming the
+    cause, never a hang, and the poisoned pool is discarded so the next
+    build starts fresh. Ordinary worker exceptions propagate unchanged.
+    """
+    pool = _shared_pool(workers)
+    futures = [pool.submit(_shard_worker, task) for task in tasks]
+    parts: list[_ShardPart] = []
+    try:
+        for future in futures:
+            parts.extend(future.result())
+    except BrokenProcessPool as exc:
+        _discard_pool(workers)
+        raise IndexingError(
+            "parallel AllTables build aborted: a shard worker process died "
+            f"({exc}); the worker pool was discarded -- rerun, or fall back "
+            "to the serial build with IndexConfig(workers=None)"
+        ) from exc
+    finally:
+        for future in futures:
+            future.cancel()
+    return parts
+
+
+def _merge_and_insert(db: Database, config: IndexConfig, parts: list[_ShardPart]) -> int:
+    """Deterministic merge: recode every part's local token codes into
+    one global sorted dictionary (sorted-unique union + vectorised
+    ``np.searchsorted`` remap) and bulk-append the parts in shard order.
+    Every part shares the single global dictionary object, so the column
+    store's incremental seal concatenates code arrays without re-deriving
+    a union. Returns the total NULL-cell count.
+    """
+    null_cells = sum(part.null_count for part in parts)
+    live = [part for part in parts if part.codes is not None]
+    if not live:
+        return null_cells
+    dictionaries = [part.tokens for part in live]
+    global_dict = np.unique(
+        dictionaries[0] if len(dictionaries) == 1 else np.concatenate(dictionaries)
+    )
+    global_hashes = None
+    if any(part.super_keys is None for part in live):
+        global_hashes = xash_batch(global_dict.tolist(), config.hash_size, config.xash_chars)
+    for part in live:
+        remap = np.searchsorted(global_dict, part.tokens).astype(np.int32)
+        codes = remap[part.codes]
+        super_keys = part.super_keys
+        if super_keys is None:
+            super_keys = _fold_super_keys(part, global_hashes[codes])
+        _insert_part(db, config, part, codes, global_dict, super_keys)
+    return null_cells
+
+
+def _available_cpus() -> int:
+    """CPUs this process may actually run on (cgroup/affinity aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def _effective_workers(config: IndexConfig) -> int:
+    """Adaptive worker count: processes beyond the available CPUs only
+    add IPC and memory, so the requested count is clamped unless the
+    caller pins it."""
+    if config.pin_workers:
+        return config.workers
+    return max(1, min(config.workers, _available_cpus()))
+
+
+# Long-lived worker pools, keyed by size. Builds are frequent and short
+# (every lake [re]index), so pool spawn cost is paid once per process,
+# not once per build; atexit tears the pools down.
+_POOLS: dict[int, concurrent.futures.ProcessPoolExecutor] = {}
+
+
+def _mp_context():
+    """Prefer fork where the platform offers it (no re-import cost in
+    workers); otherwise the platform default (spawn)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _shared_pool(workers: int) -> concurrent.futures.ProcessPoolExecutor:
+    pool = _POOLS.get(workers)
+    if pool is None:
+        pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=_mp_context()
+        )
+        _POOLS[workers] = pool
+    return pool
+
+
+def _discard_pool(workers: int) -> None:
+    pool = _POOLS.pop(workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _shutdown_pools() -> None:
+    while _POOLS:
+        _, pool = _POOLS.popitem()
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+atexit.register(_shutdown_pools)
 
 
 # --------------------------------------------------------------------------

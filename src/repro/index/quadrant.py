@@ -81,38 +81,115 @@ def column_quadrant_matrix(
     rows = table.rows
     if memo is None:
         memo = {}
-    memo_get = memo.get
     for position in range(n_cols):
         if not flags[position]:
             means.append(None)
             continue
-        values = np.empty(n_rows, dtype=np.float64)
-        is_none = np.zeros(n_rows, dtype=bool)
-        for i, row in enumerate(rows):
-            value = row[position]
-            if value is True or value is False:
-                numeric = None
-            else:
-                numeric = memo_get(value, _MISSING)
-                if numeric is _MISSING:
-                    numeric = numeric_value(value)
-                    memo[value] = numeric
-            if numeric is None:
-                is_none[i] = True
-                values[i] = np.nan
-            else:
-                values[i] = numeric
-        count = n_rows - int(is_none.sum())
-        if count == 0:
+        values, is_none = _column_numeric_values(rows, position, n_rows, memo)
+        _fill_column_bits(bits, position, values, is_none, n_rows, means)
+    return means, bits
+
+
+def _column_numeric_values(
+    rows, position: int, n_rows: int, memo: dict
+) -> tuple[np.ndarray, np.ndarray]:
+    """``numeric_value`` of one column as ``(values, is_none)`` arrays
+    (NaN at excluded positions) -- the scalar per-cell extraction, shared
+    by both quadrant-matrix builders."""
+    memo_get = memo.get
+    values = np.empty(n_rows, dtype=np.float64)
+    is_none = np.zeros(n_rows, dtype=bool)
+    for i, row in enumerate(rows):
+        value = row[position]
+        if value is True or value is False:
+            numeric = None
+        else:
+            numeric = memo_get(value, _MISSING)
+            if numeric is _MISSING:
+                numeric = numeric_value(value)
+                memo[value] = numeric
+        if numeric is None:
+            is_none[i] = True
+            values[i] = np.nan
+        else:
+            values[i] = numeric
+    return values, is_none
+
+
+def _fill_column_bits(
+    bits: np.ndarray,
+    position: int,
+    values: np.ndarray,
+    is_none: np.ndarray,
+    n_rows: int,
+    means: list,
+) -> None:
+    """Mean + quadrant bits of one extracted column, appended/written in
+    place (shared tail of both quadrant-matrix builders)."""
+    count = n_rows - int(is_none.sum())
+    if count == 0:
+        means.append(None)
+        return
+    # Sequential Python-float summation in row order: identical
+    # rounding to the scalar ``column_means`` accumulation loop.
+    mean = sum(values[~is_none].tolist()) / count
+    means.append(mean)
+    column_bits = (values >= mean).astype(np.int8)  # NaN -> 0, as scalar
+    column_bits[is_none] = -1
+    bits[:, position] = column_bits
+
+
+def column_quadrant_matrix_fast(
+    table: Table, memo: Optional[dict] = None
+) -> tuple[list[Optional[float]], np.ndarray]:
+    """:func:`column_quadrant_matrix` with vectorised per-column numeric
+    extraction -- the sharded index pipeline's variant.
+
+    Columns whose cells are purely ``int``/``float``/numeric-``str`` (plus
+    NULLs) are converted with one ``astype(float64)`` pass; anything the
+    fast dispatch cannot prove equivalent (bools, mixed str+float columns
+    where the two NaN conventions differ, unparsable strings, exotic
+    types) falls back to the shared scalar extraction, so the result is
+    bit-identical to :func:`column_quadrant_matrix` by construction.
+
+    The NaN conventions that force the str+float fallback:
+    ``numeric_value`` maps a *float* NaN cell to None (excluded, bit -1)
+    but a ``"nan"`` *string* cell to NaN (included: it poisons the mean
+    and compares False, bit 0). With only one of the two types present
+    the exclusion mask is decidable from the array alone.
+    """
+    flags = table.numeric_columns()
+    n_rows, n_cols = table.num_rows, table.num_columns
+    means: list[Optional[float]] = []
+    bits = np.full((n_rows, n_cols), -1, dtype=np.int8)
+    rows = table.rows
+    if memo is None:
+        memo = {}
+    for position in range(n_cols):
+        if not flags[position]:
             means.append(None)
             continue
-        # Sequential Python-float summation in row order: identical
-        # rounding to the scalar ``column_means`` accumulation loop.
-        mean = sum(values[~is_none].tolist()) / count
-        means.append(mean)
-        column_bits = (values >= mean).astype(np.int8)  # NaN -> 0, as scalar
-        column_bits[is_none] = -1
-        bits[:, position] = column_bits
+        column = [row[position] for row in rows]
+        values = is_none = None
+        kinds = set(map(type, column))
+        kinds.discard(type(None))
+        if kinds and kinds <= {int, float, str} and not (str in kinds and float in kinds):
+            none_mask = np.fromiter((v is None for v in column), dtype=bool, count=n_rows)
+            present = [v for v in column if v is not None] if none_mask.any() else column
+            try:
+                converted = np.array(present, dtype=np.float64)
+            except (ValueError, TypeError, OverflowError):
+                converted = None  # e.g. non-numeric str in an 80 % column
+            if converted is not None:
+                values = np.full(n_rows, np.nan, dtype=np.float64)
+                values[~none_mask] = converted
+                if float in kinds:
+                    is_none = none_mask | np.isnan(values)
+                else:
+                    is_none = none_mask
+        if values is None:
+            values, is_none = _column_numeric_values(rows, position, n_rows, memo)
+        _fill_column_bits(bits, position, values, is_none, n_rows, means)
     return means, bits
 
 

@@ -9,7 +9,7 @@ phase can estimate seeker costs without touching ``AllTables``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable
 
 from ..lake.datalake import DataLake
 from ..lake.table import Cell, normalize_cell

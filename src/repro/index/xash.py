@@ -19,7 +19,7 @@ in the column store; MATE's 128-bit variant is available via ``hash_size``.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 
@@ -104,6 +104,16 @@ _POSITION_SCALE = 1e9
 _MAX_VECTOR_TOKEN_LEN = 64
 
 
+def hash_dtype(hash_size: int):
+    """Array dtype for *hash_size*-bit hashes: ``int64`` up to 63 bits
+    (the column store's ``SuperKey`` width), object arrays of Python ints
+    beyond (MATE's 128-bit variant). One definition shared by every
+    batch producer -- including each shard worker of the parallel
+    ``AllTables`` build, whose parts must concatenate without dtype
+    surprises at the merge."""
+    return object if hash_size > 63 else np.int64
+
+
 def xash_batch(
     tokens: Sequence[str],
     hash_size: int = DEFAULT_HASH_SIZE,
@@ -125,7 +135,7 @@ def xash_batch(
     """
     n = len(tokens)
     wide = hash_size > 63
-    out_dtype = object if wide else np.int64
+    out_dtype = hash_dtype(hash_size)
     if n == 0:
         return np.empty(0, dtype=out_dtype)
     lengths = np.fromiter((len(t) for t in tokens), dtype=np.int64, count=n)
@@ -210,8 +220,7 @@ def tuple_hashes_batch(
     Returns one hash per tuple (``int64`` for ``hash_size <= 63``, object
     otherwise), bit-identical to calling ``tuple_hash`` per tuple.
     """
-    wide = hash_size > 63
-    out_dtype = object if wide else np.int64
+    out_dtype = hash_dtype(hash_size)
     if not tuples:
         return np.empty(0, dtype=out_dtype)
     vocab: dict[str, int] = {}

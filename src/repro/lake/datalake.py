@@ -26,6 +26,25 @@ class LakeStats:
     num_cells: int
 
 
+@dataclass(frozen=True)
+class LakeShard:
+    """A contiguous, picklable slice of a lake's tables.
+
+    The unit of work of the sharded ``AllTables`` build: table ids stay
+    implicit (``first_table_id + offset``), and :class:`Table` holds only
+    plain Python lists/tuples (plus its cached type-inference flags), so
+    a shard crosses a process boundary with one pickle round-trip and no
+    lake-level state.
+    """
+
+    first_table_id: int
+    tables: tuple[Table, ...]
+
+    @property
+    def num_cells(self) -> int:
+        return sum(table.num_rows * table.num_columns for table in self.tables)
+
+
 class DataLake:
     """An ordered collection of :class:`Table` with id <-> name mapping."""
 
@@ -99,6 +118,52 @@ class DataLake:
                 kept.append(row_id)
                 gathered.append(rows[row_id])
         return kept, gathered
+
+    # -- sharding ---------------------------------------------------------------------
+
+    def shard(self, start: int, stop: int) -> LakeShard:
+        """The tables with ids in ``[start, stop)`` as one picklable shard."""
+        if not 0 <= start <= stop <= len(self._tables):
+            raise LakeError(
+                f"invalid shard range [{start}, {stop}) for a lake of "
+                f"{len(self._tables)} tables"
+            )
+        return LakeShard(start, tuple(self._tables[start:stop]))
+
+    def shard_plan(self, num_shards: int) -> list[LakeShard]:
+        """Partition the lake into up to *num_shards* contiguous shards of
+        roughly equal **cell** count (tables vary by orders of magnitude,
+        so balancing by table count would skew worker runtimes).
+
+        Contiguity keeps the merge deterministic and trivial: emitting
+        shard outputs in shard order reproduces the serial build's
+        table-id emission order exactly. Greedy splitting against the
+        ideal per-shard quota; every shard holds at least one table, and
+        fewer shards than requested are returned when the lake is small.
+        """
+        if num_shards < 1:
+            raise LakeError(f"num_shards must be >= 1, got {num_shards}")
+        num_tables = len(self._tables)
+        if num_tables == 0:
+            return []
+        cells = [table.num_rows * table.num_columns for table in self._tables]
+        total = sum(cells)
+        shards: list[LakeShard] = []
+        start = 0
+        accumulated = 0
+        for table_id, table_cells in enumerate(cells):
+            accumulated += table_cells
+            remaining_shards = num_shards - len(shards)
+            remaining_tables = num_tables - table_id - 1
+            if remaining_shards <= 1:
+                continue
+            quota = total * (len(shards) + 1) / num_shards
+            if accumulated >= quota or remaining_tables < remaining_shards - 1:
+                shards.append(self.shard(start, table_id + 1))
+                start = table_id + 1
+        if start < num_tables:
+            shards.append(self.shard(start, num_tables))
+        return shards
 
     # -- statistics -------------------------------------------------------------------
 

@@ -14,8 +14,7 @@ All generation is deterministic in the seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 from ..datalake import DataLake
 from ..table import Table

@@ -10,7 +10,7 @@ mint unlimited synthetic words when a larger domain is needed.
 from __future__ import annotations
 
 import random
-from typing import Optional, Sequence
+from typing import Sequence
 
 FIRST_NAMES = [
     "james", "mary", "robert", "patricia", "john", "jennifer", "michael",

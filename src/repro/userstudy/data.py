@@ -12,7 +12,7 @@ to end even though the responses themselves are synthetic reconstructions
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

@@ -8,7 +8,7 @@ nine survey questions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Sequence
 
 from .data import LANGUAGES, METHODS, TASKS, Participant
 

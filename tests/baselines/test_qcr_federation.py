@@ -7,11 +7,8 @@ from repro.baselines import (
     JosieIndex,
     MateIndex,
     QcrIndex,
-    StarmieIndex,
-    feature_discovery_baseline,
     imputation_baseline,
     loc_of,
-    multi_objective_baseline,
     negative_examples_baseline,
 )
 from repro.baselines.federation import TASK_PROFILES

@@ -59,6 +59,47 @@ def test_run_bench_cli(tmp_path):
     assert set(payload) >= set(PHASES)
 
 
+def test_workers_axis_disabled(tmp_path):
+    """``--workers 0`` drops the parallel phase but keeps the rest."""
+    results = run_benchmark(seed=3, scale=0.05, workers=0)
+    assert not any(phase.startswith("build_parallel") for phase in results)
+    assert "build_vectorized" in results
+
+
+class TestCheckOnly:
+    """``run_bench.py --check-only``: the CI parity smoke."""
+
+    def test_cli_runs_all_suites(self, capsys):
+        from run_bench import main
+
+        assert main(["--check-only", "--suite", "all", "--seed", "3", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "[index] index build parity OK" in out
+        assert "[seeker] MC seeker oracle parity OK" in out
+
+    def test_index_divergence_raises(self, monkeypatch):
+        """The build-parity assertion is live: break the sharded merge
+        (in the parent process, so the check is pool-independent) and the
+        smoke must fail."""
+        import bench_index_build
+        from repro.index import alltables
+
+        monkeypatch.setattr(alltables, "_merge_and_insert", lambda db, config, parts: 0)
+        with pytest.raises(AssertionError, match="build parity violated"):
+            bench_index_build.run_check(seed=3, scale=0.05)
+
+    def test_seeker_divergence_raises(self, monkeypatch):
+        from repro.core.seekers import MultiColumnSeeker
+
+        monkeypatch.setattr(
+            MultiColumnSeeker,
+            "validate_batch",
+            lambda self, table_ids, row_ids, context: (table_ids[:0], row_ids[:0]),
+        )
+        with pytest.raises(AssertionError, match="divergence"):
+            bench_seeker.run_check(seed=3, scale=0.1)
+
+
 class TestSeekerSuite:
     """The seeker benchmark: runs end-to-end on a tiny lake (asserting
     the scalar-oracle parity internally), and the committed

@@ -6,7 +6,6 @@ import pytest
 from repro import Combiners, Plan, Seekers
 from repro.core.optimizer import (
     CostModel,
-    ExecutionGroup,
     LinearModel,
     Optimizer,
     SeekerFeatures,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Blend, Plan, Seekers
+from repro import Blend
 from repro.core.seekers import (
     CorrelationSeeker,
     KeywordSeeker,

@@ -4,14 +4,7 @@ projection pushdown annotations."""
 import pytest
 
 from repro.engine import Database
-from repro.engine.sql.planner import (
-    FilterNode,
-    JoinNode,
-    LimitNode,
-    ScanNode,
-    SliceColumnsNode,
-    SortNode,
-)
+from repro.engine.sql.planner import JoinNode, ScanNode
 
 
 @pytest.fixture

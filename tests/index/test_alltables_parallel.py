@@ -1,0 +1,242 @@
+"""Determinism suite for the sharded parallel AllTables build.
+
+The acceptance bar mirrors the PR 1 vectorised-vs-scalar pin: for any
+worker count, both scheduling modes (adaptive in-process degradation and
+a pinned real process pool), both storage backends, and both hash
+widths, ``build_alltables(..., IndexConfig(workers=N))`` must produce
+**byte-identical** ``AllTables`` relations (same values, same physical
+order) and identical build reports. A worker-process crash must surface
+as a clear :class:`IndexingError`, never a hang, and must not poison
+subsequent builds.
+"""
+
+import random
+
+import pytest
+
+from repro.engine import Database
+from repro.errors import IndexingError
+from repro.index import IndexConfig, build_alltables
+from repro.index.alltables import (
+    _FastFactorizer,
+    _TokenFactorizer,
+    _shutdown_pools,
+    index_table,
+)
+from repro.lake import DataLake, Table
+from repro.lake.generators import CorpusConfig, generate_corpus
+
+
+def _random_lake(rng: random.Random, num_tables: int = 12) -> DataLake:
+    """Adversarial random lakes: shared skewed vocabulary, numeric and
+    mixed columns, NULL/empty/whitespace cells, bool/int collisions
+    (``True == 1``), 0/1-valued cells (the fast factoriser's memo
+    exclusion set), floats that normalise to ints, NaN, and tiny or
+    single-column tables."""
+    vocabulary = [f"tok{i}" for i in range(30)] + ["Mixed Case", " pad ", "1", "0"]
+    lake = DataLake("parallel_prop")
+    for t in range(num_tables):
+        width = rng.randint(1, 5)
+        rows = []
+        for _ in range(rng.randint(0, 18)):
+            row = []
+            for _ in range(width):
+                roll = rng.random()
+                if roll < 0.08:
+                    row.append(None)
+                elif roll < 0.16:
+                    row.append(rng.randint(0, 3))
+                elif roll < 0.24:
+                    row.append(rng.choice([True, False]))
+                elif roll < 0.34:
+                    row.append(
+                        rng.choice([0.0, 1.0, 2.5, 20.0, float("nan"), -7.125])
+                    )
+                elif roll < 0.40:
+                    row.append(rng.choice(["", "  ", "42", "3.5"]))
+                else:
+                    row.append(rng.choice(vocabulary))
+            rows.append(tuple(row))
+        lake.add(Table(f"t{t}", [f"c{i}" for i in range(width)], rows))
+    return lake
+
+
+def _alltables_rows(lake, config, backend="column"):
+    db = Database(backend=backend)
+    report = build_alltables(lake, db, config)
+    return db.execute("SELECT * FROM AllTables").rows, report
+
+
+class TestByteIdenticalAcrossWorkerCounts:
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_random_lakes_all_worker_counts(self, seed):
+        lake = _random_lake(random.Random(seed))
+        reference_rows, reference_report = _alltables_rows(lake, IndexConfig())
+        for workers in (1, 2, 4):
+            rows, report = _alltables_rows(lake, IndexConfig(workers=workers))
+            assert rows == reference_rows, f"workers={workers} diverged"
+            assert report == reference_report
+
+    def test_pinned_pool_matches_adaptive_and_serial(self):
+        """Force a real process pool (pin_workers) even on a single-CPU
+        host: results must match the in-process degradation and the
+        serial build bit for bit."""
+        lake = _random_lake(random.Random(91))
+        reference_rows, reference_report = _alltables_rows(lake, IndexConfig())
+        for workers in (2, 3):
+            rows, report = _alltables_rows(
+                lake, IndexConfig(workers=workers, pin_workers=True)
+            )
+            assert rows == reference_rows
+            assert report == reference_report
+
+    @pytest.mark.parametrize("backend", ["row", "column"])
+    def test_both_backends_generated_corpus(self, backend):
+        lake = generate_corpus(
+            CorpusConfig(name="par", num_tables=25, min_rows=4, max_rows=30, seed=13)
+        )
+        reference_rows, _ = _alltables_rows(lake, IndexConfig(), backend)
+        rows, _ = _alltables_rows(
+            lake, IndexConfig(workers=2, pin_workers=True), backend
+        )
+        assert rows == reference_rows
+
+    def test_128_bit_hashes_row_backend(self):
+        lake = _random_lake(random.Random(5))
+        reference_rows, _ = _alltables_rows(lake, IndexConfig(hash_size=128), "row")
+        assert any(row[4] >= 2**63 for row in reference_rows)  # real 128-bit keys
+        for workers, pin in ((1, False), (2, True)):
+            rows, _ = _alltables_rows(
+                lake, IndexConfig(hash_size=128, workers=workers, pin_workers=pin), "row"
+            )
+            assert rows == reference_rows
+
+    def test_128_bit_rejected_on_column_store(self):
+        lake = _random_lake(random.Random(5))
+        db = Database(backend="column")
+        with pytest.raises(IndexingError, match="int64 SuperKey"):
+            build_alltables(lake, db, IndexConfig(hash_size=128, workers=2))
+
+    def test_shuffle_rows_parity(self):
+        lake = _random_lake(random.Random(31))
+        reference_rows, _ = _alltables_rows(
+            lake, IndexConfig(shuffle_rows=True, shuffle_seed=17)
+        )
+        for workers, pin in ((1, False), (4, False), (2, True)):
+            rows, _ = _alltables_rows(
+                lake,
+                IndexConfig(
+                    shuffle_rows=True, shuffle_seed=17, workers=workers, pin_workers=pin
+                ),
+            )
+            assert rows == reference_rows
+
+    def test_scalar_oracle_agreement(self):
+        lake = _random_lake(random.Random(47))
+        scalar_rows, _ = _alltables_rows(lake, IndexConfig(vectorized=False))
+        parallel_rows, _ = _alltables_rows(lake, IndexConfig(workers=2, pin_workers=True))
+        assert parallel_rows == scalar_rows
+
+    def test_empty_and_all_null_lakes(self):
+        empty = DataLake("empty")
+        rows, report = _alltables_rows(empty, IndexConfig(workers=2))
+        assert rows == [] and report.num_index_rows == 0
+        nulls = DataLake("nulls", [Table("n", ["a", "b"], [(None, None)] * 5)])
+        reference_rows, reference_report = _alltables_rows(nulls, IndexConfig())
+        rows, report = _alltables_rows(nulls, IndexConfig(workers=2, pin_workers=True))
+        assert rows == reference_rows == []
+        assert report == reference_report
+        assert report.num_null_cells == 10
+
+
+class TestFastFactorizerParity:
+    """The sharded pipeline's factoriser against the serial one, on the
+    exact value classes where Python equality lies (``True == 1``,
+    ``1 == 1.0``, NaN)."""
+
+    def test_codes_match_token_for_token(self):
+        rows = [
+            (True, 1, "1", 1.0),
+            (False, 0, "0", 0.0),
+            (None, "", "  ", "x"),
+            (2.0, 2, "2", float("nan")),
+            (True, 1, "1", 1.0),  # repeats: memo-hit path
+        ]
+        slow, fast = _TokenFactorizer(), _FastFactorizer()
+        slow_codes = slow.factorize(rows, 20)
+        fast_codes = fast.factorize(rows, 20)
+        slow_tokens = [None if c < 0 else slow.tokens[c] for c in slow_codes]
+        fast_tokens = [None if c < 0 else fast.tokens[c] for c in fast_codes]
+        assert fast_tokens == slow_tokens
+        assert fast_tokens[:4] == ["true", "1", "1", "1"]
+        assert fast_tokens[4:8] == ["false", "0", "0", "0"]
+
+    def test_zero_one_values_never_memoised(self):
+        fast = _FastFactorizer()
+        fast.factorize([(1, True, 0.0, "z")], 4)
+        assert all(not (key == 0 or key == 1) for key in fast.memo if key is not None)
+
+
+class TestWorkerFailureModes:
+    def test_worker_crash_surfaces_as_indexing_error(self, monkeypatch):
+        """A hard worker death (os._exit in the entrypoint) must raise a
+        clear IndexingError promptly -- not hang -- and the next build on
+        a fresh pool must succeed."""
+        lake = _random_lake(random.Random(3))
+        # Worker processes snapshot the environment when they start, so
+        # drop any pool cached by earlier builds before poisoning it.
+        _shutdown_pools()
+        monkeypatch.setenv("REPRO_INDEX_WORKER_CRASH", "1")
+        db = Database(backend="column")
+        with pytest.raises(IndexingError, match="worker process died"):
+            build_alltables(lake, db, IndexConfig(workers=2, pin_workers=True))
+        monkeypatch.delenv("REPRO_INDEX_WORKER_CRASH")
+        recovered = Database(backend="column")
+        report = build_alltables(
+            lake, recovered, IndexConfig(workers=2, pin_workers=True)
+        )
+        reference_rows, _ = _alltables_rows(lake, IndexConfig())
+        assert recovered.execute("SELECT * FROM AllTables").rows == reference_rows
+        assert report.num_index_rows == len(reference_rows)
+
+    def test_worker_exception_propagates(self):
+        """An ordinary exception inside a worker (unhashable cell) is
+        re-raised in the parent, original type intact. Two tables, so the
+        build really fans out instead of degrading to the inline path."""
+        lake = DataLake(
+            "bad",
+            [
+                Table("ok", ["a"], [("fine",)] * 3),
+                Table("t", ["a"], [(["unhashable"],)] * 3),
+            ],
+        )
+        db = Database(backend="column")
+        with pytest.raises(TypeError):
+            build_alltables(lake, db, IndexConfig(workers=2, pin_workers=True))
+
+    def test_invalid_worker_counts_rejected(self):
+        lake = _random_lake(random.Random(2))
+        for bad in (0, -3):
+            with pytest.raises(IndexingError, match="workers must be >= 1"):
+                build_alltables(lake, Database(), IndexConfig(workers=bad))
+        with pytest.raises(IndexingError, match="requires the vectorized"):
+            build_alltables(
+                lake, Database(), IndexConfig(workers=2, vectorized=False)
+            )
+
+
+class TestMaintenanceAfterParallelBuild:
+    def test_index_table_appends_identically(self):
+        lake = _random_lake(random.Random(11))
+        extra = Table("t_extra", ["a", "b"], [("p", 1), (None, 2.5), ("q", None)])
+        results = {}
+        for label, config in (
+            ("serial", IndexConfig()),
+            ("parallel", IndexConfig(workers=2, pin_workers=True)),
+        ):
+            db = Database(backend="column")
+            build_alltables(lake, db, config)
+            added = index_table(len(lake), extra, db, config)
+            assert added == 4  # six cells, two NULLs
+            results[label] = db.execute("SELECT * FROM AllTables").rows
+        assert results["parallel"] == results["serial"]

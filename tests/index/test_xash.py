@@ -1,6 +1,5 @@
 """XASH super-key properties, including the bloom-filter guarantee."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
