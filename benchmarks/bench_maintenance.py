@@ -1,0 +1,226 @@
+"""Micro-benchmark: index maintenance under the mutable-lake lifecycle.
+
+Phases measured (on a seeded Table-II-style generated lake, indexed
+once up front):
+
+===================  =====================================================
+maintenance          remove + reindex throughput: replace_table cycles
+                     (delete one table's AllTables rows + append the new
+                     table's rows); rows/s counts index rows touched
+                     (removed + added)
+maintenance_remove   pure removals (tombstone deletes incl. threshold
+                     compactions); rows/s counts index rows removed
+maintenance_compact  one forced full compaction (dictionary re-encode +
+                     cluster-order rebuild) after the removal churn
+===================  =====================================================
+
+Results merge into ``BENCH_index.json`` (run through
+``benchmarks/run_bench.py --suite maintenance``). ``run_check`` is the
+hardware-independent lifecycle-parity smoke the nightly CI job runs via
+``run_bench.py --check-only``: scripted add/remove/replace interleavings
+on both storage backends, asserting seeker-result parity with a
+from-scratch build and byte-identical post-compaction storage.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable
+
+from repro.core.seekers import SeekerContext, Seekers
+from repro.core.system import Blend
+from repro.engine import Database
+from repro.index import IndexConfig, build_alltables
+from repro.lake import Table
+from repro.lake.generators import CorpusConfig, generate_corpus
+
+DEFAULT_SEED = 71
+
+
+def _phase(seconds: float, rows: int) -> dict[str, float]:
+    return {
+        "seconds": round(seconds, 6),
+        "rows_per_sec": round(rows / seconds, 1) if seconds > 0 else float("inf"),
+    }
+
+
+def _timed(fn: Callable[[], int]) -> tuple[float, int]:
+    start = time.perf_counter()
+    rows = fn()
+    return time.perf_counter() - start, rows
+
+
+def _bench_lake(seed: int, scale: float = 1.0):
+    config = CorpusConfig(
+        name="bench_maint",
+        num_tables=max(4, int(120 * scale)),
+        min_rows=max(2, int(80 * scale)),
+        max_rows=max(4, int(300 * scale)),
+        seed=seed,
+    )
+    lake = generate_corpus(config)
+    for table in lake:
+        table.numeric_columns()
+    return lake
+
+
+def _variant(table: Table, tag: str) -> Table:
+    """A same-shape replacement table (rotated rows, fresh name)."""
+    rows = table.rows[1:] + table.rows[:1]
+    return Table(f"{table.name}_{tag}", table.columns, rows)
+
+
+def run_benchmark(seed: int = DEFAULT_SEED, scale: float = 1.0) -> dict[str, dict[str, float]]:
+    lake = _bench_lake(seed, scale)
+    blend = Blend(lake, backend="column")
+    blend.build_index()
+    storage = blend.db.table("AllTables")
+    rng = random.Random(seed)
+    results: dict[str, dict[str, float]] = {}
+
+    # -- replace cycles: the remove+reindex hot loop. Rows touched =
+    # -- removed + re-added per cycle (the table's own index rows, twice).
+    live = blend.lake.table_ids()
+    targets = rng.sample(live, min(40, len(live) // 2))
+
+    def replace_rows() -> int:
+        touched = 0
+        for cycle, table_id in enumerate(targets):
+            table = blend.lake.by_id(table_id)
+            per_table = sum(
+                1 for _, _, v in table.iter_cells() if v is not None
+            )
+            blend.replace_table(table_id, _variant(table, f"r{cycle}"))
+            touched += 2 * per_table  # removed + re-added
+        return touched
+
+    seconds, touched = _timed(replace_rows)
+    results["maintenance"] = _phase(seconds, touched)
+
+    # -- pure removals (tombstones + threshold compactions) --------------------
+    remove_targets = rng.sample(blend.lake.table_ids(), min(30, len(blend.lake) // 3))
+
+    def removals() -> int:
+        removed_rows = 0
+        for table_id in remove_targets:
+            before = blend.db.num_rows("AllTables")
+            blend.remove_table(table_id)
+            removed_rows += before - blend.db.num_rows("AllTables")
+        return removed_rows
+
+    seconds, removed_rows = _timed(removals)
+    results["maintenance_remove"] = _phase(seconds, removed_rows)
+
+    # -- one forced full compaction --------------------------------------------
+    compactions_before = storage.compactions
+    seconds, _ = _timed(lambda: (blend.compact_index(), 0)[1])
+    results["maintenance_compact"] = _phase(seconds, blend.db.num_rows("AllTables"))
+    assert storage.compactions > compactions_before
+    return results
+
+
+def format_report(results: dict[str, dict[str, float]]) -> str:
+    lines = [f"{'phase':<20} {'seconds':>10} {'rows/s':>14}"]
+    for phase, numbers in results.items():
+        lines.append(
+            f"{phase:<20} {numbers['seconds']:>10.4f} {numbers['rows_per_sec']:>14,.0f}"
+        )
+    return "\n".join(lines)
+
+
+# -- the hardware-independent lifecycle smoke (run_bench --check-only) ---------
+
+
+def _scripted_mutations(blend: Blend, rng: random.Random) -> None:
+    counter = 0
+    for _ in range(8):
+        live = blend.lake.table_ids()
+        op = rng.choice(("add", "remove", "replace"))
+        if op == "add" or len(live) <= 3:
+            counter += 1
+            blend.add_table(
+                Table(
+                    f"smoke_add{counter}",
+                    ["k", "n"],
+                    [(f"sm{rng.randint(0, 20)}", rng.randint(0, 9)) for _ in range(6)],
+                )
+            )
+        elif op == "remove":
+            blend.remove_table(rng.choice(live))
+        else:
+            counter += 1
+            table = blend.lake.by_id(rng.choice(live))
+            blend.replace_table(
+                blend.lake.id_of(table.name), _variant(table, f"s{counter}")
+            )
+
+
+def _seeker_results(context: SeekerContext, lake) -> dict:
+    table = lake.by_id(lake.table_ids()[0])
+    values = [v for v in table.column_values(table.columns[0]) if v is not None][:8]
+    seekers = {"SC": Seekers.SC(values, k=10), "KW": Seekers.KW(values, k=10)}
+    wide = [r[:2] for r in table.rows if all(v is not None for v in r[:2])]
+    if table.num_columns >= 2 and len(wide) >= 2:
+        seekers["MC"] = Seekers.MC(wide[:6], k=10)
+    flags = table.numeric_columns()
+    if any(flags) and not all(flags):
+        seekers["C"] = Seekers.Correlation(
+            table.column_values(table.columns[flags.index(False)]),
+            table.column_values(table.columns[flags.index(True)]),
+            k=10,
+            min_support=2,
+        )
+    return {
+        kind: [(hit.table_id, hit.score) for hit in seeker.execute(context)]
+        for kind, seeker in seekers.items()
+    }
+
+
+def run_check(seed: int = DEFAULT_SEED, scale: float = 0.25) -> str:
+    """Reduced-scale lifecycle-parity smoke: after scripted
+    add/remove/replace interleavings, every seeker agrees with a
+    from-scratch build of the final lake on BOTH backends, and compacted
+    storage row order equals the fresh build's. Raises AssertionError on
+    divergence; no timing, hence hardware-independent."""
+    checked = 0
+    for backend in ("row", "column"):
+        lake = _bench_lake(seed, min(scale, 0.15))
+        blend = Blend(lake, backend=backend)
+        blend.build_index()
+        _scripted_mutations(blend, random.Random(seed + checked))
+
+        fresh_db = Database(backend=backend)
+        build_alltables(blend.lake, fresh_db, IndexConfig())
+        fresh_context = SeekerContext(db=fresh_db, lake=blend.lake)
+
+        maintained = _seeker_results(blend.context(), blend.lake)
+        rebuilt = _seeker_results(fresh_context, blend.lake)
+        if maintained != rebuilt:
+            raise AssertionError(
+                f"lifecycle parity violated on the {backend} backend: "
+                f"maintained {maintained} != rebuilt {rebuilt}"
+            )
+        sql = "SELECT * FROM AllTables"
+        maintained_rows = sorted(blend.db.execute(sql).rows)
+        fresh_rows = sorted(fresh_db.execute(sql).rows)
+        if maintained_rows != fresh_rows:
+            raise AssertionError(
+                f"lifecycle parity violated on the {backend} backend: "
+                f"{len(maintained_rows)} maintained index rows diverge "
+                f"from {len(fresh_rows)} rebuilt rows"
+            )
+        blend.compact_index()
+        if blend.db.execute(sql).rows != fresh_db.execute(sql).rows:
+            raise AssertionError(
+                f"post-compaction storage order diverges from the fresh "
+                f"build on the {backend} backend"
+            )
+        checked += len(maintained)
+    return (
+        f"lifecycle parity OK: {checked} seeker templates x 2 backends, "
+        f"rebuild + post-compaction byte-order identical (scale={scale})"
+    )
+
+
+PHASES = ("maintenance", "maintenance_remove", "maintenance_compact")

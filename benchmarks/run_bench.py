@@ -9,7 +9,13 @@ Two suites, each emitting one committed JSON artefact at the repo root:
 * ``--suite seeker``: ``bench_seeker`` -> ``BENCH_seeker.json`` (schema
   ``{phase: {"seconds": ..., "queries_per_sec": ...}}``), asserting the
   scalar MC oracle agrees with the batched pipeline before timing;
-* ``--suite all``: both.
+* ``--suite maintenance``: ``bench_maintenance`` (remove+reindex
+  throughput under the table lifecycle) -- its rows merge into
+  ``BENCH_index.json`` alongside the build phases;
+* ``--suite all``: all of them.
+
+Artefacts are merged per phase: a suite run updates its own rows in the
+output JSON and leaves rows owned by sibling suites untouched.
 
 Usage::
 
@@ -38,6 +44,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_index_build  # noqa: E402
+import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
 
 DEFAULT_SEED = bench_index_build.DEFAULT_SEED
@@ -46,6 +53,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 SUITES = {
     "index": (bench_index_build, _REPO_ROOT / "BENCH_index.json"),
     "seeker": (bench_seeker, _REPO_ROOT / "BENCH_seeker.json"),
+    "maintenance": (bench_maintenance, _REPO_ROOT / "BENCH_index.json"),
 }
 
 
@@ -67,7 +75,17 @@ def _run_suite(module, output: Path, args) -> None:
             if phase not in best or numbers["seconds"] < best[phase]["seconds"]:
                 best[phase] = numbers
 
-    output.write_text(json.dumps(best, indent=2) + "\n", encoding="utf-8")
+    # Merge per phase: suites sharing one artefact (index + maintenance
+    # both land in BENCH_index.json) update their own rows and keep the
+    # sibling suite's rows intact.
+    merged = best
+    if output.exists():
+        try:
+            merged = json.loads(output.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            merged = {}
+        merged.update(best)
+    output.write_text(json.dumps(merged, indent=2) + "\n", encoding="utf-8")
     print(module.format_report(best))
     print(f"[written to {output}]")
 

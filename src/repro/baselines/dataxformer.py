@@ -21,7 +21,7 @@ class DataXFormerIndex:
     def __init__(self, lake: DataLake) -> None:
         self.lake = lake
         self._postings: dict[str, list[tuple[int, int, int]]] = {}
-        for table_id, table in enumerate(lake):
+        for table_id, table in lake.items():
             for row_id, column_id, value in table.iter_cells():
                 token = normalize_cell(value)
                 if token is not None:

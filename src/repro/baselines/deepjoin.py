@@ -43,7 +43,7 @@ class DeepJoinIndex:
         self.dimensions = dimensions
         self._hnsw = HnswIndex(dimensions, m=m, ef_construction=ef_construction, seed=seed)
         self._num_columns = 0
-        for table_id, table in enumerate(lake):
+        for table_id, table in lake.items():
             for position in range(table.num_columns):
                 vector = embed_column(table, position, dimensions)
                 if not np.any(vector):

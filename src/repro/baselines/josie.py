@@ -41,7 +41,7 @@ class JosieIndex:
         self.lake = lake
         self._postings: dict[str, list[tuple[int, int]]] = {}
         self._column_sizes: dict[tuple[int, int], int] = {}
-        for table_id, table in enumerate(lake):
+        for table_id, table in lake.items():
             for position in range(table.num_columns):
                 tokens = {
                     normalize_cell(row[position]) for row in table.rows

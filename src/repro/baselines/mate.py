@@ -57,7 +57,7 @@ class MateIndex:
         self.num_chars = num_chars
         self._postings: dict[str, list[tuple[int, int]]] = {}
         self._super_keys: dict[tuple[int, int], int] = {}
-        for table_id, table in enumerate(lake):
+        for table_id, table in lake.items():
             for row_id, row in enumerate(table.rows):
                 self._super_keys[(table_id, row_id)] = super_key(
                     row, hash_size, num_chars

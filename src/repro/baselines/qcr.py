@@ -57,7 +57,7 @@ class QcrIndex:
         self.lake = lake
         self.h = h
         self._sketches: dict[SketchKey, frozenset[int]] = {}
-        for table_id, table in enumerate(lake):
+        for table_id, table in lake.items():
             numeric_flags = table.numeric_columns()
             means = column_means(table)
             categorical = [

@@ -45,7 +45,7 @@ class StarmieIndex:
         self.dimensions = dimensions
         self._vectors: dict[ColumnRef, np.ndarray] = {}
         self._hnsw = HnswIndex(dimensions, m=m, ef_construction=ef_construction, seed=seed)
-        for table_id, table in enumerate(lake):
+        for table_id, table in lake.items():
             for position in range(table.num_columns):
                 vector = embed_column(table, position, dimensions)
                 if not np.any(vector):

@@ -113,7 +113,15 @@ class CostModel:
         if model is not None:
             return model.predict(features)
         multiplier = _FALLBACK_MULTIPLIER.get(seeker.kind, 1.0)
-        return multiplier * (
+        # Anchor the heuristic's arbitrary units to the corpus' posting
+        # density (AllTables rows per distinct token): a collision-heavy
+        # lake makes every probed token drag proportionally more index
+        # rows into the scan. A corpus-wide factor, so same-stats
+        # orderings are unchanged -- it matters when estimates are
+        # compared across lakes (and keeps the maintained aggregates of
+        # LakeStatistics load-bearing).
+        density = max(1.0, stats.average_posting_length())
+        return multiplier * density * (
             features.cardinality * max(1.0, features.average_frequency)
             + features.columns
         )
@@ -179,7 +187,11 @@ def train_cost_model(
 def _random_table(lake: DataLake, rng: random.Random):
     if len(lake) == 0:
         return None
-    return lake.by_id(rng.randrange(len(lake)))
+    # Sample over live ids: lakes that lived through removals have holes,
+    # so a plain randrange over len(lake) would miss high ids and could
+    # hit dead ones. Consumes one rng draw either way (seed-stable).
+    ids = lake.table_ids()
+    return lake.by_id(ids[rng.randrange(len(ids))])
 
 
 def _random_sc(lake: DataLake, rng: random.Random, k: int) -> Optional[Seeker]:

@@ -22,7 +22,7 @@ from typing import Any, Iterable, Optional, Sequence
 import numpy as np
 
 from ..engine.database import Database
-from ..errors import SeekerError
+from ..errors import SeekerError, StaleContextError
 from ..index.quadrant import split_keys_by_target
 from ..index.xash import (
     may_contain,
@@ -71,6 +71,14 @@ class SeekerContext:
     default); ``False`` runs the seed scalar phases, kept as the
     reference oracle exactly like ``IndexConfig(vectorized=False)`` on
     the offline side.
+
+    ``generation`` is the lake generation this context was created at
+    (``Blend.context()`` stamps it). Seekers refuse to run against a
+    context whose lake has since mutated -- a stale context could
+    silently rank dead table ids or miss fresh ones -- raising
+    :class:`~repro.errors.StaleContextError` instead. ``None`` (the
+    default for hand-built contexts over static lakes) disables the
+    check.
     """
 
     db: Database
@@ -80,6 +88,21 @@ class SeekerContext:
     xash_chars: int = 2
     semantic: Optional[Any] = None
     vectorized: bool = True
+    generation: Optional[int] = None
+
+    def ensure_fresh(self) -> None:
+        """Raise :class:`StaleContextError` if the lake mutated since
+        this context was created."""
+        if self.generation is None:
+            return
+        current = self.lake.generation
+        if current != self.generation:
+            raise StaleContextError(
+                f"seeker context was created at lake generation "
+                f"{self.generation} but the lake is now at generation "
+                f"{current} (tables were added, removed, or replaced); "
+                "re-create the context to serve the current corpus"
+            )
 
 
 def _normalize_values(values: Iterable[Cell]) -> list[str]:
@@ -162,6 +185,7 @@ class SingleColumnSeeker(Seeker):
         return params
 
     def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
         hits: list[TableHit] = []
@@ -217,6 +241,7 @@ class KeywordSeeker(Seeker):
         return params
 
     def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
         return ResultList(
@@ -315,6 +340,7 @@ class MultiColumnSeeker(Seeker):
         return params
 
     def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        context.ensure_fresh()
         if context.vectorized:
             return self._execute_vectorized(context, rewrite)
         candidates = self.fetch_candidates(context, rewrite)
@@ -731,6 +757,7 @@ class CorrelationSeeker(Seeker):
         return params
 
     def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
         hits: list[TableHit] = []

@@ -62,9 +62,12 @@ class SemanticIndex:
     ) -> None:
         self.lake = lake
         self.dimensions = dimensions
+        self._m = m
+        self._ef_construction = ef_construction
+        self._seed = seed
         self._hnsw = HnswIndex(dimensions, m=m, ef_construction=ef_construction, seed=seed)
         self._vectors: dict[tuple[int, int], np.ndarray] = {}
-        for table_id, table in enumerate(lake):
+        for table_id, table in lake.items():
             for position in range(table.num_columns):
                 vector = embed_column(table, position, dimensions)
                 if not np.any(vector):
@@ -75,6 +78,50 @@ class SemanticIndex:
     @property
     def num_columns(self) -> int:
         return len(self._vectors)
+
+    # -- lifecycle maintenance -----------------------------------------------------
+
+    def add_table(self, table_id: int, table, db: Optional[Database] = None) -> None:
+        """Embed one added (or replacement) table's columns and graft them
+        into the vector index; with *db*, the new ``AllVectors`` rows are
+        persisted alongside."""
+        rows = []
+        for position in range(table.num_columns):
+            vector = embed_column(table, position, self.dimensions)
+            if not np.any(vector):
+                continue
+            self._vectors[(table_id, position)] = vector
+            self._hnsw.add((table_id, position), vector)
+            if db is not None:
+                for dim in np.nonzero(vector)[0]:
+                    rows.append((table_id, position, int(dim), float(vector[dim])))
+        if db is not None and db.has_table("AllVectors") and rows:
+            db.insert("AllVectors", rows)
+
+    def remove_table(self, table_id: int, db: Optional[Database] = None) -> None:
+        """Drop one table's column vectors. The HNSW graph does not
+        support deletion (links would dangle), so it is rebuilt from the
+        surviving vectors -- still offline-phase work, and exactly what a
+        fresh :meth:`load` of the maintained ``AllVectors`` relation
+        would produce. With *db*, the persisted rows are deleted too."""
+        stale = [key for key in self._vectors if key[0] == table_id]
+        if stale:
+            for key in stale:
+                del self._vectors[key]
+            self._hnsw = HnswIndex(
+                self.dimensions,
+                m=self._m,
+                ef_construction=self._ef_construction,
+                seed=self._seed,
+            )
+            for key, vector in self._vectors.items():
+                self._hnsw.add(key, vector)
+        if db is not None and db.has_table("AllVectors"):
+            db.delete_rows("AllVectors", "TableId", [table_id])
+
+    def replace_table(self, table_id: int, table, db: Optional[Database] = None) -> None:
+        self.remove_table(table_id, db)
+        self.add_table(table_id, table, db)
 
     def persist(self, db: Database, table_name: str = "AllVectors") -> int:
         """Serialise the embeddings into a database relation (sparse
@@ -100,7 +147,12 @@ class SemanticIndex:
         instance = cls.__new__(cls)
         instance.lake = lake
         instance.dimensions = dimensions
+        instance._seed = seed
         instance._hnsw = HnswIndex(dimensions, seed=seed)
+        # Record the graph parameters actually used, so a lifecycle
+        # rebuild (remove_table) reconstructs with identical settings.
+        instance._m = instance._hnsw.m
+        instance._ef_construction = instance._hnsw.ef_construction
         instance._vectors = {}
         result = db.execute(
             f"SELECT TableId, ColumnId, Dim, Weight FROM {table_name} "
@@ -162,6 +214,7 @@ class SemanticSeeker(Seeker):
     def execute(
         self, context: SeekerContext, rewrite: Optional[Rewrite] = None
     ) -> ResultList:
+        context.ensure_fresh()
         semantic = getattr(context, "semantic", None)
         if semantic is None:
             raise SeekerError(

@@ -24,7 +24,15 @@ from typing import Iterable, Optional, Sequence
 
 from ..engine.database import Database
 from ..errors import BlendError
-from ..index.alltables import IndexBuildReport, IndexConfig, build_alltables
+from ..index.alltables import (
+    IndexBuildReport,
+    IndexConfig,
+    _check_maintenance,
+    build_alltables,
+    deindex_table,
+    index_table,
+    reindex_table,
+)
 from ..index.stats import LakeStatistics
 from ..lake.datalake import DataLake
 from ..lake.table import Cell, Table
@@ -85,30 +93,88 @@ class Blend:
         self.optimizer = Optimizer(model)
         return report
 
+    # -- maintenance: the table lifecycle (paper §V) ---------------------------------
+
+    def _check_maintainable(self) -> None:
+        """Reject unmaintainable deployments BEFORE mutating the lake:
+        the lifecycle methods must never leave the lake changed with the
+        index maintenance refused (a fresh-generation context would then
+        silently serve the desynced index)."""
+        if self._indexed:
+            _check_maintenance(self.db, self.index_config)
+
     def add_table(self, table: Table) -> int:
         """Maintenance path: add one table to the lake AND the index
         incrementally (no rebuild). Returns the new table id.
 
         The unified single-relation layout makes this an append (paper
-        §V); lake statistics are updated in place so the cost model sees
-        the new tokens.
+        §V); lake statistics are updated in place -- every field, via the
+        vectorised token-count kernel rather than a per-cell Python loop
+        -- so the cost model sees the new tokens exactly as a fresh
+        offline scan would.
         """
-        from ..index.alltables import index_table
-        from ..lake.table import normalize_cell
-
+        self._check_maintainable()
         table_id = self.lake.add(table)
         if self._indexed:
             index_table(table_id, table, self.db, self.index_config)
         if self._stats is not None:
-            for _, _, value in table.iter_cells():
-                token = normalize_cell(value)
-                if token is not None:
-                    self._stats.num_cells += 1
-                    self._stats.frequencies[token] = (
-                        self._stats.frequencies.get(token, 0) + 1
-                    )
-            self._stats.num_tables += 1
+            self._stats.add_table(table)
+        semantic = getattr(self, "_semantic", None)
+        if semantic is not None:
+            semantic.add_table(table_id, table, self.db if self._indexed else None)
         return table_id
+
+    def remove_table(self, table_id: int) -> Table:
+        """Maintenance path: remove one table from the lake AND the index
+        (its ``AllTables`` rows -- and ``AllVectors`` rows when the
+        semantic extension is enabled -- are deleted without touching any
+        other table's super keys). The table id becomes a permanent hole;
+        statistics are decremented exactly. Returns the removed table.
+
+        Contexts created before the removal raise
+        :class:`~repro.errors.StaleContextError` instead of silently
+        serving the dead id; ``Blend.run`` always executes on a fresh
+        context.
+        """
+        self._check_maintainable()
+        removed = self.lake.remove(table_id)
+        if self._indexed:
+            deindex_table(table_id, self.db, self.index_config)
+        if self._stats is not None:
+            self._stats.remove_table(removed)
+        semantic = getattr(self, "_semantic", None)
+        if semantic is not None:
+            semantic.remove_table(table_id, self.db if self._indexed else None)
+        return removed
+
+    def replace_table(self, table_id: int, table: Table) -> Table:
+        """Maintenance path: replace the table at *table_id* in place
+        (same id) -- its old index rows are deleted and the new table is
+        appended under the same id, so every seeker immediately serves
+        the new contents. Returns the previous table."""
+        self._check_maintainable()
+        previous = self.lake.replace(table_id, table)
+        if self._indexed:
+            reindex_table(table_id, table, self.db, self.index_config)
+        if self._stats is not None:
+            self._stats.replace_table(previous, table)
+        semantic = getattr(self, "_semantic", None)
+        if semantic is not None:
+            semantic.replace_table(table_id, table, self.db if self._indexed else None)
+        return previous
+
+    def compact_index(self) -> None:
+        """Force physical compaction of the maintained relations: delete
+        tombstones dropped, text dictionaries re-encoded, rows restored
+        to the offline build's clustering order -- after which storage is
+        byte-identical to a from-scratch ``build_index()`` on the current
+        lake (the rebuild-parity invariant; compaction also triggers
+        automatically once deletes cross the storage threshold)."""
+        if not self._indexed:
+            raise BlendError("call build_index() before compacting")
+        self.db.compact(self.index_config.table_name)
+        if self.db.has_table("AllVectors"):
+            self.db.compact("AllVectors")
 
     def enable_semantic(self, dimensions: int = 64, persist: bool = True) -> "Blend":
         """Build the semantic extension (paper §X future work): embed
@@ -131,6 +197,7 @@ class Blend:
             hash_size=self.index_config.hash_size,
             xash_chars=self.index_config.xash_chars,
             semantic=getattr(self, "_semantic", None),
+            generation=self.lake.generation,
         )
 
     def semantic_search(self, values: Iterable[Cell], k: int = 10) -> ResultList:

@@ -168,6 +168,12 @@ class Database:
     notably) are planned once and merely *rebound* to fresh parameter
     values on later calls. Hit counters are exposed via
     :meth:`plan_cache_stats` and per-query on ``ResultSet.stats``.
+
+    Mutations bump a monotonically increasing **data epoch** (surfaced in
+    :meth:`cache_stats`); storage compaction additionally drops cached
+    plans that reference the compacted table, since their planning-time
+    assumptions (cardinalities, clustering) no longer describe the
+    storage they would scan.
     """
 
     PLAN_CACHE_SIZE = 256
@@ -178,9 +184,13 @@ class Database:
         self.backend = backend
         self._catalog = Catalog()
         self.last_stats = QueryStats()
-        self._plan_cache: OrderedDict[tuple, PlanNode] = OrderedDict()
+        # Cache values are (plan, referenced-table-names) pairs so
+        # compaction can invalidate exactly the plans that touch the
+        # compacted table.
+        self._plan_cache: OrderedDict[tuple, tuple[PlanNode, frozenset[str]]] = OrderedDict()
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
+        self._data_epoch = 0
 
     # -- schema ------------------------------------------------------------------
 
@@ -200,10 +210,12 @@ class Database:
             self._catalog.register(RowTable(schema))
         else:
             self._catalog.register(ColumnTable(schema))
+        self._data_epoch += 1
         self._invalidate_plans()
 
     def drop_table(self, name: str) -> None:
         self._catalog.drop(name)
+        self._data_epoch += 1
         self._invalidate_plans()
 
     def has_table(self, name: str) -> bool:
@@ -225,7 +237,10 @@ class Database:
 
     def insert(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk insert; returns the number of rows added."""
-        return self._catalog.get(table_name).insert_rows(rows)
+        inserted = self._catalog.get(table_name).insert_rows(rows)
+        if inserted:
+            self._data_epoch += 1
+        return inserted
 
     def insert_columns(self, table_name: str, columns: Sequence[tuple]) -> int:
         """Typed bulk-append: *columns* is one ``(data, null_mask)`` pair
@@ -235,7 +250,42 @@ class Database:
         (one call per shard part; parts sharing one ``DictEncodedText``
         dictionary object concatenate without a union at seal time).
         Returns the number of rows appended."""
-        return self._catalog.get(table_name).insert_columns(columns)
+        inserted = self._catalog.get(table_name).insert_columns(columns)
+        if inserted:
+            self._data_epoch += 1
+        return inserted
+
+    def delete_rows(self, table_name: str, column_name: str, values: Iterable[Any]) -> int:
+        """Delete every row whose *column_name* equals any of *values*
+        (tombstoned in storage; compaction triggers automatically past the
+        table's dead-row threshold). The ``AllTables`` maintenance
+        primitive behind ``deindex_table``. Returns rows deleted."""
+        table = self._catalog.get(table_name)
+        before = getattr(table, "compactions", 0)
+        deleted = table.delete_rows(column_name, values)
+        if deleted:
+            self._data_epoch += 1
+        if getattr(table, "compactions", 0) != before:
+            self._invalidate_plans_for(table_name)
+        return deleted
+
+    def compact(self, table_name: str) -> None:
+        """Force physical compaction of one table (tombstones dropped,
+        text dictionaries re-encoded, rows re-clustered when the table
+        declares ``cluster_keys``); cached plans referencing the table are
+        invalidated."""
+        self._catalog.get(table_name).compact()
+        self._data_epoch += 1
+        self._invalidate_plans_for(table_name)
+
+    def set_cluster_keys(self, table_name: str, columns: Sequence[str]) -> None:
+        """Declare the canonical row order compaction restores (e.g.
+        ``AllTables(TableId, RowId, ColumnId)`` -- the emission order of a
+        from-scratch offline build)."""
+        table = self._catalog.get(table_name)
+        for column in columns:
+            table.schema.position_of(column)  # validates existence
+        table.cluster_keys = tuple(columns)
 
     def num_rows(self, table_name: str) -> int:
         return self._catalog.get(table_name).num_rows
@@ -315,7 +365,33 @@ class Database:
             "size": len(self._plan_cache),
         }
 
+    def cache_stats(self) -> dict[str, int]:
+        """Plan-cache counters plus the database's data epoch -- the
+        monotonically increasing mutation counter consumers use to detect
+        that cached derived state (result sets, contexts) predates a
+        mutation."""
+        return {**self.plan_cache_stats(), "data_epoch": self._data_epoch}
+
+    @property
+    def data_epoch(self) -> int:
+        return self._data_epoch
+
     # -- internals --------------------------------------------------------------------
+
+    def _plan_with_tables(
+        self, sql: str, params: Optional[Mapping[str, Any]]
+    ) -> tuple[PlanNode, frozenset[str]]:
+        """Plan *sql*, recording which stored tables the plan references
+        (for compaction-targeted cache invalidation)."""
+        select = _parse_cached(sql)
+        referenced: set[str] = set()
+
+        def column_names(table_name: str) -> list[str]:
+            referenced.add(table_name.lower())
+            return self._column_names(table_name)
+
+        plan = plan_select(select, TableResolver(column_names), params)
+        return plan, frozenset(referenced)
 
     def _cached_plan(
         self, sql: str, params: Optional[Mapping[str, Any]]
@@ -323,15 +399,16 @@ class Database:
         """The cached plan for (sql, backend, param shapes), rebound to
         *params* -- or a freshly planned (and cached) one."""
         key = (_normalize_sql_key(sql), self.backend, param_shapes(params))
-        plan = self._plan_cache.get(key)
-        if plan is not None:
+        entry = self._plan_cache.get(key)
+        if entry is not None:
+            plan = entry[0]
             self._plan_cache.move_to_end(key)
             self._plan_cache_hits += 1
             rebind_plan(plan, params)
             return plan, True
-        plan = self.plan(sql, params)
+        plan, referenced = self._plan_with_tables(sql, params)
         self._plan_cache_misses += 1
-        self._plan_cache[key] = plan
+        self._plan_cache[key] = (plan, referenced)
         if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
             self._plan_cache.popitem(last=False)
         return plan, False
@@ -339,6 +416,17 @@ class Database:
     def _invalidate_plans(self) -> None:
         """Schema changed: cached plans may embed stale column layouts."""
         self._plan_cache.clear()
+
+    def _invalidate_plans_for(self, table_name: str) -> None:
+        """Drop cached plans referencing one (compacted) table."""
+        key = table_name.lower()
+        stale = [
+            cache_key
+            for cache_key, (_, referenced) in self._plan_cache.items()
+            if key in referenced
+        ]
+        for cache_key in stale:
+            del self._plan_cache[cache_key]
 
     def _column_names(self, table_name: str) -> list[str]:
         if table_name == "__dual__":

@@ -60,11 +60,18 @@ class StoredTable(Protocol):
     """Interface both storage backends implement (structural typing)."""
 
     schema: TableSchema
+    cluster_keys: tuple[str, ...]
+    compact_threshold: float
+    compactions: int
 
     @property
     def num_rows(self) -> int: ...
 
     def insert_rows(self, rows: Iterable[tuple]) -> int: ...
+
+    def delete_rows(self, column_name: str, values: Iterable) -> int: ...
+
+    def compact(self) -> None: ...
 
     def create_index(self, column_name: str) -> None: ...
 

@@ -19,6 +19,23 @@ Two ingest paths feed a table:
 Sealing is *incremental*: new rows (from either path) are merged into the
 existing sealed arrays instead of invalidating and rebuilding the whole
 table, so interleaved bulk loads stay linear.
+
+Deletes (``delete_rows``) are **tombstones**: a boolean mask over the
+sealed arrays marks dead rows, and every public read API serves the
+*live* view (row numbering skips the dead rows, so the executor never
+sees them). Once the dead fraction reaches ``compact_threshold`` the
+table compacts: surviving rows are rebuilt into fresh sealed runs, text
+dictionaries are re-encoded down to the surviving values, and (when
+``cluster_keys`` is set) rows are re-sorted into the declared clustering
+order -- compacted storage is byte-identical to a fresh bulk load of the
+same rows.
+
+Secondary indexes are *declared* once (``create_index``) and survive
+mutations: ``insert_columns`` appends merge each new chunk's sorted run
+into the existing postings (no full re-argsort), while row-at-a-time
+inserts and deletes drop the materialised postings for a lazy rebuild on
+the next look-up. Postings are in live-row coordinates, matching every
+other read API.
 """
 
 from __future__ import annotations
@@ -38,6 +55,9 @@ from .catalog import TableSchema
 # dtype (int8 with -1 meaning NULL is accepted directly when null_mask is
 # None).
 ColumnChunk = tuple[np.ndarray, Optional[np.ndarray]]
+
+# Dead-row fraction at which delete_rows triggers automatic compaction.
+DEFAULT_COMPACT_THRESHOLD = 0.3
 
 
 class DictEncodedText:
@@ -143,8 +163,19 @@ class ColumnTable:
         # read instead of re-merging all prior rows on every flush.
         self._backlog: list[list[_ColumnData]] = []
         self._sealed: Optional[list[_ColumnData]] = None
-        self._num_rows = 0
+        self._num_rows = 0  # live rows (appends - deletes)
+        # Declared index columns (lowercased) vs their materialised
+        # postings: declarations survive every mutation; postings are
+        # maintained incrementally on bulk appends and rebuilt lazily
+        # after row-at-a-time inserts or deletes.
+        self._index_columns: set[str] = set()
         self._indexes: dict[str, dict[Any, np.ndarray]] = {}
+        self._deleted: Optional[np.ndarray] = None  # tombstones over sealed rows
+        self._num_deleted = 0
+        self._live: Optional[np.ndarray] = None  # cached live storage positions
+        self.compact_threshold = DEFAULT_COMPACT_THRESHOLD
+        self.cluster_keys: tuple[str, ...] = ()
+        self.compactions = 0  # bumped per physical compaction
 
     # -- loading ---------------------------------------------------------------
 
@@ -177,21 +208,37 @@ class ColumnTable:
     def insert_columns(self, columns: Sequence[ColumnChunk]) -> int:
         """Bulk-append already-typed column arrays (the vectorised ingest
         fast path -- no per-cell ``coerce_to_type``, text dictionary-encoded
-        via ``np.unique``). Returns the number of rows appended."""
+        via ``np.unique``). Returns the number of rows appended.
+
+        Materialised secondary indexes are maintained **incrementally**:
+        the appended chunk is one sorted run (argsorted on its own, never
+        the full column), and each run group is concatenated onto the
+        existing postings -- appended positions are all greater than any
+        existing ones, so the postings stay ascending without a merge
+        pass. The result is bit-identical to a from-scratch rebuild.
+        """
         count = validate_chunk(self.schema, columns)
         if count == 0:
             return 0
         # Preserve arrival order: any row-at-a-time values buffered so far
         # become their own backlog batch before this chunk is appended.
         self._flush_pending_to_backlog()
-        self._backlog.append(
-            [
-                _encode_chunk(column_def.sql_type, data, null)
-                for column_def, (data, null) in zip(self.schema.columns, columns)
-            ]
-        )
+        encoded = [
+            _encode_chunk(column_def.sql_type, data, null)
+            for column_def, (data, null) in zip(self.schema.columns, columns)
+        ]
+        offset = self._num_rows  # live position of the chunk's first row
+        self._backlog.append(encoded)
         self._num_rows += count
-        self._indexes = {}
+        for key in self._indexes:
+            position = self.schema.position_of(key)
+            index = self._indexes[key]
+            for value, positions in _index_groups(encoded[position]):
+                run = positions + offset
+                existing = index.get(value)
+                index[value] = (
+                    run if existing is None else np.concatenate((existing, run))
+                )
         return count
 
     def _flush_pending_to_backlog(self) -> None:
@@ -228,7 +275,113 @@ class ColumnTable:
                 for position in range(len(self.schema.columns))
             ]
         self._backlog = []
+        if self._deleted is not None:
+            # Newly sealed rows are live: pad the tombstone mask out to
+            # the new storage length.
+            total = _column_length(self._sealed[0]) if self._sealed else 0
+            if total > len(self._deleted):
+                pad = np.zeros(total - len(self._deleted), dtype=bool)
+                self._deleted = np.concatenate((self._deleted, pad))
+                self._live = None
         return self._sealed
+
+    # -- deletes and compaction ---------------------------------------------------
+
+    def _live_positions(self) -> np.ndarray:
+        """Storage positions of live rows (ascending), cached."""
+        if self._live is None:
+            self._live = np.nonzero(~self._deleted)[0]
+        return self._live
+
+    def _storage_positions(self, positions: Optional[np.ndarray]) -> Optional[np.ndarray]:
+        """Translate live-row *positions* (the coordinate system every
+        public API speaks) into storage positions. Identity while the
+        table holds no tombstones."""
+        if self._deleted is None:
+            return positions
+        live = self._live_positions()
+        return live if positions is None else live[np.asarray(positions, dtype=np.int64)]
+
+    def delete_rows(self, column_name: str, values: Iterable[Any]) -> int:
+        """Tombstone every row whose *column_name* equals any of *values*
+        (the ``AllTables`` maintenance primitive: ``TableId IN (...)``).
+
+        Deletion is logical: the rows are masked out of every read path
+        but stay in the sealed arrays until the dead fraction reaches
+        ``compact_threshold``, at which point :meth:`compact` rebuilds
+        the storage. Returns the number of rows deleted.
+        """
+        self.schema.position_of(column_name)  # validates existence
+        sealed = self._seal()
+        if not sealed or _column_length(sealed[0]) == 0:
+            return 0
+        column = sealed[self.schema.position_of(column_name)]
+        match = _storage_isin(column, values)
+        if self._deleted is not None:
+            match &= ~self._deleted
+        deleted = int(match.sum())
+        if deleted == 0:
+            return 0
+        if self._deleted is None:
+            self._deleted = match
+        else:
+            self._deleted |= match
+        self._num_deleted += deleted
+        self._num_rows -= deleted
+        self._live = None
+        self._indexes = {}  # postings are live-coordinate; rebuild lazily
+        if self._num_deleted >= self.compact_threshold * len(self._deleted):
+            self.compact()
+        return deleted
+
+    def compact(self) -> None:
+        """Physically rebuild the sealed arrays without tombstoned rows.
+
+        Text dictionaries are re-encoded down to the surviving values and
+        rows are re-sorted into ``cluster_keys`` order when declared, so
+        the result is byte-identical to a fresh bulk load of the live
+        rows (the rebuild-parity invariant of the AllTables maintenance
+        path). Materialised index postings are dropped for lazy rebuild.
+        """
+        sealed = self._seal()
+        if not sealed:
+            return
+        total = _column_length(sealed[0])
+        if self._deleted is None:
+            positions = np.arange(total, dtype=np.int64)
+        else:
+            positions = self._live_positions()
+        if self.cluster_keys:
+            sort_keys: list[np.ndarray] = []
+            # np.lexsort treats its LAST key as primary: feed the cluster
+            # columns reversed, each as (null-flag, value) with the null
+            # flag more significant so NULLs sort last (as in a fresh
+            # ordered load).
+            for name in reversed(self.cluster_keys):
+                column = sealed[self.schema.position_of(name)]
+                if column.sql_type is SqlType.TEXT:
+                    codes = column.codes[positions]
+                    sort_keys.append(codes)  # sorted dict: code order == text order
+                    sort_keys.append(codes < 0)
+                elif column.sql_type is SqlType.BOOLEAN:
+                    data = column.data[positions]
+                    sort_keys.append(data)
+                    sort_keys.append(data < 0)
+                else:
+                    sort_keys.append(column.data[positions])
+                    null = column.null
+                    sort_keys.append(
+                        null[positions]
+                        if null is not None
+                        else np.zeros(len(positions), dtype=bool)
+                    )
+            positions = positions[np.lexsort(sort_keys)]
+        self._sealed = [_compact_column(column, positions) for column in sealed]
+        self._deleted = None
+        self._num_deleted = 0
+        self._live = None
+        self._indexes = {}
+        self.compactions += 1
 
     # -- vector access (used by the vectorised executor) ------------------------
 
@@ -240,6 +393,7 @@ class ColumnTable:
         int64 0/1. ``positions`` optionally selects a row subset first.
         """
         column = self._column(column_name)
+        positions = self._storage_positions(positions)
         if column.sql_type is SqlType.TEXT:
             codes = column.codes if positions is None else column.codes[positions]
             null = codes < 0
@@ -265,6 +419,7 @@ class ColumnTable:
         column = self._column(column_name)
         if column.sql_type is not SqlType.TEXT:
             raise CatalogError(f"{column_name!r} is not a text column")
+        positions = self._storage_positions(positions)
         codes = column.codes if positions is None else column.codes[positions]
         return codes, column.dictionary
 
@@ -275,37 +430,11 @@ class ColumnTable:
         return np.nonzero(mask)[0]
 
     def isin_mask(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
-        """Boolean mask over all rows for ``column IN values``."""
+        """Boolean mask over all live rows for ``column IN values``."""
         column = self._column(column_name)
-        if column.sql_type is SqlType.TEXT:
-            code_of = column.code_of
-            if code_of is None:
-                # Built lazily: bulk-ingest chunks skip it (the dict is an
-                # O(distinct) build only the text-probe path needs).
-                code_of = column.code_of = {
-                    value: code for code, value in enumerate(column.dictionary)
-                }
-            wanted = np.array(
-                sorted({code_of[v] for v in values if isinstance(v, str) and v in code_of}),
-                dtype=np.int32,
-            )
-            if wanted.size == 0:
-                return np.zeros(self._num_rows, dtype=bool)
-            return isin_sorted(column.codes, wanted)
-        if column.sql_type is SqlType.BOOLEAN:
-            wanted_bools = {int(bool(v)) for v in values if v is not None}
-            if not wanted_bools:
-                return np.zeros(self._num_rows, dtype=bool)
-            return np.isin(column.data, np.array(sorted(wanted_bools), dtype=np.int8))
-        numeric = normalize_numeric_probes(values)
-        if not numeric:
-            return np.zeros(self._num_rows, dtype=bool)
-        wanted_arr = numeric_probe_array(numeric, column.data.dtype)
-        if wanted_arr is None:
-            return np.zeros(self._num_rows, dtype=bool)
-        mask = isin_sorted(column.data, wanted_arr)
-        if column.null is not None:
-            mask &= ~column.null
+        mask = _storage_isin(column, values)
+        if self._deleted is not None:
+            return mask[self._live_positions()]
         return mask
 
     def gather_rows(self, positions: np.ndarray) -> list[tuple]:
@@ -335,65 +464,37 @@ class ColumnTable:
     # -- indexes -----------------------------------------------------------------
 
     def create_index(self, column_name: str) -> None:
-        """Build a hash index value -> ndarray of positions (idempotent)."""
+        """Declare (and materialise) a hash index value -> ndarray of
+        live-row positions (idempotent). The declaration is permanent;
+        the postings are maintained incrementally on bulk appends and
+        rebuilt lazily after deletes or row-at-a-time inserts."""
         key = column_name.lower()
-        if key in self._indexes:
-            return
-        column = self._column(column_name)
+        self.schema.position_of(column_name)  # validates existence
+        self._index_columns.add(key)
+        if key not in self._indexes:
+            self._materialize_index(key)
+
+    def _materialize_index(self, key: str) -> None:
+        """Build the postings dict for one declared index over the live
+        view of the column."""
+        column = self._column(key)
         index: dict[Any, np.ndarray] = {}
-        if self._num_rows == 0:
-            self._indexes[key] = index
-            return
-        if column.sql_type is SqlType.TEXT:
-            order = np.argsort(column.codes, kind="stable")
-            sorted_codes = column.codes[order]
-            boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
-            starts = np.concatenate(([0], boundaries))
-            if sorted_codes[starts[0]] < 0:
-                # NULL codes sort first; drop their whole run up front so
-                # the group loop below is branch-free.
-                order = order[starts[1] if len(starts) > 1 else len(order):]
-                sorted_codes = column.codes[order]
-                boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
-                starts = np.concatenate(([0], boundaries))
-            if len(order):
-                # One gather for the keys, C-level slice views for the
-                # posting arrays, one C-level dict build -- no per-group
-                # Python loop.
-                keys = column.dictionary[sorted_codes[starts]]
-                ends = np.concatenate((boundaries, [len(order)]))
-                postings = map(
-                    order.__getitem__, map(slice, starts.tolist(), ends.tolist())
-                )
-                index = dict(zip(keys.tolist(), postings))
-        else:
-            data = column.data
-            order = np.argsort(data, kind="stable")
-            sorted_data = data[order]
-            boundaries = np.nonzero(np.diff(sorted_data) != 0)[0] + 1
-            starts = np.concatenate(([0], boundaries))
-            ends = np.concatenate((boundaries, [len(sorted_data)]))
-            null = column.null
-            for start, end in zip(starts, ends):
-                value = _to_python(sorted_data[start])
-                positions = order[start:end]
-                if null is not None:
-                    positions = positions[~null[positions]]
-                    if positions.size == 0:
-                        continue
-                if column.sql_type is SqlType.BOOLEAN and value == -1:
-                    continue
-                index[value] = positions
+        if self._num_rows:
+            if self._deleted is not None:
+                column = _gather_column(column, self._live_positions())
+            index = dict(_index_groups(column))
         self._indexes[key] = index
 
     def has_index(self, column_name: str) -> bool:
-        return column_name.lower() in self._indexes
+        return column_name.lower() in self._index_columns
 
     def index_lookup(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
-        """Positions (ascending) whose column equals any of *values*."""
+        """Live positions (ascending) whose column equals any of *values*."""
         key = column_name.lower()
-        if key not in self._indexes:
+        if key not in self._index_columns:
             raise CatalogError(f"no index on {self.schema.name}.{column_name}")
+        if key not in self._indexes:
+            self._materialize_index(key)
         index = self._indexes[key]
         chunks = [index[v] for v in set(values) if v is not None and v in index]
         if not chunks:
@@ -557,6 +658,138 @@ def _remap_codes(codes: np.ndarray, mapping: np.ndarray) -> np.ndarray:
         return codes
     remapped = mapping[np.maximum(codes, 0)]
     return np.where(codes < 0, np.int32(-1), remapped)
+
+
+def _column_length(column: _ColumnData) -> int:
+    """Storage length of one sealed column (rows incl. tombstones)."""
+    return len(column.codes if column.codes is not None else column.data)
+
+
+def _storage_isin(column: _ColumnData, values: Iterable[Any]) -> np.ndarray:
+    """``column IN values`` over the raw storage arrays (tombstones
+    included; callers compress to the live view)."""
+    length = _column_length(column)
+    if column.sql_type is SqlType.TEXT:
+        code_of = column.code_of
+        if code_of is None:
+            # Built lazily: bulk-ingest chunks skip it (the dict is an
+            # O(distinct) build only the text-probe path needs).
+            code_of = column.code_of = {
+                value: code for code, value in enumerate(column.dictionary)
+            }
+        wanted = np.array(
+            sorted({code_of[v] for v in values if isinstance(v, str) and v in code_of}),
+            dtype=np.int32,
+        )
+        if wanted.size == 0:
+            return np.zeros(length, dtype=bool)
+        return isin_sorted(column.codes, wanted)
+    if column.sql_type is SqlType.BOOLEAN:
+        wanted_bools = {int(bool(v)) for v in values if v is not None}
+        if not wanted_bools:
+            return np.zeros(length, dtype=bool)
+        return np.isin(column.data, np.array(sorted(wanted_bools), dtype=np.int8))
+    numeric = normalize_numeric_probes(values)
+    if not numeric:
+        return np.zeros(length, dtype=bool)
+    wanted_arr = numeric_probe_array(numeric, column.data.dtype)
+    if wanted_arr is None:
+        return np.zeros(length, dtype=bool)
+    mask = isin_sorted(column.data, wanted_arr)
+    if column.null is not None:
+        mask &= ~column.null
+    return mask
+
+
+def _index_groups(column: _ColumnData):
+    """Yield ``(value, positions)`` postings groups for one column batch,
+    positions ascending within each group and relative to the batch.
+
+    The single source of truth for index content: full materialisation
+    runs it over the (live view of the) whole column, the incremental
+    ``insert_columns`` maintenance runs it over just the appended chunk
+    and concatenates -- both produce bit-identical postings because the
+    grouping (stable argsort, NULL filtering, bool NULL sentinel skip)
+    is the same code path.
+    """
+    if column.sql_type is SqlType.TEXT:
+        codes = column.codes
+        if not len(codes):
+            return
+        order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[order]
+        # NULL codes (-1) sort first; drop their whole run up front so
+        # the group loop below is branch-free.
+        first_live = int(np.searchsorted(sorted_codes, 0))
+        order = order[first_live:]
+        sorted_codes = sorted_codes[first_live:]
+        if not len(order):
+            return
+        boundaries = np.nonzero(np.diff(sorted_codes))[0] + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [len(order)]))
+        # One gather for the keys, C-level slice views for the posting
+        # arrays -- no per-group Python loop beyond the zip.
+        keys = column.dictionary[sorted_codes[starts]]
+        postings = map(order.__getitem__, map(slice, starts.tolist(), ends.tolist()))
+        yield from zip(keys.tolist(), postings)
+        return
+    data = column.data
+    if not len(data):
+        return
+    order = np.argsort(data, kind="stable")
+    sorted_data = data[order]
+    boundaries = np.nonzero(np.diff(sorted_data) != 0)[0] + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(sorted_data)]))
+    null = column.null
+    for start, end in zip(starts, ends):
+        value = _to_python(sorted_data[start])
+        positions = order[start:end]
+        if null is not None:
+            positions = positions[~null[positions]]
+            if positions.size == 0:
+                continue
+        if column.sql_type is SqlType.BOOLEAN and value == -1:
+            continue
+        yield value, positions
+
+
+def _gather_column(column: _ColumnData, positions: np.ndarray) -> _ColumnData:
+    """A row subset of one sealed column as a standalone _ColumnData
+    (text keeps the full dictionary; compaction re-encodes separately)."""
+    subset = _ColumnData(column.sql_type)
+    if column.sql_type is SqlType.TEXT:
+        subset.codes = column.codes[positions]
+        subset.dictionary = column.dictionary
+        return subset
+    subset.data = column.data[positions]
+    if column.null is not None:
+        subset.null = column.null[positions]
+    return subset
+
+
+def _compact_column(column: _ColumnData, positions: np.ndarray) -> _ColumnData:
+    """Rebuild one sealed column at *positions*, re-encoding text
+    dictionaries down to the surviving values -- the layout a fresh bulk
+    load of exactly these rows would produce."""
+    rebuilt = _ColumnData(column.sql_type)
+    if column.sql_type is SqlType.TEXT:
+        codes = column.codes[positions]
+        used = np.unique(codes[codes >= 0])
+        if not len(used):
+            rebuilt.codes = np.full(len(codes), -1, dtype=np.int32)
+            rebuilt.dictionary = np.empty(0, dtype=object)
+            return rebuilt
+        remap = np.full(len(column.dictionary), -1, dtype=np.int32)
+        remap[used] = np.arange(len(used), dtype=np.int32)
+        rebuilt.codes = _remap_codes(codes, remap)
+        rebuilt.dictionary = column.dictionary[used]
+        return rebuilt  # code_of stays lazy, as after a fresh ingest
+    rebuilt.data = column.data[positions]
+    if column.null is not None:
+        rebuilt.null = column.null[positions]
+    return rebuilt
 
 
 def normalize_numeric_probes(values: Iterable[Any]) -> set:

@@ -6,12 +6,19 @@ iterator executor (:mod:`..sql.executor_row`) scans this layout, which
 gives the engine the cost profile of a classic row store: cheap point
 look-ups through indexes, comparatively expensive full scans and
 aggregations.
+
+Deletes (``delete_rows``) are **tombstones**: matching rows are masked
+out, every read path skips them, and once the dead fraction crosses
+``compact_threshold`` the table is compacted -- rows physically dropped,
+indexes rebuilt, and (when ``cluster_keys`` is set) rows re-sorted into
+the declared clustering order, so compacted storage is indistinguishable
+from a freshly bulk-loaded table.
 """
 
 from __future__ import annotations
 
 import sys
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -25,6 +32,9 @@ from .catalog import TableSchema
 _BYTES_PER_POINTER = 8
 _BYTES_TUPLE_OVERHEAD = 56
 
+# Dead-row fraction at which delete_rows triggers automatic compaction.
+DEFAULT_COMPACT_THRESHOLD = 0.3
+
 
 class RowTable:
     """A table stored as a list of tuples plus optional hash indexes."""
@@ -33,12 +43,17 @@ class RowTable:
         self.schema = schema
         self._rows: list[tuple] = []
         self._indexes: dict[str, dict[Any, list[int]]] = {}
+        self._deleted: Optional[list[bool]] = None  # tombstone mask
+        self._num_deleted = 0
+        self.compact_threshold = DEFAULT_COMPACT_THRESHOLD
+        self.cluster_keys: tuple[str, ...] = ()
+        self.compactions = 0  # bumped per physical compaction
 
     # -- data ----------------------------------------------------------------
 
     @property
     def num_rows(self) -> int:
-        return len(self._rows)
+        return len(self._rows) - self._num_deleted
 
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Append *rows*, coercing values to declared column types and
@@ -64,6 +79,8 @@ class RowTable:
                 value = self._rows[row_id][position]
                 if value is not None:
                     index.setdefault(value, []).append(row_id)
+        if self._deleted is not None:
+            self._deleted.extend([False] * inserted)
         return inserted
 
     def insert_columns(self, columns) -> int:
@@ -91,11 +108,78 @@ class RowTable:
             for offset, value in enumerate(values):
                 if value is not None:
                     index.setdefault(value, []).append(start + offset)
+        if self._deleted is not None:
+            self._deleted.extend([False] * count)
         return count
 
+    def delete_rows(self, column_name: str, values: Iterable[Any]) -> int:
+        """Tombstone every row whose *column_name* equals any of *values*
+        (the ``AllTables`` maintenance primitive: ``TableId IN (...)``).
+
+        Deletion is logical -- scans, fetches, and index look-ups skip the
+        masked rows -- until the dead fraction reaches
+        ``compact_threshold``, at which point the table is physically
+        compacted. Returns the number of rows deleted.
+        """
+        position = self.schema.position_of(column_name)
+        wanted = {v for v in values if v is not None}
+        if not wanted or not self._rows:
+            return 0
+        key = column_name.lower()
+        if key in self._indexes:
+            index = self._indexes[key]
+            positions = [p for v in wanted for p in index.get(v, ())]
+        else:
+            positions = [
+                p for p, row in enumerate(self._rows) if row[position] in wanted
+            ]
+        if self._deleted is None:
+            self._deleted = [False] * len(self._rows)
+        deleted = 0
+        mask = self._deleted
+        for p in positions:
+            if not mask[p]:
+                mask[p] = True
+                deleted += 1
+        self._num_deleted += deleted
+        if deleted and self._num_deleted >= self.compact_threshold * len(self._rows):
+            self.compact()
+        return deleted
+
+    def compact(self) -> None:
+        """Physically drop tombstoned rows and rebuild every index; when
+        ``cluster_keys`` is set, surviving rows are re-sorted into the
+        declared clustering order first, so compacted storage matches a
+        fresh bulk load of the same rows byte for byte."""
+        mask = self._deleted
+        rows = (
+            self._rows
+            if mask is None
+            else [row for row, dead in zip(self._rows, mask) if not dead]
+        )
+        if self.cluster_keys:
+            positions = [self.schema.position_of(c) for c in self.cluster_keys]
+            rows = sorted(
+                rows,
+                key=lambda row: tuple(
+                    (row[p] is None, row[p]) for p in positions
+                ),
+            )
+        self._rows = rows
+        self._deleted = None
+        self._num_deleted = 0
+        for key in list(self._indexes):
+            self._indexes[key] = {}
+            self._build_index(key)
+        self.compactions += 1
+
     def scan(self) -> Iterator[tuple]:
-        """Iterate all rows in insertion order."""
-        return iter(self._rows)
+        """Iterate live rows in insertion order."""
+        if self._deleted is None:
+            return iter(self._rows)
+        return (
+            row for row, dead in zip(self._rows, self._deleted) if not dead
+        )
 
     def fetch(self, positions: Iterable[int]) -> Iterator[tuple]:
         """Yield the rows at the given positions."""
@@ -114,20 +198,26 @@ class RowTable:
         self.schema.position_of(column_name)  # validates existence
         if key in self._indexes:
             return
-        position = self.schema.position_of(column_name)
-        index: dict[Any, list[int]] = {}
+        self._indexes[key] = {}
+        self._build_index(key)
+
+    def _build_index(self, key: str) -> None:
+        """(Re)populate one index dict from the current rows. Tombstoned
+        rows are indexed too -- look-ups filter them -- so the postings
+        stay position-aligned without a mask-aware build."""
+        position = self.schema.position_of(key)
+        index = self._indexes[key]
         for row_id, row in enumerate(self._rows):
             value = row[position]
             if value is not None:
                 index.setdefault(value, []).append(row_id)
-        self._indexes[key] = index
 
     def has_index(self, column_name: str) -> bool:
         return column_name.lower() in self._indexes
 
     def index_lookup(self, column_name: str, values: Iterable[Any]) -> list[int]:
-        """Row positions whose *column_name* equals any of *values*, in
-        ascending position order (so downstream operators see rows in
+        """Live row positions whose *column_name* equals any of *values*,
+        in ascending position order (so downstream operators see rows in
         storage order, like a bitmap index scan)."""
         key = column_name.lower()
         if key not in self._indexes:
@@ -144,6 +234,9 @@ class RowTable:
             hit = index.get(value)
             if hit:
                 positions.extend(hit)
+        if self._deleted is not None:
+            mask = self._deleted
+            positions = [p for p in positions if not mask[p]]
         positions.sort()
         return positions
 
@@ -151,7 +244,15 @@ class RowTable:
         key = column_name.lower()
         if key not in self._indexes:
             raise CatalogError(f"no index on {self.schema.name}.{column_name}")
-        return list(self._indexes[key].keys())
+        index = self._indexes[key]
+        if self._deleted is None:
+            return list(index.keys())
+        mask = self._deleted
+        return [
+            value
+            for value, postings in index.items()
+            if any(not mask[p] for p in postings)
+        ]
 
     # -- storage accounting -------------------------------------------------------
 

@@ -63,5 +63,12 @@ class SeekerError(BlendError):
     """Invalid seeker specification (empty query column, bad k, ...)."""
 
 
+class StaleContextError(BlendError):
+    """A :class:`SeekerContext` outlived the lake generation it was
+    created at: tables were added, removed, or replaced since, so results
+    could silently reference dead table ids. Re-create the context (e.g.
+    ``Blend.context()``) to pick up the current generation."""
+
+
 class CombinerError(BlendError):
     """Invalid combiner specification or input arity."""

@@ -13,7 +13,15 @@ table-id order), and the scalar cell-at-a-time reference
 ``benchmarks/run_bench.py`` tracks the speedups in ``BENCH_index.json``.
 """
 
-from .alltables import ALLTABLES_SCHEMA, IndexBuildReport, IndexConfig, build_alltables, index_table
+from .alltables import (
+    ALLTABLES_SCHEMA,
+    IndexBuildReport,
+    IndexConfig,
+    build_alltables,
+    deindex_table,
+    index_table,
+    reindex_table,
+)
 from .quadrant import column_means, column_quadrant_matrix, quadrant_bit, split_keys_by_target
 from .stats import LakeStatistics
 from .storage_model import StorageBreakdown, format_bytes, measure_breakdown
@@ -25,6 +33,8 @@ __all__ = [
     "IndexConfig",
     "build_alltables",
     "index_table",
+    "deindex_table",
+    "reindex_table",
     "column_means",
     "column_quadrant_matrix",
     "quadrant_bit",

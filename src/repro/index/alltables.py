@@ -144,6 +144,11 @@ def build_alltables(
     _check_hash_width(config, db)
     _check_workers(config)
     db.create_table(config.table_name, ALLTABLES_SCHEMA)
+    # The offline build emits rows in (TableId, RowId, ColumnId) order;
+    # declaring it as the clustering order lets storage compaction (after
+    # remove/replace maintenance) restore exactly this layout, which is
+    # what makes compacted storage byte-identical to a fresh build.
+    db.set_cluster_keys(config.table_name, ("TableId", "RowId", "ColumnId"))
     rng = random.Random(config.shuffle_seed)
 
     if config.workers is not None:
@@ -359,7 +364,7 @@ def _ingest_vectorized(
     buffer: list[_TableParts] = []
     buffered = 0
     factorizer = _TokenFactorizer()
-    for table_id, table in enumerate(lake):
+    for table_id, table in lake.items():
         perm: Optional[list[int]] = None
         if config.shuffle_rows:
             # Shuffling an index list consumes the identical rng sequence
@@ -623,7 +628,7 @@ def _shard_worker(task: _ShardTask) -> list[_ShardPart]:
     buffered = 0
     for offset, table in enumerate(task.shard.tables):
         perm = list(task.perms[offset]) if task.perms is not None else None
-        table_parts = _table_parts(task.shard.first_table_id + offset, table, factorizer, perm)
+        table_parts = _table_parts(task.shard.table_ids[offset], table, factorizer, perm)
         if table_parts is not None:
             buffer.append(table_parts)
             buffered += len(table_parts.codes)
@@ -678,11 +683,12 @@ def _ingest_sharded(lake: DataLake, db: Database, config: IndexConfig, rng: rand
         parts = _shard_worker(task)
     else:
         tasks = []
+        ordinal = 0  # perms are drawn per live table in iteration order
         for shard in lake.shard_plan(workers * _SHARDS_PER_WORKER):
             shard_perms = None
             if perms is not None:
-                start = shard.first_table_id
-                shard_perms = tuple(perms[start : start + len(shard.tables)])
+                shard_perms = tuple(perms[ordinal : ordinal + len(shard.tables)])
+            ordinal += len(shard.tables)
             tasks.append(
                 _ShardTask(shard, shard_perms, config.hash_size, config.xash_chars, True)
             )
@@ -811,7 +817,7 @@ def _ingest_scalar(
 ) -> int:
     index_rows: list[tuple] = []
     null_cells = 0
-    for table_id, table in enumerate(lake):
+    for table_id, table in lake.items():
         means = column_means(table)
         rows = list(table.rows)
         if config.shuffle_rows:
@@ -842,6 +848,21 @@ def _ingest_scalar(
     return null_cells
 
 
+def _check_maintenance(db: Database, config: IndexConfig) -> None:
+    """Shared guards of the incremental maintenance entry points."""
+    if not db.has_table(config.table_name):
+        raise IndexingError(
+            f"no {config.table_name!r} relation; run build_alltables first"
+        )
+    _check_hash_width(config, db)
+    if config.shuffle_rows:
+        raise IndexingError(
+            "incremental maintenance cannot reproduce the BLEND (rand) "
+            "row permutation (the shuffle rng sequence depends on every "
+            "preceding table); rebuild the index for shuffle_rows lakes"
+        )
+
+
 def index_table(
     table_id: int,
     table,
@@ -858,11 +879,7 @@ def index_table(
     ``IndexConfig(vectorized=False)``). Returns the number of index rows
     added.
     """
-    if not db.has_table(config.table_name):
-        raise IndexingError(
-            f"no {config.table_name!r} relation; run build_alltables first"
-        )
-    _check_hash_width(config, db)
+    _check_maintenance(db, config)
     if config.vectorized:
         factorizer = _TokenFactorizer()
         parts = _table_parts(table_id, table, factorizer)
@@ -888,3 +905,40 @@ def index_table(
                 )
             )
     return db.insert(config.table_name, rows)
+
+
+def deindex_table(
+    table_id: int,
+    db: Database,
+    config: IndexConfig = IndexConfig(),
+    vectors_table: str = "AllVectors",
+) -> int:
+    """Remove one table's rows from ``AllTables`` (and from the semantic
+    extension's ``AllVectors`` relation, when it was persisted).
+
+    The single-relation layout makes removal one predicate delete --
+    ``TableId IN (table_id)`` -- that cannot touch any other table's rows
+    or super keys; storage tombstones the rows and compacts past its
+    threshold. Returns the number of ``AllTables`` rows removed.
+    """
+    _check_maintenance(db, config)
+    removed = db.delete_rows(config.table_name, "TableId", [table_id])
+    if db.has_table(vectors_table):
+        db.delete_rows(vectors_table, "TableId", [table_id])
+    return removed
+
+
+def reindex_table(
+    table_id: int,
+    table,
+    db: Database,
+    config: IndexConfig = IndexConfig(),
+) -> tuple[int, int]:
+    """Replace one table's rows in ``AllTables``: delete the old rows,
+    append the new ones (same ``table_id``). Returns
+    ``(rows_removed, rows_added)``.
+    """
+    _check_maintenance(db, config)
+    removed = db.delete_rows(config.table_name, "TableId", [table_id])
+    added = index_table(table_id, table, db, config)
+    return removed, added

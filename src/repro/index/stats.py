@@ -4,6 +4,16 @@ The cost model's features are computed from corpus statistics gathered in
 the offline phase: the frequency of each token in the lake (posting-list
 length) and aggregate counts. Kept separate from the index so the online
 phase can estimate seeker costs without touching ``AllTables``.
+
+Statistics are **maintained exactly** under the lake lifecycle:
+:meth:`LakeStatistics.add_table` and :meth:`LakeStatistics.remove_table`
+update every field (per-token frequencies included, with zero-count
+tokens dropped), so a long-running deployment's statistics always equal a
+from-scratch :meth:`LakeStatistics.from_lake` over the current lake --
+pinned by tests, no drift. Both the offline scan and the maintenance
+deltas run on the vectorised token-factorisation kernel of the AllTables
+builder (one ``np.bincount`` per table instead of a per-cell Python
+loop).
 """
 
 from __future__ import annotations
@@ -11,8 +21,34 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+import numpy as np
+
 from ..lake.datalake import DataLake
-from ..lake.table import Cell, normalize_cell
+from ..lake.table import Cell, Table, normalize_cell
+
+
+def table_token_counts(table: Table, factorizer=None) -> tuple[list[str], np.ndarray]:
+    """Per-token occurrence counts of one table's non-null cells.
+
+    Runs the AllTables builder's batch factorisation kernel
+    (:class:`repro.index.alltables._FastFactorizer`; bit-identical to
+    ``normalize_cell`` per cell, including the bool/int duality rules)
+    and one ``np.bincount`` -- the vectorised replacement for the old
+    per-cell statistics loop. Returns ``(tokens, counts)`` aligned
+    arrays; pass a shared *factorizer* to reuse its memo across tables
+    (counts then cover only this table, tokens are the factorizer's
+    cumulative first-seen list).
+    """
+    from .alltables import _FastFactorizer  # local: avoids import cycle at load
+
+    if factorizer is None:
+        factorizer = _FastFactorizer()
+    n_cells = table.num_rows * table.num_columns
+    if n_cells == 0:
+        return factorizer.tokens, np.zeros(len(factorizer.tokens), dtype=np.int64)
+    codes = factorizer.factorize(table.rows, n_cells)
+    counts = np.bincount(codes[codes >= 0], minlength=len(factorizer.tokens))
+    return factorizer.tokens, counts.astype(np.int64, copy=False)
 
 
 @dataclass
@@ -22,19 +58,91 @@ class LakeStatistics:
     num_tables: int
     num_cells: int
     frequencies: dict[str, int] = field(repr=False)
+    num_columns: int = 0
+    num_rows: int = 0
+
+    @property
+    def num_distinct_tokens(self) -> int:
+        """Distinct non-null tokens across the lake (maintained exactly:
+        tokens whose frequency reaches zero are dropped)."""
+        return len(self.frequencies)
+
+    def average_posting_length(self) -> float:
+        """Mean posting-list length (``AllTables`` rows per distinct
+        token) -- the corpus' value-collision density, which scales how
+        many index rows one probed token drags into a seeker scan."""
+        if not self.frequencies:
+            return 0.0
+        return self.num_cells / len(self.frequencies)
 
     @classmethod
     def from_lake(cls, lake: DataLake) -> "LakeStatistics":
-        frequencies: dict[str, int] = {}
+        from .alltables import _FastFactorizer
+
+        factorizer = _FastFactorizer()
+        totals = np.zeros(0, dtype=np.int64)
         num_cells = 0
+        num_columns = 0
+        num_rows = 0
         for table in lake:
-            for _, _, value in table.iter_cells():
-                token = normalize_cell(value)
-                if token is None:
-                    continue
-                num_cells += 1
-                frequencies[token] = frequencies.get(token, 0) + 1
-        return cls(num_tables=len(lake), num_cells=num_cells, frequencies=frequencies)
+            tokens, counts = table_token_counts(table, factorizer)
+            if len(counts) > len(totals):
+                grown = np.zeros(len(counts), dtype=np.int64)
+                grown[: len(totals)] = totals
+                totals = grown
+            totals[: len(counts)] += counts
+            num_cells += int(counts.sum())
+            num_columns += table.num_columns
+            num_rows += table.num_rows
+        frequencies = dict(zip(factorizer.tokens, totals.tolist()))
+        return cls(
+            num_tables=len(lake),
+            num_cells=num_cells,
+            frequencies=frequencies,
+            num_columns=num_columns,
+            num_rows=num_rows,
+        )
+
+    # -- exact lifecycle maintenance ------------------------------------------------
+
+    def add_table(self, table: Table) -> None:
+        """Fold one added table into every statistic (vectorised)."""
+        tokens, counts = table_token_counts(table)
+        frequencies = self.frequencies
+        for token, count in zip(tokens, counts.tolist()):
+            if count:
+                frequencies[token] = frequencies.get(token, 0) + count
+        self.num_cells += int(counts.sum())
+        self.num_tables += 1
+        self.num_columns += table.num_columns
+        self.num_rows += table.num_rows
+
+    def remove_table(self, table: Table) -> None:
+        """Subtract one removed table from every statistic -- exact
+        per-token frequency decrements, with tokens dropped at zero so
+        the maintained state stays equal to a from-scratch scan (no
+        drift, no ghost tokens inflating ``num_distinct_tokens``)."""
+        tokens, counts = table_token_counts(table)
+        frequencies = self.frequencies
+        for token, count in zip(tokens, counts.tolist()):
+            if not count:
+                continue
+            remaining = frequencies.get(token, 0) - count
+            if remaining > 0:
+                frequencies[token] = remaining
+            else:
+                frequencies.pop(token, None)
+        self.num_cells -= int(counts.sum())
+        self.num_tables -= 1
+        self.num_columns -= table.num_columns
+        self.num_rows -= table.num_rows
+
+    def replace_table(self, previous: Table, table: Table) -> None:
+        """Swap one table's contribution for another's (same table id)."""
+        self.remove_table(previous)
+        self.add_table(table)
+
+    # -- cost-model reads ------------------------------------------------------------
 
     def frequency(self, value: Cell) -> int:
         """Occurrences of one value's token across the lake."""

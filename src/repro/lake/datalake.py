@@ -1,7 +1,17 @@
-"""Data-lake container: an ordered corpus of tables with stable ids.
+"""Data-lake container: a mutable corpus of tables with stable ids.
 
-Table ids are assigned on insertion order and are what the ``AllTables``
-index, seekers, and result sets refer to (the paper's ``TableId``).
+Table ids are assigned on insertion and are what the ``AllTables`` index,
+seekers, and result sets refer to (the paper's ``TableId``). Ids are
+**stable under mutation**: removing a table leaves a hole (its id is
+never reused), replacing a table keeps its id, and adding always mints a
+fresh id -- so incremental index maintenance (delete the table's index
+rows, append the new ones) reproduces exactly what a from-scratch build
+of the final lake state would assign.
+
+Every mutation bumps a monotonically increasing **generation** counter;
+consumers that cache derived state (seeker contexts, notably) carry the
+generation they observed and can detect staleness instead of silently
+serving results for dead table ids.
 """
 
 from __future__ import annotations
@@ -28,61 +38,128 @@ class LakeStats:
 
 @dataclass(frozen=True)
 class LakeShard:
-    """A contiguous, picklable slice of a lake's tables.
+    """A picklable slice of a lake's live tables.
 
-    The unit of work of the sharded ``AllTables`` build: table ids stay
-    implicit (``first_table_id + offset``), and :class:`Table` holds only
-    plain Python lists/tuples (plus its cached type-inference flags), so
-    a shard crosses a process boundary with one pickle round-trip and no
-    lake-level state.
+    The unit of work of the sharded ``AllTables`` build: table ids are
+    carried explicitly (lakes that lived through removals have holes, so
+    ids are no longer implicit in position), and :class:`Table` holds
+    only plain Python lists/tuples (plus its cached type-inference
+    flags), so a shard crosses a process boundary with one pickle
+    round-trip and no lake-level state.
     """
 
-    first_table_id: int
+    table_ids: tuple[int, ...]
     tables: tuple[Table, ...]
+
+    @property
+    def first_table_id(self) -> int:
+        return self.table_ids[0] if self.table_ids else 0
 
     @property
     def num_cells(self) -> int:
         return sum(table.num_rows * table.num_columns for table in self.tables)
 
 
+def _shard_of(items: list[tuple[int, Table]], start: int, stop: int) -> LakeShard:
+    """Shard of the pre-materialised live ``(id, table)`` sequence."""
+    selected = items[start:stop]
+    return LakeShard(
+        tuple(table_id for table_id, _ in selected),
+        tuple(table for _, table in selected),
+    )
+
+
 class DataLake:
-    """An ordered collection of :class:`Table` with id <-> name mapping."""
+    """An ordered collection of :class:`Table` with id <-> name mapping
+    and a full add / remove / replace lifecycle."""
 
     def __init__(self, name: str = "lake", tables: Optional[Iterable[Table]] = None) -> None:
         self.name = name
-        self._tables: list[Table] = []
+        # Slot list indexed by table id; removed tables leave a ``None``
+        # hole so ids stay stable (and are never reused).
+        self._tables: list[Optional[Table]] = []
         self._id_by_name: dict[str, int] = {}
+        self._num_live = 0
+        self._generation = 0
         if tables is not None:
             for table in tables:
                 self.add(table)
 
     # -- corpus management ---------------------------------------------------------
 
+    @property
+    def generation(self) -> int:
+        """Monotonically increasing mutation counter (add/remove/replace)."""
+        return self._generation
+
     def add(self, table: Table) -> int:
-        """Add a table; returns its assigned table id."""
+        """Add a table; returns its assigned (fresh, never-reused) id."""
         if table.name in self._id_by_name:
             raise LakeError(f"lake already contains a table named {table.name!r}")
         table_id = len(self._tables)
         self._tables.append(table)
         self._id_by_name[table.name] = table_id
+        self._num_live += 1
+        self._generation += 1
         return table_id
 
+    def remove(self, table_id: int) -> Table:
+        """Remove the table with *table_id*; its id becomes a permanent
+        hole (never reassigned). Returns the removed table."""
+        removed = self.by_id(table_id)
+        self._tables[table_id] = None
+        del self._id_by_name[removed.name]
+        self._num_live -= 1
+        self._generation += 1
+        return removed
+
+    def replace(self, table_id: int, table: Table) -> Table:
+        """Replace the table at *table_id* in place (the id is kept).
+        Returns the previous table."""
+        previous = self.by_id(table_id)
+        existing_id = self._id_by_name.get(table.name)
+        if existing_id is not None and existing_id != table_id:
+            raise LakeError(
+                f"lake already contains a table named {table.name!r} "
+                f"(id {existing_id})"
+            )
+        self._tables[table_id] = table
+        del self._id_by_name[previous.name]
+        self._id_by_name[table.name] = table_id
+        self._generation += 1
+        return previous
+
     def __len__(self) -> int:
-        return len(self._tables)
+        return self._num_live
 
     def __iter__(self) -> Iterator[Table]:
-        return iter(self._tables)
+        return (table for table in self._tables if table is not None)
 
     def __contains__(self, name: str) -> bool:
         return name in self._id_by_name
 
-    def table_ids(self) -> range:
-        return range(len(self._tables))
+    def table_ids(self) -> list[int]:
+        """Live table ids, ascending."""
+        return [i for i, table in enumerate(self._tables) if table is not None]
+
+    def items(self) -> Iterator[tuple[int, Table]]:
+        """``(table_id, table)`` pairs of live tables, ascending by id.
+
+        The canonical enumeration for anything that must agree with
+        ``AllTables``: on a lake that lived through removals,
+        ``enumerate(lake)`` would renumber past the holes.
+        """
+        return (
+            (i, table) for i, table in enumerate(self._tables) if table is not None
+        )
 
     def by_id(self, table_id: int) -> Table:
-        if not 0 <= table_id < len(self._tables):
+        if not 0 <= table_id < len(self._tables) or self._tables[table_id] is None:
             raise LakeError(f"unknown table id: {table_id}")
         return self._tables[table_id]
+
+    def has_id(self, table_id: int) -> bool:
+        return 0 <= table_id < len(self._tables) and self._tables[table_id] is not None
 
     def by_name(self, name: str) -> Table:
         try:
@@ -122,59 +199,63 @@ class DataLake:
     # -- sharding ---------------------------------------------------------------------
 
     def shard(self, start: int, stop: int) -> LakeShard:
-        """The tables with ids in ``[start, stop)`` as one picklable shard."""
-        if not 0 <= start <= stop <= len(self._tables):
+        """The live tables at ordinal positions ``[start, stop)`` (in
+        ascending-id order) as one picklable shard."""
+        if not 0 <= start <= stop <= self._num_live:
             raise LakeError(
                 f"invalid shard range [{start}, {stop}) for a lake of "
-                f"{len(self._tables)} tables"
+                f"{self._num_live} tables"
             )
-        return LakeShard(start, tuple(self._tables[start:stop]))
+        return _shard_of(list(self.items()), start, stop)
 
     def shard_plan(self, num_shards: int) -> list[LakeShard]:
-        """Partition the lake into up to *num_shards* contiguous shards of
-        roughly equal **cell** count (tables vary by orders of magnitude,
-        so balancing by table count would skew worker runtimes).
+        """Partition the live tables into up to *num_shards* contiguous
+        shards of roughly equal **cell** count (tables vary by orders of
+        magnitude, so balancing by table count would skew worker
+        runtimes).
 
-        Contiguity keeps the merge deterministic and trivial: emitting
-        shard outputs in shard order reproduces the serial build's
-        table-id emission order exactly. Greedy splitting against the
-        ideal per-shard quota; every shard holds at least one table, and
-        fewer shards than requested are returned when the lake is small.
+        Contiguity (in ascending-id order) keeps the merge deterministic
+        and trivial: emitting shard outputs in shard order reproduces the
+        serial build's table-id emission order exactly. Greedy splitting
+        against the ideal per-shard quota; every shard holds at least one
+        table, and fewer shards than requested are returned when the lake
+        is small.
         """
         if num_shards < 1:
             raise LakeError(f"num_shards must be >= 1, got {num_shards}")
-        num_tables = len(self._tables)
+        num_tables = self._num_live
         if num_tables == 0:
             return []
-        cells = [table.num_rows * table.num_columns for table in self._tables]
+        items = list(self.items())  # one lake walk for the whole plan
+        cells = [table.num_rows * table.num_columns for _, table in items]
         total = sum(cells)
         shards: list[LakeShard] = []
         start = 0
         accumulated = 0
-        for table_id, table_cells in enumerate(cells):
+        for position, table_cells in enumerate(cells):
             accumulated += table_cells
             remaining_shards = num_shards - len(shards)
-            remaining_tables = num_tables - table_id - 1
+            remaining_tables = num_tables - position - 1
             if remaining_shards <= 1:
                 continue
             quota = total * (len(shards) + 1) / num_shards
             if accumulated >= quota or remaining_tables < remaining_shards - 1:
-                shards.append(self.shard(start, table_id + 1))
-                start = table_id + 1
+                shards.append(_shard_of(items, start, position + 1))
+                start = position + 1
         if start < num_tables:
-            shards.append(self.shard(start, num_tables))
+            shards.append(_shard_of(items, start, num_tables))
         return shards
 
     # -- statistics -------------------------------------------------------------------
 
     def stats(self) -> LakeStats:
-        """Table II-style corpus statistics."""
-        num_columns = sum(table.num_columns for table in self._tables)
-        num_rows = sum(table.num_rows for table in self._tables)
-        num_cells = sum(table.num_rows * table.num_columns for table in self._tables)
+        """Table II-style corpus statistics (over live tables)."""
+        num_columns = sum(table.num_columns for table in self)
+        num_rows = sum(table.num_rows for table in self)
+        num_cells = sum(table.num_rows * table.num_columns for table in self)
         return LakeStats(
             name=self.name,
-            num_tables=len(self._tables),
+            num_tables=self._num_live,
             num_columns=num_columns,
             num_rows=num_rows,
             num_cells=num_cells,
@@ -183,10 +264,10 @@ class DataLake:
     # -- persistence ---------------------------------------------------------------------
 
     def save(self, directory: Union[str, Path]) -> None:
-        """Write every table as ``<directory>/<name>.csv``."""
+        """Write every live table as ``<directory>/<name>.csv``."""
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
-        for table in self._tables:
+        for table in self:
             write_table(table, directory / f"{table.name}.csv")
 
     @classmethod

@@ -1,6 +1,7 @@
 """Smoke tests for the micro-benchmark harness (``bench_index_build.py``,
-``bench_seeker.py``, ``run_bench.py``): tiny lakes, well-formed JSON
-payloads, and the committed artefacts' schemas and acceptance bars."""
+``bench_seeker.py``, ``bench_maintenance.py``, ``run_bench.py``): tiny
+lakes, well-formed JSON payloads, and the committed artefacts' schemas
+and acceptance bars."""
 
 import json
 import sys
@@ -11,6 +12,7 @@ import pytest
 BENCHMARKS_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
 sys.path.insert(0, str(BENCHMARKS_DIR))
 
+import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
 from bench_index_build import PHASES, format_report, run_benchmark  # noqa: E402
 
@@ -76,6 +78,7 @@ class TestCheckOnly:
         out = capsys.readouterr().out
         assert "[index] index build parity OK" in out
         assert "[seeker] MC seeker oracle parity OK" in out
+        assert "[maintenance] lifecycle parity OK" in out
 
     def test_index_divergence_raises(self, monkeypatch):
         """The build-parity assertion is live: break the sharded merge
@@ -161,3 +164,57 @@ class TestSeekerSuite:
         results = bench_seeker.run_benchmark(seed=bench_seeker.DEFAULT_SEED, scale=1.0)
         speedup = results["mc_scalar"]["seconds"] / results["mc_vectorized"]["seconds"]
         assert speedup >= 3.0
+
+
+class TestMaintenanceSuite:
+    """The lifecycle maintenance benchmark + its CI parity smoke."""
+
+    @pytest.fixture(scope="class")
+    def maintenance_results(self):
+        return bench_maintenance.run_benchmark(seed=3, scale=0.08)
+
+    def test_phases_and_schema(self, maintenance_results):
+        assert set(maintenance_results) == set(bench_maintenance.PHASES)
+        for numbers in maintenance_results.values():
+            assert set(numbers) == {"seconds", "rows_per_sec"}
+            assert numbers["seconds"] >= 0
+            assert numbers["rows_per_sec"] > 0
+        assert json.loads(json.dumps(maintenance_results)) == maintenance_results
+
+    def test_report_renders(self, maintenance_results):
+        text = bench_maintenance.format_report(maintenance_results)
+        assert "maintenance" in text and "maintenance_compact" in text
+
+    def test_committed_artifact_has_maintenance_row(self):
+        payload = json.loads((BENCHMARKS_DIR.parent / "BENCH_index.json").read_text())
+        assert set(payload) >= set(bench_maintenance.PHASES)
+        assert payload["maintenance"]["rows_per_sec"] > 0
+
+    def test_check_smoke_passes(self):
+        summary = bench_maintenance.run_check(seed=3, scale=0.1)
+        assert "lifecycle parity OK" in summary
+
+    def test_parity_divergence_raises(self, monkeypatch):
+        """The lifecycle-parity assertion is live: break deindexing and
+        the smoke must fail."""
+        from repro.core import system
+
+        monkeypatch.setattr(
+            system, "deindex_table", lambda table_id, db, config=None: 0
+        )
+        with pytest.raises(AssertionError, match="lifecycle parity violated"):
+            bench_maintenance.run_check(seed=3, scale=0.1)
+
+    def test_artifact_merge_preserves_sibling_rows(self, tmp_path, monkeypatch):
+        """Suites sharing BENCH_index.json must not clobber each other."""
+        import run_bench
+
+        out = tmp_path / "BENCH_index.json"
+        out.write_text(json.dumps({"build_scalar": {"seconds": 1.0, "rows_per_sec": 2.0}}))
+        assert run_bench.main(
+            ["--suite", "maintenance", "--seed", "3", "--scale", "0.08",
+             "--output", str(out)]
+        ) == 0
+        payload = json.loads(out.read_text())
+        assert payload["build_scalar"] == {"seconds": 1.0, "rows_per_sec": 2.0}
+        assert set(payload) >= set(bench_maintenance.PHASES)

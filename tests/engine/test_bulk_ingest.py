@@ -257,6 +257,81 @@ class TestNumericIsinMask:
         assert got == [(1.5,)]
 
 
+class TestIncrementalIndexMaintenance:
+    """``insert_columns`` appends must merge each chunk's sorted run into
+    the existing postings (no full re-argsort) and land bit-identical to
+    a from-scratch ``create_index`` rebuild."""
+
+    @staticmethod
+    def _chunks(batch):
+        text = np.array(
+            [None if i == batch % 5 else f"tok{(batch + i) % 3}" for i in range(5)],
+            dtype=object,
+        )
+        ints = np.arange(5, dtype=np.int64) * batch
+        int_null = np.array([i == (batch + 1) % 5 for i in range(5)])
+        floats = np.linspace(0.0, 1.0, 5) + batch
+        bools = np.array([-1, 0, 1, 1, 0], dtype=np.int8)
+        return [(text, None), (ints, int_null), (floats, None), (bools, None)]
+
+    SCHEMA = [("v", "text"), ("n", "integer"), ("f", "float"), ("b", "boolean")]
+
+    def _load(self, index_first: bool, batches: int = 4):
+        db = Database(backend="column")
+        db.create_table("t", self.SCHEMA)
+        if index_first:
+            for column, _ in self.SCHEMA:
+                db.create_index("t", column)
+        for batch in range(batches):
+            db.insert_columns("t", self._chunks(batch))
+        if not index_first:
+            for column, _ in self.SCHEMA:
+                db.create_index("t", column)
+        return db.table("t")
+
+    def test_identical_index_state_vs_rebuild(self):
+        incremental = self._load(index_first=True)._indexes
+        rebuilt = self._load(index_first=False)._indexes
+        assert set(incremental) == set(rebuilt) == {"v", "n", "f", "b"}
+        for key, postings in rebuilt.items():
+            assert set(incremental[key]) == set(postings), key
+            for value, positions in postings.items():
+                merged = incremental[key][value]
+                assert np.array_equal(merged, positions), (key, value)
+                assert merged.dtype == positions.dtype
+
+    def test_merged_runs_stay_ascending(self):
+        table = self._load(index_first=True)
+        for postings in table._indexes.values():
+            for positions in postings.values():
+                assert (np.diff(positions) > 0).all()
+
+    def test_index_survives_bulk_append(self):
+        # Pre-refactor behaviour dropped the index on every bulk append;
+        # it must now keep serving (and agree with a scan).
+        db = Database(backend="column")
+        db.create_table("t", self.SCHEMA)
+        db.create_index("t", "v")
+        for batch in range(3):
+            db.insert_columns("t", self._chunks(batch))
+            assert db.table("t").has_index("v")
+        got = db.execute("SELECT n FROM t WHERE v IN ('tok0')").rows
+        expected = [
+            (n,) for v, n in db.execute("SELECT v, n FROM t").rows if v == "tok0"
+        ]
+        assert sorted(got, key=repr) == sorted(expected, key=repr)
+
+    def test_row_at_a_time_insert_rebuilds_lazily(self):
+        db = Database(backend="column")
+        db.create_table("t", [("v", "text")])
+        db.create_index("t", "v")
+        db.insert_columns("t", [(np.array(["a", "b"], dtype=object), None)])
+        db.insert("t", [("a",)])  # drops materialised postings
+        table = db.table("t")
+        assert table.has_index("v")
+        assert table.index_lookup("v", ["a"]).tolist() == [0, 2]
+
+
 class TestGatherRows:
     def test_matches_expected_python_values(self):
         db = Database(backend="column")
