@@ -12,6 +12,8 @@ Two suites, each emitting one committed JSON artefact at the repo root:
 * ``--suite maintenance``: ``bench_maintenance`` (remove+reindex
   throughput under the table lifecycle) -- its rows merge into
   ``BENCH_index.json`` alongside the build phases;
+* ``--suite snapshot``: ``bench_snapshot`` (save / mmap warm-start load
+  vs the cold build) -- rows merge into ``BENCH_index.json`` too;
 * ``--suite all``: all of them.
 
 Artefacts are merged per phase: a suite run updates its own rows in the
@@ -46,6 +48,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_index_build  # noqa: E402
 import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
+import bench_snapshot  # noqa: E402
 
 DEFAULT_SEED = bench_index_build.DEFAULT_SEED
 
@@ -54,6 +57,7 @@ SUITES = {
     "index": (bench_index_build, _REPO_ROOT / "BENCH_index.json"),
     "seeker": (bench_seeker, _REPO_ROOT / "BENCH_seeker.json"),
     "maintenance": (bench_maintenance, _REPO_ROOT / "BENCH_index.json"),
+    "snapshot": (bench_snapshot, _REPO_ROOT / "BENCH_index.json"),
 }
 
 

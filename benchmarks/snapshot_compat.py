@@ -1,0 +1,144 @@
+#!/usr/bin/env python
+"""Cross-version snapshot compatibility driver (the CI matrix job).
+
+A snapshot written by one Python version must load -- and serve
+identical results -- on another: CI builds + saves on py3.10, uploads
+the directory as a workflow artifact, downloads it on py3.12 and
+verifies (and the reverse). The lake is regenerated deterministically
+from the seed on BOTH sides, so verification compares the loaded
+deployment against a fresh in-memory build of the *same* corpus on the
+*loading* interpreter: any drift in the on-disk format, pickle payloads,
+numpy serialisation, or hashing across versions surfaces as a hard
+failure here.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/snapshot_compat.py --save DIR
+    PYTHONPATH=src python benchmarks/snapshot_compat.py --load DIR
+
+Both commands cover both storage backends (``DIR/column``, ``DIR/row``);
+``--load`` additionally exercises the post-load lifecycle (mutate, then
+rebuild parity) and the failure path (a truncated payload must raise
+``SnapshotError``). Exit code 0 = verified.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_snapshot import (  # noqa: E402
+    assert_lifecycle_rebuild_parity,
+    seeker_results,
+)
+from repro import Blend  # noqa: E402
+from repro.errors import SnapshotError  # noqa: E402
+from repro.lake.generators import CorpusConfig, generate_corpus  # noqa: E402
+
+DEFAULT_SEED = 71
+DEFAULT_SCALE = 0.25
+BACKENDS = ("column", "row")
+
+
+def _lake(seed: int, scale: float):
+    config = CorpusConfig(
+        name="compat",
+        num_tables=max(2, int(200 * scale)),
+        min_rows=max(2, int(100 * scale)),
+        max_rows=max(4, int(400 * scale)),
+        seed=seed,
+    )
+    lake = generate_corpus(config)
+    for table in lake:
+        table.numeric_columns()
+    return lake
+
+
+def save(root: Path, seed: int, scale: float) -> int:
+    root.mkdir(parents=True, exist_ok=True)
+    for backend in BACKENDS:
+        blend = Blend(_lake(seed, scale), backend=backend)
+        blend.build_index()
+        blend.train_optimizer(samples_per_type=3, seed=seed)
+        path = blend.save(root / backend)
+        print(f"[save] {backend}: {path} ({sys.version_info.major}."
+              f"{sys.version_info.minor}, {platform.machine()})")
+    (root / "meta.json").write_text(
+        json.dumps(
+            {
+                "seed": seed,
+                "scale": scale,
+                "python": platform.python_version(),
+            }
+        )
+    )
+    return 0
+
+
+def load(root: Path) -> int:
+    meta = json.loads((root / "meta.json").read_text())
+    seed, scale = meta["seed"], meta["scale"]
+    print(
+        f"[load] verifying snapshot saved on py{meta['python']} "
+        f"under py{platform.python_version()}"
+    )
+    sql = "SELECT * FROM AllTables"
+    for backend in BACKENDS:
+        lake = _lake(seed, scale)
+        reference = Blend(lake, backend=backend)
+        reference.build_index()
+
+        loaded = Blend.load(root / backend, backend=backend)
+        if seeker_results(loaded) != seeker_results(reference):
+            raise AssertionError(f"[{backend}] cross-version seeker results diverge")
+        if loaded.db.execute(sql).rows != reference.db.execute(sql).rows:
+            raise AssertionError(f"[{backend}] cross-version AllTables rows diverge")
+        if loaded.stats != reference.stats:
+            raise AssertionError(f"[{backend}] cross-version statistics diverge")
+        if not loaded.optimizer.cost_model.is_trained():
+            raise AssertionError(f"[{backend}] trained cost model lost in transit")
+
+        # The loaded deployment is first-class: mutate, then rebuild parity.
+        assert_lifecycle_rebuild_parity(loaded, backend)
+        print(f"[load] {backend}: OK ({len(reference.db.execute(sql).rows)} index rows)")
+
+    # Corruption must fail loudly, on this interpreter too.
+    manifest = json.loads((root / BACKENDS[0] / "manifest.json").read_text())
+    victim = root / BACKENDS[0] / next(
+        rel for rel in manifest["files"] if rel.endswith(".npy")
+    )
+    payload = victim.read_bytes()
+    victim.write_bytes(payload[: len(payload) - 5])
+    try:
+        Blend.load(root / BACKENDS[0])
+    except SnapshotError as exc:
+        print(f"[load] truncation refused as expected: {str(exc)[:88]}")
+    else:
+        raise AssertionError("truncated snapshot loaded without error")
+    finally:
+        victim.write_bytes(payload)
+    print("[load] cross-version snapshot compatibility verified")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--save", type=Path, metavar="DIR")
+    group.add_argument("--load", type=Path, metavar="DIR")
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    args = parser.parse_args(argv)
+    if args.save is not None:
+        return save(args.save, args.seed, args.scale)
+    return load(args.load)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

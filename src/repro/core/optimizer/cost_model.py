@@ -129,6 +129,25 @@ class CostModel:
     def set_model(self, kind: str, model: LinearModel) -> None:
         self._models[kind] = model
 
+    # -- snapshots -----------------------------------------------------------------
+
+    def snapshot_state(self) -> dict[str, list[float]]:
+        """The trained regressions as plain JSON-able weights (one
+        4-vector per seeker type) -- what a snapshot manifest carries so
+        a loaded deployment optimizes exactly like the saved one."""
+        return {
+            kind: model.weights.tolist() for kind, model in sorted(self._models.items())
+        }
+
+    @classmethod
+    def from_snapshot(cls, state: dict[str, list[float]]) -> "CostModel":
+        return cls(
+            {
+                kind: LinearModel(np.asarray(weights, dtype=np.float64))
+                for kind, weights in state.items()
+            }
+        )
+
 
 @dataclass
 class TrainingReport:

@@ -137,18 +137,39 @@ class SemanticIndex:
         db.create_index(table_name, "TableId")
         return inserted
 
+    def snapshot_meta(self) -> dict:
+        """Construction parameters a snapshot manifest records so
+        :meth:`load` rebuilds an identical vector index from the
+        persisted ``AllVectors`` relation (the vectors themselves travel
+        in-DB, like everything else)."""
+        return {
+            "dimensions": self.dimensions,
+            "seed": self._seed,
+            "m": self._m,
+            "ef_construction": self._ef_construction,
+        }
+
     @classmethod
     def load(
         cls, db: Database, lake: DataLake, table_name: str = "AllVectors",
         dimensions: int = DEFAULT_DIMENSIONS, seed: int = 0,
+        m: Optional[int] = None, ef_construction: Optional[int] = None,
     ) -> "SemanticIndex":
         """Rebuild the in-memory HNSW from the persisted relation --
-        the deployment path where vectors live in the database."""
+        the deployment path where vectors live in the database. Pass
+        *m* / *ef_construction* (e.g. from :meth:`snapshot_meta`) to
+        reconstruct with the exact graph parameters of the saved index;
+        left ``None``, the HNSW defaults apply."""
         instance = cls.__new__(cls)
         instance.lake = lake
         instance.dimensions = dimensions
         instance._seed = seed
-        instance._hnsw = HnswIndex(dimensions, seed=seed)
+        graph_kwargs = {}
+        if m is not None:
+            graph_kwargs["m"] = m
+        if ef_construction is not None:
+            graph_kwargs["ef_construction"] = ef_construction
+        instance._hnsw = HnswIndex(dimensions, seed=seed, **graph_kwargs)
         # Record the graph parameters actually used, so a lifecycle
         # rebuild (remove_table) reconstructs with identical settings.
         instance._m = instance._hnsw.m

@@ -59,6 +59,11 @@ class Blend:
         self.index_config = index_config
         self._indexed = False
         self._stats: Optional[LakeStatistics] = None
+        # Deferred statistics thunk (snapshot loads install one): the
+        # frequency table materialises on first use instead of on the
+        # warm-start path, so serving processes that never touch the
+        # optimizer never pay for it.
+        self._stats_loader = None
         self.optimizer = Optimizer()
 
     # -- offline phase ---------------------------------------------------------
@@ -79,8 +84,73 @@ class Blend:
     def stats(self) -> LakeStatistics:
         """Lake statistics for the cost model (built lazily, cached)."""
         if self._stats is None:
-            self._stats = LakeStatistics.from_lake(self.lake)
+            self._stats = self._resolve_stats_loader() or LakeStatistics.from_lake(
+                self.lake
+            )
         return self._stats
+
+    def _resolve_stats_loader(self) -> Optional[LakeStatistics]:
+        """Run (and drop) a deferred snapshot statistics thunk, if any.
+
+        Lifecycle methods call this before applying their exact stats
+        deltas -- updating nothing while a loader is pending would leave
+        the eventually-materialised snapshot statistics stale."""
+        loader, self._stats_loader = self._stats_loader, None
+        return loader() if loader is not None else None
+
+    # -- snapshots: persist the built system (offline/online split) ------------------
+
+    def save(self, path, include_lake: bool = True):
+        """Persist the entire built deployment -- sealed storage arrays,
+        ``AllTables``/``AllVectors`` postings and token dictionaries,
+        declared indexes, lake statistics, cost-model weights, lake
+        metadata (stable ids and holes) and, by default, the lake cells
+        themselves -- into a versioned snapshot directory that
+        :meth:`load` restores near-instantly (payloads are raw ``.npy``
+        files opened with ``mmap_mode="r"``). Returns the path written.
+
+        See :mod:`repro.snapshot` for the on-disk layout, versioning
+        policy, and integrity checking.
+        """
+        from ..snapshot import save_blend
+
+        return save_blend(self, path, include_lake=include_lake)
+
+    @classmethod
+    def load(
+        cls,
+        path,
+        lake: Optional[DataLake] = None,
+        backend: Optional[str] = None,
+        hash_size: Optional[int] = None,
+        mmap: bool = True,
+        verify: bool = True,
+    ) -> "Blend":
+        """Warm-start a deployment from a :meth:`save` snapshot.
+
+        The loaded system is functionally identical to the fresh build
+        it was saved from: same seeker results, same statistics, same
+        optimizer behaviour, byte-identical sealed storage. Lifecycle
+        ops keep working -- memory-mapped arrays are promoted to private
+        copies on first mutation (copy-on-write), so N serving processes
+        can share one snapshot on disk. Pass *lake* to skip the
+        snapshot's cell payload (it is validated against the manifest's
+        lake metadata); *backend* / *hash_size* assert the snapshot
+        matches the expected deployment. Corrupted, truncated, or
+        version-mismatched snapshots raise
+        :class:`~repro.errors.SnapshotError` naming the offending file.
+        """
+        from ..snapshot import load_blend
+
+        return load_blend(
+            cls,
+            path,
+            lake=lake,
+            backend=backend,
+            hash_size=hash_size,
+            mmap=mmap,
+            verify=verify,
+        )
 
     def train_optimizer(
         self, samples_per_type: int = 40, seed: int = 0
@@ -114,6 +184,8 @@ class Blend:
         offline scan would.
         """
         self._check_maintainable()
+        if self._stats is None:
+            self._stats = self._resolve_stats_loader()
         table_id = self.lake.add(table)
         if self._indexed:
             index_table(table_id, table, self.db, self.index_config)
@@ -137,6 +209,8 @@ class Blend:
         context.
         """
         self._check_maintainable()
+        if self._stats is None:
+            self._stats = self._resolve_stats_loader()
         removed = self.lake.remove(table_id)
         if self._indexed:
             deindex_table(table_id, self.db, self.index_config)
@@ -153,6 +227,8 @@ class Blend:
         appended under the same id, so every seeker immediately serves
         the new contents. Returns the previous table."""
         self._check_maintainable()
+        if self._stats is None:
+            self._stats = self._resolve_stats_loader()
         previous = self.lake.replace(table_id, table)
         if self._indexed:
             reindex_table(table_id, table, self.db, self.index_config)

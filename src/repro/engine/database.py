@@ -233,6 +233,21 @@ class Database:
         indexes on ``AllTables(CellValue)`` and ``AllTables(TableId)``."""
         self._catalog.get(table_name).create_index(column_name)
 
+    def attach_table(self, storage) -> None:
+        """Register an already-built storage object (RowTable /
+        ColumnTable) under its schema name -- the snapshot load path,
+        where tables arrive fully sealed (typically over memory-mapped
+        payloads) instead of being created empty and re-ingested."""
+        expected = RowTable if self.backend == "row" else ColumnTable
+        if not isinstance(storage, expected):
+            raise EngineError(
+                f"cannot attach a {type(storage).__name__} to a "
+                f"{self.backend!r}-backend database"
+            )
+        self._catalog.register(storage)
+        self._data_epoch += 1
+        self._invalidate_plans()
+
     # -- data ---------------------------------------------------------------------
 
     def insert(self, table_name: str, rows: Iterable[Sequence[Any]]) -> int:

@@ -176,6 +176,10 @@ class ColumnTable:
         self.compact_threshold = DEFAULT_COMPACT_THRESHOLD
         self.cluster_keys: tuple[str, ...] = ()
         self.compactions = 0  # bumped per physical compaction
+        # True while sealed arrays are memory-mapped snapshot payloads
+        # (read-only views over the on-disk .npy files); any mutation
+        # promotes them to private in-memory copies first (copy-on-write).
+        self._mmap_backed = False
 
     # -- loading ---------------------------------------------------------------
 
@@ -183,10 +187,71 @@ class ColumnTable:
     def num_rows(self) -> int:
         return self._num_rows
 
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot_columns(self) -> tuple[list[_ColumnData], Optional[np.ndarray]]:
+        """The sealed storage state a snapshot persists: one
+        :class:`_ColumnData` per schema column (buffered batches merged
+        first, so the arrays are exactly what a reader would see) plus
+        the tombstone mask, ``None`` while the table holds no deletes."""
+        return self._seal(), self._deleted
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        schema: TableSchema,
+        columns: list[_ColumnData],
+        num_rows: int,
+        deleted: Optional[np.ndarray] = None,
+        num_deleted: int = 0,
+        index_columns: Iterable[str] = (),
+        cluster_keys: Sequence[str] = (),
+        compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+        compactions: int = 0,
+        mmap_backed: bool = True,
+    ) -> "ColumnTable":
+        """Rebuild a table around already-sealed column arrays (the
+        snapshot load path). The arrays are adopted as-is -- typically
+        read-only ``np.memmap`` views over the snapshot's ``.npy``
+        payloads, so loading is I/O-bound; the first mutation promotes
+        them to in-memory copies (:meth:`_promote`). Secondary-index
+        *declarations* are restored; postings rematerialise lazily on
+        the first look-up, exactly as after a delete."""
+        table = cls(schema)
+        table._sealed = columns
+        table._num_rows = num_rows
+        table._deleted = deleted
+        table._num_deleted = num_deleted
+        table._index_columns = {name.lower() for name in index_columns}
+        table.cluster_keys = tuple(cluster_keys)
+        table.compact_threshold = compact_threshold
+        table.compactions = compactions
+        table._mmap_backed = mmap_backed
+        return table
+
+    def _promote(self) -> None:
+        """Copy-on-write promotion: replace memory-mapped snapshot arrays
+        with private in-memory copies before the first mutation, so a
+        loaded table can be mutated (deletes write the tombstone mask,
+        compaction gathers in place of views) while the snapshot files
+        on disk -- possibly shared by other serving processes -- stay
+        untouched and read-only."""
+        if not self._mmap_backed:
+            return
+        for column in self._sealed or []:
+            for attr in ("codes", "data", "null"):
+                array = getattr(column, attr)
+                if isinstance(array, np.memmap):
+                    setattr(column, attr, np.array(array))
+        if isinstance(self._deleted, np.memmap):
+            self._deleted = np.array(self._deleted)
+        self._mmap_backed = False
+
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Buffer *rows* for columnar sealing; secondary indexes are
         invalidated (rebuilt lazily), sealed arrays are kept and merged
         incrementally at the next seal."""
+        self._promote()
         types = [column.sql_type for column in self.schema.columns]
         width = len(types)
         inserted = 0
@@ -220,6 +285,7 @@ class ColumnTable:
         count = validate_chunk(self.schema, columns)
         if count == 0:
             return 0
+        self._promote()
         # Preserve arrival order: any row-at-a-time values buffered so far
         # become their own backlog batch before this chunk is appended.
         self._flush_pending_to_backlog()
@@ -312,6 +378,7 @@ class ColumnTable:
         the storage. Returns the number of rows deleted.
         """
         self.schema.position_of(column_name)  # validates existence
+        self._promote()
         sealed = self._seal()
         if not sealed or _column_length(sealed[0]) == 0:
             return 0
@@ -343,6 +410,7 @@ class ColumnTable:
         rows (the rebuild-parity invariant of the AllTables maintenance
         path). Materialised index postings are dropped for lazy rebuild.
         """
+        self._promote()
         sealed = self._seal()
         if not sealed:
             return

@@ -55,6 +55,44 @@ class RowTable:
     def num_rows(self) -> int:
         return len(self._rows) - self._num_deleted
 
+    # -- snapshots ---------------------------------------------------------------
+
+    def snapshot_rows(self) -> tuple[list[tuple], Optional[list[bool]]]:
+        """The storage state a snapshot persists: every stored row
+        (tombstoned ones included, position-aligned with the mask) plus
+        the tombstone mask, ``None`` while the table holds no deletes.
+        The row store's payload is its tuples -- the row-oriented
+        equivalent of the column store's sealed arrays -- serialised by
+        the snapshot layer as one pickle stream, which round-trips every
+        cell exactly (arbitrary-precision 128-bit super keys included).
+        """
+        return self._rows, self._deleted
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        schema: TableSchema,
+        rows: list[tuple],
+        deleted: Optional[list[bool]] = None,
+        index_columns: Iterable[str] = (),
+        cluster_keys: Sequence[str] = (),
+        compact_threshold: float = DEFAULT_COMPACT_THRESHOLD,
+        compactions: int = 0,
+    ) -> "RowTable":
+        """Rebuild a table around already-typed snapshot rows. Declared
+        hash indexes are rebuilt eagerly (the row store has no lazy
+        postings path -- every mutation maintains them in place)."""
+        table = cls(schema)
+        table._rows = [tuple(row) for row in rows]
+        table._deleted = list(deleted) if deleted is not None else None
+        table._num_deleted = sum(table._deleted) if table._deleted else 0
+        table.cluster_keys = tuple(cluster_keys)
+        table.compact_threshold = compact_threshold
+        table.compactions = compactions
+        for name in index_columns:
+            table.create_index(name)
+        return table
+
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Append *rows*, coercing values to declared column types and
         maintaining all indexes. Returns the number of rows inserted."""

@@ -70,5 +70,14 @@ class StaleContextError(BlendError):
     ``Blend.context()``) to pick up the current generation."""
 
 
+class SnapshotError(BlendError):
+    """A persisted index snapshot cannot be written or loaded: missing or
+    corrupted payload files, checksum or size mismatches, an unsupported
+    format version, or a deployment (backend / hash width / lake) that
+    does not match what the snapshot was built from. The message names
+    the offending file so operators can tell truncation apart from
+    tampering -- a bad snapshot must never load into garbage results."""
+
+
 class CombinerError(BlendError):
     """Invalid combiner specification or input arity."""

@@ -82,6 +82,24 @@ ALLTABLES_SCHEMA = [
 _FLUSH_ROWS = 200_000
 
 
+def shuffle_permutation(shuffle_seed: int, table_id: int, num_rows: int) -> list[int]:
+    """The BLEND (rand) row permutation of one table.
+
+    Seeded by ``(shuffle_seed, table_id)`` alone -- a stable per-table
+    hash, not a position in a build-wide rng sequence -- so the
+    permutation of any single table is reproducible in isolation. That
+    is what makes shuffled configs *maintainable*: ``index_table`` /
+    ``reindex_table`` re-derive exactly the permutation a from-scratch
+    build would assign, no matter which tables came before. (The string
+    seed goes through ``random.Random``'s sha512 path, deterministic
+    across processes and Python versions.)
+    """
+    rng = random.Random(f"blend-shuffle:{shuffle_seed}:{table_id}")
+    perm = list(range(num_rows))
+    rng.shuffle(perm)
+    return perm
+
+
 @dataclass(frozen=True)
 class IndexConfig:
     """Offline-phase knobs.
@@ -134,7 +152,10 @@ def build_alltables(
     rows, so multi-column alignment is preserved) before RowIds are
     assigned. This is the BLEND (rand) variant of §VIII-G: the correlation
     seeker's ``RowId < h`` convenience sample then behaves like a random
-    sample without any runtime sampling machinery.
+    sample without any runtime sampling machinery. Each table's
+    permutation is seeded independently from ``(shuffle_seed,
+    table_id)`` (:func:`shuffle_permutation`), so the incremental
+    maintenance paths reproduce it exactly.
     """
     if db.has_table(config.table_name):
         raise IndexingError(
@@ -149,14 +170,13 @@ def build_alltables(
     # remove/replace maintenance) restore exactly this layout, which is
     # what makes compacted storage byte-identical to a fresh build.
     db.set_cluster_keys(config.table_name, ("TableId", "RowId", "ColumnId"))
-    rng = random.Random(config.shuffle_seed)
 
     if config.workers is not None:
-        null_cells = _ingest_sharded(lake, db, config, rng)
+        null_cells = _ingest_sharded(lake, db, config)
     elif config.vectorized:
-        null_cells = _ingest_vectorized(lake, db, config, rng)
+        null_cells = _ingest_vectorized(lake, db, config)
     else:
-        null_cells = _ingest_scalar(lake, db, config, rng)
+        null_cells = _ingest_scalar(lake, db, config)
 
     if config.build_value_index:
         db.create_index(config.table_name, "CellValue")
@@ -357,9 +377,7 @@ class _FastFactorizer:
         return codes
 
 
-def _ingest_vectorized(
-    lake: DataLake, db: Database, config: IndexConfig, rng: random.Random
-) -> int:
+def _ingest_vectorized(lake: DataLake, db: Database, config: IndexConfig) -> int:
     null_cells = 0
     buffer: list[_TableParts] = []
     buffered = 0
@@ -367,11 +385,7 @@ def _ingest_vectorized(
     for table_id, table in lake.items():
         perm: Optional[list[int]] = None
         if config.shuffle_rows:
-            # Shuffling an index list consumes the identical rng sequence
-            # as shuffling the row list itself, so RowIds match the
-            # scalar path permutation exactly.
-            perm = list(range(table.num_rows))
-            rng.shuffle(perm)
+            perm = shuffle_permutation(config.shuffle_seed, table_id, table.num_rows)
         parts = _table_parts(table_id, table, factorizer, perm)
         if parts is not None:
             buffer.append(parts)
@@ -606,7 +620,7 @@ class _ShardTask:
     """One picklable unit of shard work sent to a worker process."""
 
     shard: LakeShard
-    perms: Optional[tuple]  # per-table shuffle permutations, or None
+    shuffle_seed: Optional[int]  # per-table seeded shuffle, None = no shuffle
     hash_size: int
     xash_chars: int
     hash_in_worker: bool  # False: defer XASH to the global merge
@@ -627,8 +641,14 @@ def _shard_worker(task: _ShardTask) -> list[_ShardPart]:
     buffer: list[_TableParts] = []
     buffered = 0
     for offset, table in enumerate(task.shard.tables):
-        perm = list(task.perms[offset]) if task.perms is not None else None
-        table_parts = _table_parts(task.shard.table_ids[offset], table, factorizer, perm)
+        table_id = task.shard.table_ids[offset]
+        perm = None
+        if task.shuffle_seed is not None:
+            # Per-table seeded permutation: derivable inside any worker
+            # from the stable table id alone, no shared rng to thread
+            # through the fan-out.
+            perm = shuffle_permutation(task.shuffle_seed, table_id, table.num_rows)
+        table_parts = _table_parts(table_id, table, factorizer, perm)
         if table_parts is not None:
             buffer.append(table_parts)
             buffered += len(table_parts.codes)
@@ -651,23 +671,16 @@ def _shard_worker(task: _ShardTask) -> list[_ShardPart]:
     return parts
 
 
-def _ingest_sharded(lake: DataLake, db: Database, config: IndexConfig, rng: random.Random) -> int:
+def _ingest_sharded(lake: DataLake, db: Database, config: IndexConfig) -> int:
     """Shard the lake, fan the shards out, merge deterministically.
 
-    Shuffle permutations are drawn up front from the single build rng (in
-    table-id order, exactly the sequence the serial paths consume), so
-    workers never need the shared rng. Shard outputs are merged in
-    table-id order, which makes the result byte-identical to the serial
+    Shuffle permutations are seeded per table id
+    (:func:`shuffle_permutation`), so every worker derives its own
+    tables' permutations locally. Shard outputs are merged in table-id
+    order, which makes the result byte-identical to the serial
     vectorised build for any worker count.
     """
-    perms: Optional[list[tuple[int, ...]]] = None
-    if config.shuffle_rows:
-        perms = []
-        for table in lake:
-            perm = list(range(table.num_rows))
-            rng.shuffle(perm)
-            perms.append(tuple(perm))
-
+    shuffle_seed = config.shuffle_seed if config.shuffle_rows else None
     workers = _effective_workers(config)
     if workers <= 1 or len(lake) <= 1:
         # Single-CPU (or single-table) degradation: same sharded pipeline
@@ -675,23 +688,17 @@ def _ingest_sharded(lake: DataLake, db: Database, config: IndexConfig, rng: rand
         # dictionary instead of once per shard.
         task = _ShardTask(
             lake.shard(0, len(lake)),
-            tuple(perms) if perms is not None else None,
+            shuffle_seed,
             config.hash_size,
             config.xash_chars,
             hash_in_worker=False,
         )
         parts = _shard_worker(task)
     else:
-        tasks = []
-        ordinal = 0  # perms are drawn per live table in iteration order
-        for shard in lake.shard_plan(workers * _SHARDS_PER_WORKER):
-            shard_perms = None
-            if perms is not None:
-                shard_perms = tuple(perms[ordinal : ordinal + len(shard.tables)])
-            ordinal += len(shard.tables)
-            tasks.append(
-                _ShardTask(shard, shard_perms, config.hash_size, config.xash_chars, True)
-            )
+        tasks = [
+            _ShardTask(shard, shuffle_seed, config.hash_size, config.xash_chars, True)
+            for shard in lake.shard_plan(workers * _SHARDS_PER_WORKER)
+        ]
         parts = _run_shard_tasks(tasks, workers)
     return _merge_and_insert(db, config, parts)
 
@@ -812,16 +819,15 @@ atexit.register(_shutdown_pools)
 # --------------------------------------------------------------------------
 
 
-def _ingest_scalar(
-    lake: DataLake, db: Database, config: IndexConfig, rng: random.Random
-) -> int:
+def _ingest_scalar(lake: DataLake, db: Database, config: IndexConfig) -> int:
     index_rows: list[tuple] = []
     null_cells = 0
     for table_id, table in lake.items():
         means = column_means(table)
         rows = list(table.rows)
         if config.shuffle_rows:
-            rng.shuffle(rows)
+            perm = shuffle_permutation(config.shuffle_seed, table_id, len(rows))
+            rows = [rows[i] for i in perm]
         for row_id, row in enumerate(rows):
             row_super_key = super_key(row, config.hash_size, config.xash_chars)
             for column_id, value in enumerate(row):
@@ -849,18 +855,18 @@ def _ingest_scalar(
 
 
 def _check_maintenance(db: Database, config: IndexConfig) -> None:
-    """Shared guards of the incremental maintenance entry points."""
+    """Shared guards of the incremental maintenance entry points.
+
+    ``shuffle_rows`` configs are maintainable since the permutation
+    became a per-table seeded hash (:func:`shuffle_permutation`): the
+    maintenance paths re-derive any one table's permutation without
+    replaying a build-wide rng sequence.
+    """
     if not db.has_table(config.table_name):
         raise IndexingError(
             f"no {config.table_name!r} relation; run build_alltables first"
         )
     _check_hash_width(config, db)
-    if config.shuffle_rows:
-        raise IndexingError(
-            "incremental maintenance cannot reproduce the BLEND (rand) "
-            "row permutation (the shuffle rng sequence depends on every "
-            "preceding table); rebuild the index for shuffle_rows lakes"
-        )
 
 
 def index_table(
@@ -880,15 +886,22 @@ def index_table(
     added.
     """
     _check_maintenance(db, config)
+    perm: Optional[list[int]] = None
+    if config.shuffle_rows:
+        # Same per-table seeded permutation a from-scratch build assigns.
+        perm = shuffle_permutation(config.shuffle_seed, table_id, table.num_rows)
     if config.vectorized:
         factorizer = _TokenFactorizer()
-        parts = _table_parts(table_id, table, factorizer)
+        parts = _table_parts(table_id, table, factorizer, perm)
         if parts is None:
             return 0
         return _hash_and_insert(db, config, [parts], factorizer)[0]
     means = column_means(table)
+    table_rows = list(table.rows)
+    if perm is not None:
+        table_rows = [table_rows[i] for i in perm]
     rows: list[tuple] = []
-    for row_id, row in enumerate(table.rows):
+    for row_id, row in enumerate(table_rows):
         row_super_key = super_key(row, config.hash_size, config.xash_chars)
         for column_id, value in enumerate(row):
             token = normalize_cell(value)

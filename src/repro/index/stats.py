@@ -103,6 +103,39 @@ class LakeStatistics:
             num_rows=num_rows,
         )
 
+    # -- snapshots --------------------------------------------------------------------
+
+    def snapshot_arrays(self) -> tuple[list[str], np.ndarray]:
+        """The per-token frequency table as aligned ``(tokens, counts)``
+        arrays -- the snapshot layer's mmap-friendly form (counts as one
+        int64 ``.npy``, tokens as an offsets+UTF-8-blob pair); the
+        aggregate scalars travel in the manifest."""
+        counts = np.fromiter(
+            self.frequencies.values(), dtype=np.int64, count=len(self.frequencies)
+        )
+        return list(self.frequencies.keys()), counts
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        tokens: list[str],
+        counts: np.ndarray,
+        num_tables: int,
+        num_cells: int,
+        num_columns: int,
+        num_rows: int,
+    ) -> "LakeStatistics":
+        """Rebuild statistics from :meth:`snapshot_arrays` output plus
+        the manifest aggregates -- exactly equal (``==``) to the
+        instance that was saved."""
+        return cls(
+            num_tables=num_tables,
+            num_cells=num_cells,
+            frequencies=dict(zip(tokens, counts.tolist())),
+            num_columns=num_columns,
+            num_rows=num_rows,
+        )
+
     # -- exact lifecycle maintenance ------------------------------------------------
 
     def add_table(self, table: Table) -> None:

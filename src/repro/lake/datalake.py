@@ -261,6 +261,82 @@ class DataLake:
             num_cells=num_cells,
         )
 
+    # -- snapshots ---------------------------------------------------------------------
+
+    def snapshot_meta(self) -> dict:
+        """Structural lake metadata for a snapshot manifest: one entry
+        per id slot (``None`` marks a removal hole -- ids stay stable
+        through save/load), each recording name and shape. Enough to
+        validate that a caller-supplied lake is the one the snapshot was
+        built from, without shipping any cell data."""
+        return {
+            "name": self.name,
+            "generation": self._generation,
+            "slots": [
+                None
+                if table is None
+                else {
+                    "name": table.name,
+                    "columns": list(table.columns),
+                    "num_rows": table.num_rows,
+                }
+                for table in self._tables
+            ],
+        }
+
+    def snapshot_payload(self) -> list:
+        """The picklable cell payload backing :meth:`from_snapshot`:
+        plain ``(name, columns, rows)`` tuples per live slot (``None``
+        for holes) -- deliberately class-free, so the on-disk format
+        survives refactors of :class:`Table` itself."""
+        return [
+            None if table is None else (table.name, list(table.columns), table.rows)
+            for table in self._tables
+        ]
+
+    @classmethod
+    def from_snapshot(cls, payload: list, name: str, generation: int) -> "DataLake":
+        """Rebuild a lake -- holes, stable ids, and generation counter
+        included -- from :meth:`snapshot_payload` output."""
+        lake = cls(name)
+        for slot in payload:
+            if slot is None:
+                lake._tables.append(None)
+                continue
+            table_name, columns, rows = slot
+            table = Table(table_name, columns, rows)
+            lake._id_by_name[table.name] = len(lake._tables)
+            lake._tables.append(table)
+            lake._num_live += 1
+        lake._generation = generation
+        return lake
+
+    def snapshot_mismatch(self, meta: dict) -> Optional[str]:
+        """Why this lake does NOT match a snapshot's lake metadata, or
+        ``None`` when it does -- the guard for ``Blend.load(path, lake=...)``
+        warm starts that skip the snapshot's own cell payload."""
+        if self._generation != meta["generation"]:
+            return (
+                f"lake generation {self._generation} != snapshot "
+                f"generation {meta['generation']}"
+            )
+        slots = meta["slots"]
+        if len(self._tables) != len(slots):
+            return f"lake has {len(self._tables)} id slots, snapshot has {len(slots)}"
+        for table_id, (table, slot) in enumerate(zip(self._tables, slots)):
+            if (table is None) != (slot is None):
+                return f"table id {table_id}: live/hole mismatch"
+            if table is None:
+                continue
+            if table.name != slot["name"]:
+                return (
+                    f"table id {table_id}: name {table.name!r} != "
+                    f"snapshot {slot['name']!r}"
+                )
+            if list(table.columns) != slot["columns"] or table.num_rows != slot["num_rows"]:
+                return f"table id {table_id} ({table.name!r}): shape differs"
+        return None
+
     # -- persistence ---------------------------------------------------------------------
 
     def save(self, directory: Union[str, Path]) -> None:

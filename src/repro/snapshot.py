@@ -1,0 +1,605 @@
+"""Persistent index snapshots: versioned save/load with mmap warm start.
+
+BLEND's offline phase is expensive by design -- one comprehensive
+``AllTables`` build over the whole lake -- and the online phase is meant
+to serve from it indefinitely (paper §V). This module makes that split
+operational: :meth:`repro.Blend.save` persists the *entire built system*
+into a directory, and :meth:`repro.Blend.load` restores it in
+milliseconds, so serving processes warm-start from disk instead of
+re-running the build (N workers can mmap one shared snapshot).
+
+On-disk layout (all paths relative to the snapshot directory)::
+
+    manifest.json             format version, backend, index config, lake
+                              metadata (stable ids incl. removal holes),
+                              stats aggregates, cost-model weights,
+                              semantic parameters, per-file sizes+CRCs
+    tables/t<k>/c<i>.*.npy    column backend: one raw ``.npy`` per sealed
+                              array (int32 text codes, int64/float64
+                              data, bool null masks) plus each text
+                              dictionary as an offsets+UTF-8-blob pair
+    tables/t<k>/rows.pkl      row backend: the stored tuples as one
+                              pickle stream (exact round-trip for every
+                              cell, arbitrary-precision ints included)
+    tables/t<k>/deleted.npy   tombstone mask, present only mid-lifecycle
+    stats/*                   per-token frequency table
+    lake.pkl                  the lake's cell payload (class-free
+                              ``(name, columns, rows)`` tuples per slot)
+
+Numeric payloads load via ``np.load(mmap_mode="r")``: warm start is
+I/O-bound, not compute-bound, and the arrays stay read-only views over
+the snapshot files until the first mutation promotes them to private
+copies (:meth:`ColumnTable._promote` -- copy-on-write, so a loaded
+deployment keeps its full add/remove/replace lifecycle while the shared
+snapshot stays untouched).
+
+Versioning policy: ``FORMAT_VERSION`` bumps on any layout change; a
+loader only accepts its own version (no silent migrations -- rebuild or
+re-save). Every payload's size is checked on load and, with
+``verify=True`` (the default), its CRC-32 too; truncation, corruption,
+or a version/backend/hash-width mismatch raise
+:class:`~repro.errors.SnapshotError` naming the offending file -- a bad
+snapshot must never load into garbage results.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pickle
+import zlib
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from .engine.database import Database
+from .engine.storage.catalog import ColumnDef, TableSchema
+from .engine.storage.column_store import ColumnTable, _ColumnData
+from .engine.storage.row_store import RowTable
+from .engine.types import SqlType
+from .errors import SnapshotError
+from .index.alltables import IndexConfig
+from .index.stats import LakeStatistics
+from .lake.datalake import DataLake
+
+FORMAT_NAME = "blend-snapshot"
+FORMAT_VERSION = 1
+
+_MANIFEST = "manifest.json"
+_CRC_CHUNK = 1 << 20
+
+
+# --------------------------------------------------------------------------
+# Payload I/O: every file goes through these two, so size + CRC accounting
+# and SnapshotError attribution stay in one place.
+# --------------------------------------------------------------------------
+
+
+class _Writer:
+    """Writes payload files under the snapshot root, recording each
+    file's byte size and CRC-32 for the manifest."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        self.files: dict[str, dict[str, int]] = {}
+
+    def _record(self, rel: str, payload: bytes) -> None:
+        target = self.root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_bytes(payload)
+        self.files[rel] = {"bytes": len(payload), "crc32": zlib.crc32(payload)}
+
+    def save_array(self, rel: str, array: np.ndarray) -> str:
+        buffer = io.BytesIO()
+        np.save(buffer, np.ascontiguousarray(array), allow_pickle=False)
+        self._record(rel, buffer.getvalue())
+        return rel
+
+    def save_text(self, rel_base: str, values) -> str:
+        """An object array (or list) of ``str`` as two raw ``.npy``
+        payloads: per-string UTF-8 byte lengths plus one byte blob --
+        both plain dtypes, unlike the object array itself."""
+        encoded = [value.encode("utf-8") for value in values]
+        lengths = np.fromiter(
+            (len(piece) for piece in encoded), dtype=np.int64, count=len(encoded)
+        )
+        blob = np.frombuffer(b"".join(encoded), dtype=np.uint8)
+        self.save_array(rel_base + ".lens.npy", lengths)
+        self.save_array(rel_base + ".blob.npy", blob)
+        return rel_base
+
+    def save_pickle(self, rel: str, obj) -> str:
+        self._record(rel, pickle.dumps(obj, protocol=4))
+        return rel
+
+
+class _Reader:
+    """Loads payload files, enforcing the manifest's size (always) and
+    CRC-32 (``verify=True``) records before any bytes are interpreted."""
+
+    def __init__(self, root: Path, files: dict, mmap: bool, verify: bool) -> None:
+        self.root = root
+        self.files = files
+        self.mmap = mmap
+        self.verify = verify
+
+    def check_all(self) -> None:
+        """Fail fast on the first missing, truncated, or corrupted
+        payload -- before any array is handed to a consumer."""
+        for rel in self.files:
+            self._check(rel)
+
+    def _require_listed(self, rel: str) -> None:
+        """Refuse payload paths the manifest does not account for: an
+        unlisted file would bypass the size/CRC gate entirely (a
+        tampered manifest must not smuggle unverified bytes in)."""
+        if rel not in self.files:
+            raise SnapshotError(
+                f"snapshot payload {rel!r} is not listed in {_MANIFEST}"
+            )
+
+    def _check(self, rel: str) -> Path:
+        self._require_listed(rel)
+        expected = self.files[rel]
+        target = self.root / rel
+        if not target.is_file():
+            raise SnapshotError(f"snapshot payload missing: {target}")
+        size = target.stat().st_size
+        if size != expected["bytes"]:
+            raise SnapshotError(
+                f"snapshot payload truncated: {target} holds {size} bytes, "
+                f"manifest records {expected['bytes']}"
+            )
+        if self.verify:
+            crc = 0
+            with open(target, "rb") as handle:
+                while chunk := handle.read(_CRC_CHUNK):
+                    crc = zlib.crc32(chunk, crc)
+            if crc != expected["crc32"]:
+                raise SnapshotError(
+                    f"snapshot payload checksum mismatch: {target} "
+                    f"(crc32 {crc:#010x} != recorded {expected['crc32']:#010x})"
+                )
+        return target
+
+    def load_array(self, rel: str, mmap: Optional[bool] = None) -> np.ndarray:
+        self._require_listed(rel)
+        target = self.root / rel
+        mode = "r" if (self.mmap if mmap is None else mmap) else None
+        try:
+            return np.load(target, mmap_mode=mode, allow_pickle=False)
+        except SnapshotError:
+            raise
+        except Exception as exc:
+            raise SnapshotError(f"cannot read snapshot payload {target}: {exc}") from exc
+
+    def load_text_list(self, rel_base: str) -> list[str]:
+        lengths = self.load_array(rel_base + ".lens.npy", mmap=False)
+        blob = self.load_array(rel_base + ".blob.npy", mmap=False)
+        raw = blob.tobytes()
+        bounds = np.zeros(len(lengths) + 1, dtype=np.int64)
+        np.cumsum(lengths, out=bounds[1:])
+        if int(bounds[-1]) != len(raw):
+            raise SnapshotError(
+                f"snapshot payload {self.root / (rel_base + '.blob.npy')} holds "
+                f"{len(raw)} text bytes, offsets account for {int(bounds[-1])}"
+            )
+        edges = bounds.tolist()
+        try:
+            if raw.isascii():
+                # Fast path (the common case for normalised lake tokens):
+                # one C-level decode, then byte offsets double as
+                # character offsets.
+                text = raw.decode("ascii")
+                pieces = [text[a:b] for a, b in zip(edges, edges[1:])]
+            else:
+                pieces = [
+                    raw[a:b].decode("utf-8") for a, b in zip(edges, edges[1:])
+                ]
+        except UnicodeDecodeError as exc:
+            raise SnapshotError(
+                f"cannot read snapshot payload {self.root / (rel_base + '.blob.npy')}: {exc}"
+            ) from exc
+        return pieces
+
+    def load_text(self, rel_base: str) -> np.ndarray:
+        pieces = self.load_text_list(rel_base)
+        out = np.empty(len(pieces), dtype=object)
+        out[:] = pieces
+        return out
+
+    def load_pickle(self, rel: str):
+        self._require_listed(rel)
+        target = self.root / rel
+        try:
+            return pickle.loads(target.read_bytes())
+        except Exception as exc:
+            raise SnapshotError(f"cannot read snapshot payload {target}: {exc}") from exc
+
+
+# --------------------------------------------------------------------------
+# Saving
+# --------------------------------------------------------------------------
+
+
+def save_blend(blend, path: Union[str, Path], include_lake: bool = True) -> Path:
+    """Persist a built :class:`~repro.Blend` deployment into *path*.
+
+    The manifest is written last, so an interrupted save leaves a
+    directory no loader will accept (missing manifest) rather than a
+    plausible-looking torso. With ``include_lake=False`` the snapshot
+    carries lake *metadata* only and ``load`` requires the caller to
+    supply the (identical) lake -- the multi-worker deployment shape
+    where the lake source is already shared.
+    """
+    if not getattr(blend, "_indexed", False):
+        raise SnapshotError("nothing to save: call build_index() first")
+    root = Path(path)
+    if root.exists():
+        if not root.is_dir():
+            raise SnapshotError(f"snapshot path {root} exists and is not a directory")
+        if any(root.iterdir()):
+            raise SnapshotError(
+                f"refusing to overwrite non-empty directory {root}; "
+                "point save() at a fresh path"
+            )
+    root.mkdir(parents=True, exist_ok=True)
+    writer = _Writer(root)
+    db: Database = blend.db
+
+    semantic = getattr(blend, "_semantic", None)
+    if semantic is not None and not db.has_table("AllVectors"):
+        # enable_semantic(persist=False) keeps the vectors in memory
+        # only; a snapshot persists the entire built system, so
+        # serialise them in-DB now (exactly what persist=True does) --
+        # otherwise load would find semantic parameters with no
+        # AllVectors relation behind them.
+        semantic.persist(db)
+
+    tables_meta = []
+    for position, name in enumerate(db.table_names()):
+        storage = db.table(name)
+        prefix = f"tables/t{position}"
+        if isinstance(storage, ColumnTable):
+            tables_meta.append(_save_column_table(writer, prefix, storage))
+        else:
+            tables_meta.append(_save_row_table(writer, prefix, storage))
+
+    stats_meta = None
+    stats = blend._stats
+    if stats is None and getattr(blend, "_stats_loader", None) is not None:
+        stats = blend.stats  # resolve a pending snapshot-deferred loader
+    if stats is not None:
+        tokens, counts = stats.snapshot_arrays()
+        writer.save_text("stats/tokens", tokens)
+        writer.save_array("stats/counts.npy", counts)
+        stats_meta = {
+            "num_tables": stats.num_tables,
+            "num_cells": stats.num_cells,
+            "num_columns": stats.num_columns,
+            "num_rows": stats.num_rows,
+            "tokens": "stats/tokens",
+            "counts": "stats/counts.npy",
+        }
+
+    lake_meta = blend.lake.snapshot_meta()
+    lake_meta["payload"] = None
+    if include_lake:
+        lake_meta["payload"] = writer.save_pickle("lake.pkl", blend.lake.snapshot_payload())
+
+    cost_model = blend.optimizer.cost_model
+    config = blend.index_config
+    manifest = {
+        "format": FORMAT_NAME,
+        "format_version": FORMAT_VERSION,
+        "backend": db.backend,
+        "index_config": {
+            field: getattr(config, field) for field in IndexConfig.__dataclass_fields__
+        },
+        "lake": lake_meta,
+        "stats": stats_meta,
+        "cost_model": cost_model.snapshot_state() if cost_model.is_trained() else None,
+        "semantic": semantic.snapshot_meta() if semantic is not None else None,
+        "tables": tables_meta,
+        "files": writer.files,
+    }
+    (root / _MANIFEST).write_text(
+        json.dumps(manifest, indent=1, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return root
+
+
+def _table_meta(storage, kind: str) -> dict:
+    return {
+        "name": storage.schema.name,
+        "kind": kind,
+        "columns": [
+            [column.name, column.sql_type.name] for column in storage.schema.columns
+        ],
+        "num_rows": storage.num_rows,
+        "index_columns": sorted(storage._index_columns)
+        if kind == "column"
+        else sorted(storage._indexes),
+        "cluster_keys": list(storage.cluster_keys),
+        "compact_threshold": storage.compact_threshold,
+        "compactions": storage.compactions,
+    }
+
+
+def _save_column_table(writer: _Writer, prefix: str, storage: ColumnTable) -> dict:
+    meta = _table_meta(storage, "column")
+    sealed, deleted = storage.snapshot_columns()
+    columns_meta = []
+    for i, column in enumerate(sealed):
+        base = f"{prefix}/c{i}"
+        column_meta: dict = {"type": column.sql_type.name}
+        if column.codes is not None:
+            column_meta["codes"] = writer.save_array(f"{base}.codes.npy", column.codes)
+            column_meta["dictionary"] = writer.save_text(
+                f"{base}.dict", column.dictionary
+            )
+        if column.data is not None:
+            column_meta["data"] = writer.save_array(f"{base}.data.npy", column.data)
+        if column.null is not None:
+            column_meta["null"] = writer.save_array(f"{base}.null.npy", column.null)
+        columns_meta.append(column_meta)
+    meta["payload"] = columns_meta
+    meta["num_deleted"] = storage._num_deleted
+    meta["deleted"] = (
+        writer.save_array(f"{prefix}/deleted.npy", deleted)
+        if deleted is not None
+        else None
+    )
+    return meta
+
+
+def _save_row_table(writer: _Writer, prefix: str, storage: RowTable) -> dict:
+    meta = _table_meta(storage, "row")
+    rows, deleted = storage.snapshot_rows()
+    meta["payload"] = writer.save_pickle(f"{prefix}/rows.pkl", rows)
+    meta["num_deleted"] = storage._num_deleted
+    meta["deleted"] = (
+        writer.save_array(f"{prefix}/deleted.npy", np.asarray(deleted, dtype=bool))
+        if deleted is not None
+        else None
+    )
+    return meta
+
+
+# --------------------------------------------------------------------------
+# Loading
+# --------------------------------------------------------------------------
+
+
+def read_manifest(path: Union[str, Path]) -> dict:
+    """Parse and version-check a snapshot manifest (shared by the loader
+    and external tooling that wants to inspect a snapshot cheaply)."""
+    root = Path(path)
+    target = root / _MANIFEST
+    if not target.is_file():
+        raise SnapshotError(f"not a snapshot (missing {target})")
+    try:
+        manifest = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot parse snapshot manifest {target}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != FORMAT_NAME:
+        raise SnapshotError(f"{target} is not a {FORMAT_NAME} manifest")
+    version = manifest.get("format_version")
+    if version != FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported snapshot format version {version!r} in {target}: "
+            f"this build reads version {FORMAT_VERSION} only "
+            "(re-save the snapshot with the current code)"
+        )
+    for key in ("backend", "index_config", "lake", "tables", "files"):
+        if key not in manifest:
+            raise SnapshotError(f"snapshot manifest {target} lacks the {key!r} section")
+    return manifest
+
+
+def load_blend(
+    blend_cls,
+    path: Union[str, Path],
+    lake: Optional[DataLake] = None,
+    backend: Optional[str] = None,
+    hash_size: Optional[int] = None,
+    mmap: bool = True,
+    verify: bool = True,
+):
+    """Restore a :class:`~repro.Blend` deployment from a snapshot.
+
+    *lake* skips the snapshot's cell payload and serves from the given
+    (validated, identical) lake instead; *backend* / *hash_size* assert
+    the snapshot matches the deployment the caller expects. ``mmap``
+    keeps numeric payloads as read-only file-backed views (copy-on-write
+    on first mutation); ``verify`` additionally checks every payload's
+    CRC-32 (sizes are always checked).
+    """
+    root = Path(path)
+    manifest = read_manifest(root)
+    manifest_path = root / _MANIFEST
+
+    if backend is not None and backend != manifest["backend"]:
+        raise SnapshotError(
+            f"backend mismatch: snapshot {manifest_path} was saved from the "
+            f"{manifest['backend']!r} backend, caller expects {backend!r}"
+        )
+    config_fields = {
+        key: value
+        for key, value in manifest["index_config"].items()
+        if key in IndexConfig.__dataclass_fields__
+    }
+    config = IndexConfig(**config_fields)
+    if hash_size is not None and hash_size != config.hash_size:
+        raise SnapshotError(
+            f"hash-width mismatch: snapshot {manifest_path} was built with "
+            f"hash_size={config.hash_size}, caller expects {hash_size}"
+        )
+    if config.hash_size > 63 and manifest["backend"] == "column":
+        raise SnapshotError(
+            f"inconsistent snapshot manifest {manifest_path}: "
+            f"hash_size={config.hash_size} super keys cannot exist in a "
+            "column-backend SuperKey column"
+        )
+
+    reader = _Reader(root, manifest["files"], mmap=mmap, verify=verify)
+    reader.check_all()
+
+    lake_meta = manifest["lake"]
+    if lake is not None:
+        mismatch = lake.snapshot_mismatch(lake_meta)
+        if mismatch is not None:
+            raise SnapshotError(
+                f"supplied lake does not match snapshot {manifest_path}: {mismatch}"
+            )
+    else:
+        if lake_meta["payload"] is None:
+            raise SnapshotError(
+                f"snapshot {manifest_path} was saved without the lake payload "
+                "(include_lake=False); pass the lake to load()"
+            )
+        payload = reader.load_pickle(lake_meta["payload"])
+        lake = DataLake.from_snapshot(
+            payload, lake_meta["name"], lake_meta["generation"]
+        )
+
+    db = Database(backend=manifest["backend"])
+    for meta in manifest["tables"]:
+        if meta["kind"] == "column":
+            db.attach_table(_load_column_table(reader, meta))
+        else:
+            db.attach_table(_load_row_table(reader, meta))
+
+    blend = blend_cls(lake, backend=manifest["backend"], index_config=config)
+    blend.db = db
+    blend._indexed = True
+    if manifest.get("stats") is not None:
+        stats_meta = manifest["stats"]
+
+        def _load_stats(
+            reader: _Reader = reader, meta: dict = stats_meta
+        ) -> LakeStatistics:
+            # Deferred: the frequency table is the one load payload that
+            # needs per-token Python objects, so it materialises on first
+            # optimizer use instead of slowing the warm start.
+            return LakeStatistics.from_snapshot(
+                reader.load_text_list(meta["tokens"]),
+                reader.load_array(meta["counts"], mmap=False),
+                num_tables=meta["num_tables"],
+                num_cells=meta["num_cells"],
+                num_columns=meta["num_columns"],
+                num_rows=meta["num_rows"],
+            )
+
+        blend._stats_loader = _load_stats
+    if manifest.get("cost_model"):
+        from .core.optimizer.cost_model import CostModel
+        from .core.optimizer.planner import Optimizer
+
+        blend.optimizer = Optimizer(CostModel.from_snapshot(manifest["cost_model"]))
+    if manifest.get("semantic") is not None:
+        from .core.semantic import SemanticIndex
+
+        semantic_meta = manifest["semantic"]
+        blend._semantic = SemanticIndex.load(
+            db,
+            lake,
+            dimensions=semantic_meta["dimensions"],
+            seed=semantic_meta["seed"],
+            m=semantic_meta.get("m"),
+            ef_construction=semantic_meta.get("ef_construction"),
+        )
+    return blend
+
+
+def _restore_schema(meta: dict) -> TableSchema:
+    try:
+        columns = [
+            ColumnDef(name, SqlType[type_name]) for name, type_name in meta["columns"]
+        ]
+    except KeyError as exc:
+        raise SnapshotError(
+            f"snapshot manifest names unknown SQL type {exc} for table "
+            f"{meta.get('name')!r}"
+        ) from None
+    return TableSchema(meta["name"], columns)
+
+
+def _load_column_table(reader: _Reader, meta: dict) -> ColumnTable:
+    schema = _restore_schema(meta)
+    if len(meta["payload"]) != len(schema.columns):
+        raise SnapshotError(
+            f"snapshot manifest lists {len(meta['payload'])} column payloads "
+            f"for table {meta['name']!r} of width {len(schema.columns)}"
+        )
+    sealed: list[_ColumnData] = []
+    lengths = set()
+    for column_def, column_meta in zip(schema.columns, meta["payload"]):
+        column = _ColumnData(column_def.sql_type)
+        if "codes" in column_meta:
+            column.codes = reader.load_array(column_meta["codes"])
+            column.dictionary = reader.load_text(column_meta["dictionary"])
+            lengths.add(len(column.codes))
+        if "data" in column_meta:
+            column.data = reader.load_array(column_meta["data"])
+            lengths.add(len(column.data))
+        if "null" in column_meta:
+            column.null = reader.load_array(column_meta["null"])
+        sealed.append(column)
+    if len(lengths) > 1:
+        raise SnapshotError(
+            f"snapshot arrays for table {meta['name']!r} have ragged lengths "
+            f"{sorted(lengths)}"
+        )
+    deleted = (
+        reader.load_array(meta["deleted"], mmap=False)
+        if meta.get("deleted")
+        else None
+    )
+    storage_rows = lengths.pop() if lengths else 0
+    if storage_rows - (meta.get("num_deleted") or 0) != meta["num_rows"]:
+        raise SnapshotError(
+            f"snapshot arrays for table {meta['name']!r} hold {storage_rows} "
+            f"rows; manifest records {meta['num_rows']} live + "
+            f"{meta.get('num_deleted') or 0} deleted"
+        )
+    return ColumnTable.from_snapshot(
+        schema,
+        sealed,
+        num_rows=meta["num_rows"],
+        deleted=deleted,
+        num_deleted=meta.get("num_deleted") or 0,
+        index_columns=meta.get("index_columns", ()),
+        cluster_keys=meta.get("cluster_keys", ()),
+        compact_threshold=meta.get("compact_threshold", 0.3),
+        compactions=meta.get("compactions", 0),
+    )
+
+
+def _load_row_table(reader: _Reader, meta: dict) -> RowTable:
+    schema = _restore_schema(meta)
+    rows = reader.load_pickle(meta["payload"])
+    if not isinstance(rows, list):
+        raise SnapshotError(
+            f"snapshot payload {meta['payload']!r} for table {meta['name']!r} "
+            "does not hold a row list"
+        )
+    deleted = None
+    if meta.get("deleted"):
+        deleted = reader.load_array(meta["deleted"], mmap=False).tolist()
+    table = RowTable.from_snapshot(
+        schema,
+        rows,
+        deleted=deleted,
+        index_columns=meta.get("index_columns", ()),
+        cluster_keys=meta.get("cluster_keys", ()),
+        compact_threshold=meta.get("compact_threshold", 0.3),
+        compactions=meta.get("compactions", 0),
+    )
+    if table.num_rows != meta["num_rows"]:
+        raise SnapshotError(
+            f"snapshot payload for table {meta['name']!r} holds "
+            f"{table.num_rows} live rows; manifest records {meta['num_rows']}"
+        )
+    return table

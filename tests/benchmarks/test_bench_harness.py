@@ -1,7 +1,7 @@
 """Smoke tests for the micro-benchmark harness (``bench_index_build.py``,
-``bench_seeker.py``, ``bench_maintenance.py``, ``run_bench.py``): tiny
-lakes, well-formed JSON payloads, and the committed artefacts' schemas
-and acceptance bars."""
+``bench_seeker.py``, ``bench_maintenance.py``, ``bench_snapshot.py``,
+``run_bench.py``): tiny lakes, well-formed JSON payloads, and the
+committed artefacts' schemas and acceptance bars."""
 
 import json
 import sys
@@ -14,6 +14,7 @@ sys.path.insert(0, str(BENCHMARKS_DIR))
 
 import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
+import bench_snapshot  # noqa: E402
 from bench_index_build import PHASES, format_report, run_benchmark  # noqa: E402
 
 
@@ -79,6 +80,7 @@ class TestCheckOnly:
         assert "[index] index build parity OK" in out
         assert "[seeker] MC seeker oracle parity OK" in out
         assert "[maintenance] lifecycle parity OK" in out
+        assert "[snapshot] snapshot round-trip parity OK" in out
 
     def test_index_divergence_raises(self, monkeypatch):
         """The build-parity assertion is live: break the sharded merge
@@ -218,3 +220,54 @@ class TestMaintenanceSuite:
         payload = json.loads(out.read_text())
         assert payload["build_scalar"] == {"seconds": 1.0, "rows_per_sec": 2.0}
         assert set(payload) >= set(bench_maintenance.PHASES)
+
+
+class TestSnapshotSuite:
+    """The snapshot benchmark (save / mmap warm start) + its CI smoke."""
+
+    @pytest.fixture(scope="class")
+    def snapshot_results(self):
+        return bench_snapshot.run_benchmark(seed=3, scale=0.08)
+
+    def test_phases_and_schema(self, snapshot_results):
+        assert set(snapshot_results) == set(bench_snapshot.PHASES)
+        for numbers in snapshot_results.values():
+            assert set(numbers) == {"seconds", "rows_per_sec"}
+            assert numbers["seconds"] >= 0
+            assert numbers["rows_per_sec"] > 0
+        assert json.loads(json.dumps(snapshot_results)) == snapshot_results
+
+    def test_report_renders(self, snapshot_results):
+        text = bench_snapshot.format_report(snapshot_results)
+        assert "warm-start speedup" in text
+
+    def test_committed_artifact_meets_acceptance_bar(self):
+        payload = json.loads((BENCHMARKS_DIR.parent / "BENCH_index.json").read_text())
+        assert set(payload) >= set(bench_snapshot.PHASES)
+        # The PR's acceptance bar: mmap load >= 10x the vectorized cold
+        # build on the committed bench lake (seed 71).
+        speedup = (
+            payload["snapshot_cold_build"]["seconds"]
+            / payload["snapshot_load"]["seconds"]
+        )
+        assert speedup >= 10.0
+
+    def test_check_smoke_passes(self):
+        summary = bench_snapshot.run_check(seed=3, scale=0.1)
+        assert "snapshot round-trip parity OK" in summary
+
+    def test_round_trip_divergence_raises(self, monkeypatch):
+        """The round-trip assertion is live: a loader that mangles the
+        restored index must fail the smoke."""
+        import repro.snapshot as snapshot_module
+
+        real = snapshot_module.load_blend
+
+        def mangled(cls, path, **kwargs):
+            blend = real(cls, path, **kwargs)
+            blend.db.delete_rows("AllTables", "TableId", [0])
+            return blend
+
+        monkeypatch.setattr(snapshot_module, "load_blend", mangled)
+        with pytest.raises(AssertionError, match="diverge"):
+            bench_snapshot.run_check(seed=3, scale=0.1)

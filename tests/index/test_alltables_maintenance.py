@@ -12,8 +12,9 @@ interleaving of ``add_table`` / ``remove_table`` / ``replace_table``,
 
 plus the guard rails around it: stale contexts raise
 ``StaleContextError`` instead of silently serving dead table ids,
-threshold deletes auto-compact, maintenance refuses ``shuffle_rows``
-configs, and the scalar maintenance path agrees with the vectorised one.
+threshold deletes auto-compact, ``shuffle_rows`` (BLEND (rand)) configs
+are maintainable via the per-table seeded permutation, and the scalar
+maintenance path agrees with the vectorised one.
 """
 
 import random
@@ -128,15 +129,23 @@ def _index_state(db: Database, table_name: str, columns) -> dict:
 
 
 @pytest.mark.parametrize(
-    "backend,hash_size",
-    [("row", 63), ("row", 128), ("column", 63)],
+    "backend,hash_size,shuffle",
+    [
+        ("row", 63, False),
+        ("row", 128, False),
+        ("column", 63, False),
+        # BLEND (rand): the per-table seeded permutation makes shuffled
+        # configs maintainable -- same invariant, shuffled RowIds.
+        ("row", 128, True),
+        ("column", 63, True),
+    ],
 )
 @pytest.mark.parametrize("seed", [11, 47])
-def test_lifecycle_rebuild_parity(backend, hash_size, seed):
+def test_lifecycle_rebuild_parity(backend, hash_size, shuffle, seed):
     """Random add/remove/replace sequences preserve seeker parity with a
     from-scratch build; post-compaction storage is byte-identical."""
     rng = random.Random(seed * 1000 + hash_size)
-    config = IndexConfig(hash_size=hash_size)
+    config = IndexConfig(hash_size=hash_size, shuffle_rows=shuffle, shuffle_seed=5)
     blend = Blend(_base_lake(seed), backend=backend, index_config=config)
     blend.build_index()
     stale_context = blend.context()
@@ -270,21 +279,43 @@ def test_fresh_context_after_mutation_serves():
     assert blend.keyword_search(values[:4], k=5) is not None  # no raise
 
 
-def test_maintenance_rejects_shuffle_configs():
-    """The BLEND (rand) permutation cannot be reproduced incrementally;
-    maintenance must say so instead of silently diverging from rebuild."""
+def test_shuffle_maintenance_matches_rebuild():
+    """The BLEND (rand) permutation is a per-table seeded hash of the
+    stable table id, so maintenance on shuffled configs reproduces
+    exactly what a from-scratch shuffled build assigns."""
     lake = DataLake("shuf")
-    lake.add(Table("t0", ["k"], [("a",), ("b",)]))
-    config = IndexConfig(shuffle_rows=True)
+    lake.add(Table("t0", ["k"], [(f"a{i}",) for i in range(9)]))
+    lake.add(Table("t1", ["k"], [(f"b{i}",) for i in range(7)]))
+    config = IndexConfig(shuffle_rows=True, shuffle_seed=13)
     db = Database(backend="column")
     build_alltables(lake, db, config)
-    extra = Table("t1", ["k"], [("c",)])
-    with pytest.raises(IndexingError):
-        index_table(1, extra, db, config)
-    with pytest.raises(IndexingError):
-        deindex_table(0, db, config)
-    with pytest.raises(IndexingError):
-        reindex_table(0, extra, db, config)
+    # add / replace / remove through the maintenance entry points
+    lake.add(Table("t2", ["k"], [(f"c{i}",) for i in range(8)]))
+    index_table(2, lake.by_id(2), db, config)
+    replacement = Table("t1v2", ["k"], [(f"d{i}",) for i in range(6)])
+    lake.replace(1, replacement)
+    reindex_table(1, replacement, db, config)
+    lake.remove(0)
+    deindex_table(0, db, config)
+
+    fresh = Database(backend="column")
+    build_alltables(lake, fresh, config)
+    sql = "SELECT * FROM AllTables"
+    assert sorted(db.execute(sql).rows) == sorted(fresh.execute(sql).rows)
+    db.compact("AllTables")
+    assert db.execute(sql).rows == fresh.execute(sql).rows
+
+
+def test_shuffle_permutation_is_table_local():
+    """The permutation of one table id must not depend on which other
+    tables exist (that independence IS the maintainability argument)."""
+    from repro.index.alltables import shuffle_permutation
+
+    perm = shuffle_permutation(13, 4, 20)
+    assert sorted(perm) == list(range(20))
+    assert perm == shuffle_permutation(13, 4, 20)  # deterministic
+    assert perm != shuffle_permutation(13, 5, 20)  # table-id keyed
+    assert perm != shuffle_permutation(14, 4, 20)  # seed keyed
 
 
 def test_deindex_requires_existing_relation():
@@ -294,29 +325,27 @@ def test_deindex_requires_existing_relation():
 
 
 def test_lifecycle_refusal_is_atomic():
-    """On an unmaintainable deployment (shuffle_rows), lifecycle methods
-    must refuse BEFORE touching the lake -- a half-applied mutation would
-    leave a fresh-generation context silently serving the desynced
-    index."""
+    """On an unmaintainable deployment (here: the AllTables relation is
+    gone), lifecycle methods must refuse BEFORE touching the lake -- a
+    half-applied mutation would leave a fresh-generation context
+    silently serving the desynced index."""
     lake = DataLake("atomic")
     lake.add(Table("t0", ["k"], [("a",), ("b",)]))
     lake.add(Table("t1", ["k"], [("c",), ("d",)]))
-    blend = Blend(lake, backend="column", index_config=IndexConfig(shuffle_rows=True))
+    blend = Blend(lake, backend="column")
     blend.build_index()
+    blend.db.drop_table("AllTables")
     generation = lake.generation
-    rows = sorted(blend.db.execute("SELECT * FROM AllTables").rows)
     with pytest.raises(IndexingError):
         blend.remove_table(1)
     with pytest.raises(IndexingError):
         blend.replace_table(0, Table("t0v2", ["k"], [("e",)]))
     with pytest.raises(IndexingError):
         blend.add_table(Table("t2", ["k"], [("f",)]))
-    # lake AND index are exactly as before: no desync, no stale stats
+    # the lake is exactly as before: no desync, no stale stats
     assert lake.generation == generation
     assert lake.table_ids() == [0, 1]
     assert "t2" not in lake and "t0v2" not in lake
-    assert sorted(blend.db.execute("SELECT * FROM AllTables").rows) == rows
-    assert blend.keyword_search(["c"]).table_ids() == [1]
 
 
 class TestLakeLifecycle:

@@ -1,0 +1,441 @@
+"""Snapshot subsystem tests: round-trip fidelity and failure modes.
+
+The headline invariant: ``Blend.load(Blend.save(...))`` yields a system
+functionally identical to the in-memory build it was saved from -- same
+seeker results, exact ``LakeStatistics``, byte-identical sealed storage
+arrays and (lazily rematerialised) index postings -- on both storage
+backends and both hash widths; and a loaded deployment keeps its full
+lifecycle (mutations after load preserve rebuild parity, with the
+on-disk snapshot untouched -- copy-on-write).
+
+The guard rails: corrupted, truncated, or version-mismatched snapshots
+raise ``SnapshotError`` naming the offending file; so do backend /
+hash-width / lake mismatches at load time. A bad snapshot must never
+load into garbage results.
+"""
+
+import json
+import random
+import zlib
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Blend, Database, Plan, Table
+from repro.core.seekers import SeekerContext, Seekers
+from repro.engine.storage.column_store import ColumnTable
+from repro.errors import SnapshotError
+from repro.index import IndexConfig, build_alltables
+from repro.index.stats import LakeStatistics
+from repro.lake import DataLake
+from repro.lake.generators import CorpusConfig, generate_corpus
+from repro.snapshot import FORMAT_VERSION, read_manifest
+
+BACKEND_HASH = [("row", 63), ("row", 128), ("column", 63)]
+
+
+def _lake(seed: int, num_tables: int = 12):
+    lake = generate_corpus(
+        CorpusConfig(
+            name=f"snap{seed}", num_tables=num_tables, min_rows=5, max_rows=20, seed=seed
+        )
+    )
+    return lake
+
+
+def _random_table(rng: random.Random, name: str) -> Table:
+    rows = []
+    for _ in range(rng.randint(3, 10)):
+        rows.append(
+            (
+                f"k{rng.randint(0, 25)}",
+                rng.choice([rng.randint(0, 40), rng.random() * 5, 0, 1, None]),
+                rng.choice(["shared", True, False, None, f"tok{rng.randint(0, 9)}"]),
+            )
+        )
+    return Table(name, ["key", "num", "extra"], rows)
+
+
+def _query_seekers(lake):
+    table = lake.by_id(lake.table_ids()[0])
+    values = [v for v in table.column_values(table.columns[0]) if v is not None]
+    seekers = {
+        "SC": Seekers.SC(values[:8], k=10),
+        "KW": Seekers.KW(values[:8], k=10),
+    }
+    wide = [r[:2] for r in table.rows if all(v is not None for v in r[:2])]
+    if table.num_columns >= 2 and len(wide) >= 2:
+        seekers["MC"] = Seekers.MC(wide[:6], k=10)
+    flags = table.numeric_columns()
+    if any(flags) and not all(flags):
+        seekers["C"] = Seekers.Correlation(
+            table.column_values(table.columns[flags.index(False)]),
+            table.column_values(table.columns[flags.index(True)]),
+            k=10,
+            min_support=2,
+        )
+    return seekers
+
+
+def _results(context, seekers):
+    return {
+        kind: [(hit.table_id, hit.score) for hit in seeker.execute(context)]
+        for kind, seeker in seekers.items()
+    }
+
+
+def _column_storage_state(table: ColumnTable) -> list[tuple]:
+    state = []
+    for column in table._seal():
+        state.append(
+            (
+                None if column.codes is None else (column.codes.dtype.str, column.codes.tolist()),
+                None if column.dictionary is None else list(column.dictionary),
+                None if column.data is None else (column.data.dtype.str, column.data.tolist()),
+                None if column.null is None else np.asarray(column.null).tolist(),
+            )
+        )
+    return state
+
+
+def _index_state(db: Database, table_name: str, columns) -> dict:
+    table = db.table(table_name)
+    state = {}
+    for column in columns:
+        table.index_lookup(column, [])  # forces lazy materialisation
+        postings = table._indexes[column.lower()]
+        state[column] = {value: list(positions) for value, positions in postings.items()}
+    return state
+
+
+def _storage_identical(db_a: Database, db_b: Database, table_name: str) -> None:
+    if isinstance(db_a.table(table_name), ColumnTable):
+        assert _column_storage_state(db_a.table(table_name)) == _column_storage_state(
+            db_b.table(table_name)
+        )
+    else:
+        assert db_a.table(table_name)._rows == db_b.table(table_name)._rows
+    assert _index_state(db_a, table_name, ["CellValue", "TableId"]) == _index_state(
+        db_b, table_name, ["CellValue", "TableId"]
+    )
+
+
+# --------------------------------------------------------------------------
+# Round-trip fidelity
+# --------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend,hash_size", BACKEND_HASH)
+def test_round_trip_identical(backend, hash_size, tmp_path):
+    """save -> load reproduces seeker results, stats, and storage bytes."""
+    config = IndexConfig(hash_size=hash_size)
+    blend = Blend(_lake(3), backend=backend, index_config=config)
+    blend.build_index()
+    blend.train_optimizer(samples_per_type=3, seed=1)
+
+    path = blend.save(tmp_path / "snap")
+    loaded = Blend.load(path)
+
+    seekers = _query_seekers(blend.lake)
+    assert _results(blend.context(), seekers) == _results(loaded.context(), seekers)
+    assert loaded.stats == LakeStatistics.from_lake(blend.lake)
+    assert loaded.lake.generation == blend.lake.generation
+    assert loaded.lake.table_ids() == blend.lake.table_ids()
+    assert loaded.index_config == config
+    _storage_identical(blend.db, loaded.db, "AllTables")
+    # the trained cost model travelled with the snapshot
+    assert loaded.optimizer.cost_model.snapshot_state() == (
+        blend.optimizer.cost_model.snapshot_state()
+    )
+    # optimizer behaviour is identical on a representative plan
+    plan_before = blend.plan_for(Plan().add("kw", seekers["KW"]))
+    plan_after = loaded.plan_for(Plan().add("kw", seekers["KW"]))
+    assert plan_before.order == plan_after.order
+
+
+@pytest.mark.parametrize("backend,hash_size", BACKEND_HASH)
+@pytest.mark.parametrize("seed", [17, 29])
+def test_round_trip_then_mutate_matches_fresh_build(backend, hash_size, seed, tmp_path):
+    """Randomized property: build -> save -> load -> random lifecycle ops
+    -> parity with a from-scratch build of the final lake (the loaded
+    system is a first-class deployment, not a read-only replica)."""
+    rng = random.Random(seed * 31 + hash_size)
+    config = IndexConfig(hash_size=hash_size)
+    blend = Blend(_lake(seed), backend=backend, index_config=config)
+    blend.build_index()
+
+    path = blend.save(tmp_path / "snap")
+    manifest_bytes = (Path(path) / "manifest.json").read_bytes()
+    loaded = Blend.load(path)
+
+    counter = 0
+    for _ in range(8):
+        live = loaded.lake.table_ids()
+        op = rng.choice(["add", "remove", "replace"])
+        if op == "add" or len(live) <= 4:
+            counter += 1
+            loaded.add_table(_random_table(rng, f"snapmut{counter}"))
+        elif op == "remove":
+            loaded.remove_table(rng.choice(live))
+        else:
+            counter += 1
+            loaded.replace_table(rng.choice(live), _random_table(rng, f"snaprep{counter}"))
+
+    fresh_db = Database(backend=backend)
+    build_alltables(loaded.lake, fresh_db, config)
+    fresh_context = SeekerContext(db=fresh_db, lake=loaded.lake, hash_size=hash_size)
+    seekers = _query_seekers(loaded.lake)
+    assert _results(loaded.context(), seekers) == _results(fresh_context, seekers)
+
+    sql = "SELECT * FROM AllTables"
+    assert sorted(loaded.db.execute(sql).rows) == sorted(fresh_db.execute(sql).rows)
+    loaded.compact_index()
+    assert loaded.db.execute(sql).rows == fresh_db.execute(sql).rows
+    _storage_identical(loaded.db, fresh_db, "AllTables")
+    assert loaded.stats == LakeStatistics.from_lake(loaded.lake)
+
+    # Copy-on-write: all that mutation never wrote a byte to the snapshot.
+    assert (Path(path) / "manifest.json").read_bytes() == manifest_bytes
+    reloaded = Blend.load(path)
+    original = Blend(_lake(seed), backend=backend, index_config=config)
+    original.build_index()
+    assert sorted(reloaded.db.execute(sql).rows) == sorted(original.db.execute(sql).rows)
+
+
+def test_load_with_supplied_lake_and_mismatch(tmp_path):
+    """lake= skips the cell payload but is validated against the
+    manifest's lake metadata (generation, slots, shapes)."""
+    lake = _lake(5)
+    blend = Blend(lake, backend="column")
+    blend.build_index()
+    path = blend.save(tmp_path / "snap", include_lake=False)
+
+    loaded = Blend.load(path, lake=lake)
+    seekers = _query_seekers(lake)
+    assert _results(blend.context(), seekers) == _results(loaded.context(), seekers)
+
+    with pytest.raises(SnapshotError, match="without the lake payload"):
+        Blend.load(path)
+
+    other = _lake(5)
+    other.add(Table("drift", ["a"], [("x",)]))
+    with pytest.raises(SnapshotError, match="does not match snapshot"):
+        Blend.load(path, lake=other)
+
+
+def test_snapshot_preserves_lifecycle_state(tmp_path):
+    """A mid-lifecycle deployment (holes, tombstones not yet compacted)
+    snapshots and restores exactly -- including the tombstone mask."""
+    lake = DataLake("life")
+    for i in range(8):
+        lake.add(Table(f"t{i}", ["a"], [(f"v{i}_{j}",) for j in range(6)]))
+    blend = Blend(lake, backend="column")
+    blend.build_index()
+    storage = blend.db.table("AllTables")
+    storage.compact_threshold = 1.1  # keep tombstones resident
+    blend.remove_table(2)
+    blend.remove_table(5)
+    assert storage._deleted is not None
+
+    path = blend.save(tmp_path / "snap")
+    loaded = Blend.load(path)
+    assert loaded.lake.table_ids() == blend.lake.table_ids()
+    loaded_storage = loaded.db.table("AllTables")
+    assert loaded_storage._num_deleted == storage._num_deleted
+    assert np.array_equal(loaded_storage._deleted, storage._deleted)
+    sql = "SELECT * FROM AllTables"
+    assert loaded.db.execute(sql).rows == blend.db.execute(sql).rows
+    # ids keep never-reusing after load
+    new_id = loaded.add_table(Table("fresh", ["a"], [("y",)]))
+    assert new_id == 8
+
+
+def test_semantic_extension_round_trips(tmp_path):
+    lake = _lake(7)
+    blend = Blend(lake, backend="column")
+    blend.build_index()
+    blend.enable_semantic(dimensions=16)
+    path = blend.save(tmp_path / "snap")
+    loaded = Blend.load(path)
+    probe = ["alpha", "beta"]
+    assert loaded.semantic_search(probe, k=5).table_ids() == (
+        blend.semantic_search(probe, k=5).table_ids()
+    )
+    assert loaded._semantic.snapshot_meta() == blend._semantic.snapshot_meta()
+
+
+def test_shuffled_config_round_trips(tmp_path):
+    config = IndexConfig(shuffle_rows=True, shuffle_seed=9)
+    blend = Blend(_lake(11), backend="column", index_config=config)
+    blend.build_index()
+    path = blend.save(tmp_path / "snap")
+    loaded = Blend.load(path)
+    assert loaded.index_config == config
+    sql = "SELECT * FROM AllTables"
+    assert loaded.db.execute(sql).rows == blend.db.execute(sql).rows
+    # maintenance on the loaded shuffled deployment still matches rebuild
+    loaded.add_table(Table("shufadd", ["a"], [(f"s{i}",) for i in range(7)]))
+    fresh = Database(backend="column")
+    build_alltables(loaded.lake, fresh, config)
+    assert sorted(loaded.db.execute(sql).rows) == sorted(fresh.execute(sql).rows)
+
+
+# --------------------------------------------------------------------------
+# Failure modes: every bad snapshot names its offending file
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def saved(tmp_path):
+    blend = Blend(_lake(13), backend="column")
+    blend.build_index()
+    path = Path(blend.save(tmp_path / "snap"))
+    return blend, path
+
+
+def _payload_named(path: Path, suffix: str) -> str:
+    manifest = json.loads((path / "manifest.json").read_text())
+    return next(rel for rel in manifest["files"] if rel.endswith(suffix))
+
+
+def test_missing_manifest_refused(tmp_path):
+    (tmp_path / "empty").mkdir()
+    with pytest.raises(SnapshotError, match="manifest.json"):
+        Blend.load(tmp_path / "empty")
+
+
+def test_truncated_payload_names_file(saved):
+    _, path = saved
+    rel = _payload_named(path, ".codes.npy")
+    target = path / rel
+    target.write_bytes(target.read_bytes()[:-7])
+    with pytest.raises(SnapshotError, match="truncated") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+
+
+def test_missing_payload_names_file(saved):
+    _, path = saved
+    rel = _payload_named(path, "counts.npy")
+    (path / rel).unlink()
+    with pytest.raises(SnapshotError, match="missing") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+
+
+def test_checksum_mismatch_names_file(saved):
+    """A same-size bit flip -- invisible to the size check -- fails the
+    CRC verification instead of loading into garbage."""
+    _, path = saved
+    rel = _payload_named(path, ".data.npy")
+    target = path / rel
+    raw = bytearray(target.read_bytes())
+    raw[-1] ^= 0xFF
+    target.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotError, match="checksum mismatch") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+    # verify=False skips the CRC pass by contract (mmap-only warm start);
+    # the size gate still holds.
+    Blend.load(path, verify=False)
+
+
+def test_delisted_payload_refused(saved):
+    """Removing a payload's manifest entry must not smuggle it past the
+    size/CRC gate: unlisted files are refused, not loaded unverified."""
+    _, path = saved
+    rel = _payload_named(path, ".codes.npy")
+    manifest = json.loads((path / "manifest.json").read_text())
+    del manifest["files"][rel]
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    target = path / rel
+    raw = bytearray(target.read_bytes())
+    raw[-1] ^= 0xFF  # same-size corruption the delisting would have hidden
+    target.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotError, match="not listed") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+
+
+def test_unpersisted_semantic_extension_round_trips(tmp_path):
+    """enable_semantic(persist=False) keeps vectors in memory only;
+    save() must persist them (a snapshot is the entire built system)
+    rather than writing semantic parameters with no relation behind
+    them."""
+    blend = Blend(_lake(19), backend="column")
+    blend.build_index()
+    blend.enable_semantic(dimensions=16, persist=False)
+    assert not blend.db.has_table("AllVectors")
+    path = blend.save(tmp_path / "snap")
+    loaded = Blend.load(path)
+    assert loaded.db.has_table("AllVectors")
+    probe = ["alpha", "beta"]
+    assert loaded.semantic_search(probe, k=5).table_ids() == (
+        blend.semantic_search(probe, k=5).table_ids()
+    )
+
+
+def test_version_bump_refused(saved):
+    _, path = saved
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest["format_version"] = FORMAT_VERSION + 1
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotError, match="format version") as excinfo:
+        Blend.load(path)
+    assert "manifest.json" in str(excinfo.value)
+
+
+def test_manifest_garbage_refused(saved):
+    _, path = saved
+    (path / "manifest.json").write_text("{not json")
+    with pytest.raises(SnapshotError, match="manifest"):
+        Blend.load(path)
+
+
+def test_backend_mismatch_refused(saved):
+    _, path = saved
+    with pytest.raises(SnapshotError, match="backend mismatch"):
+        Blend.load(path, backend="row")
+
+
+def test_hash_width_mismatch_refused(saved):
+    _, path = saved
+    with pytest.raises(SnapshotError, match="hash-width mismatch"):
+        Blend.load(path, hash_size=128)
+
+
+def test_inconsistent_manifest_hash_width_refused(saved):
+    """A (tampered) manifest claiming 128-bit keys in a column-backend
+    snapshot is structurally impossible and refused outright."""
+    _, path = saved
+    manifest = json.loads((path / "manifest.json").read_text())
+    manifest["index_config"]["hash_size"] = 128
+    (path / "manifest.json").write_text(json.dumps(manifest))
+    with pytest.raises(SnapshotError, match="cannot exist"):
+        Blend.load(path)
+
+
+def test_save_refuses_non_empty_directory(saved, tmp_path):
+    blend, path = saved
+    with pytest.raises(SnapshotError, match="non-empty"):
+        blend.save(path)
+
+
+def test_save_requires_built_index(tmp_path):
+    blend = Blend(_lake(2), backend="column")
+    with pytest.raises(SnapshotError, match="build_index"):
+        blend.save(tmp_path / "nope")
+
+
+def test_read_manifest_reports_files(saved):
+    """read_manifest is the cheap inspection path: version-checked
+    structure with per-file size + CRC records."""
+    _, path = saved
+    manifest = read_manifest(path)
+    assert manifest["format_version"] == FORMAT_VERSION
+    assert manifest["backend"] == "column"
+    for record in manifest["files"].values():
+        assert set(record) == {"bytes", "crc32"}
+    rel, record = next(iter(manifest["files"].items()))
+    assert record["crc32"] == zlib.crc32((path / rel).read_bytes())
