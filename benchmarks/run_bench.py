@@ -14,6 +14,9 @@ Two suites, each emitting one committed JSON artefact at the repo root:
   ``BENCH_index.json`` alongside the build phases;
 * ``--suite snapshot``: ``bench_snapshot`` (save / mmap warm-start load
   vs the cold build) -- rows merge into ``BENCH_index.json`` too;
+* ``--suite serving``: ``bench_serving`` -> ``BENCH_serving.json``
+  (batched admission vs per-request serialization on one worker pool,
+  plus hot-swap under sustained load; answers parity-checked in-run);
 * ``--suite all``: all of them.
 
 Artefacts are merged per phase: a suite run updates its own rows in the
@@ -48,6 +51,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 import bench_index_build  # noqa: E402
 import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
+import bench_serving  # noqa: E402
 import bench_snapshot  # noqa: E402
 
 DEFAULT_SEED = bench_index_build.DEFAULT_SEED
@@ -58,6 +62,7 @@ SUITES = {
     "seeker": (bench_seeker, _REPO_ROOT / "BENCH_seeker.json"),
     "maintenance": (bench_maintenance, _REPO_ROOT / "BENCH_index.json"),
     "snapshot": (bench_snapshot, _REPO_ROOT / "BENCH_index.json"),
+    "serving": (bench_serving, _REPO_ROOT / "BENCH_serving.json"),
 }
 
 

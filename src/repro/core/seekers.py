@@ -105,6 +105,58 @@ class SeekerContext:
             )
 
 
+def dedupe_ranked_groups(
+    rows: Iterable[Sequence[Any]], k: int, *, skip_none: bool = False
+) -> ResultList:
+    """Collapse ranked *group* rows to ranked *tables*: first (best) hit
+    per table wins, cut at *k*.
+
+    The shared tail of every per-(table, column)-grouped seeker -- SC and
+    Correlation execute it over their SQL result rows, and the
+    cross-query batch kernels (:mod:`repro.core.batch`) over their
+    in-memory rankings. It is also the *merge* operation of a sharded
+    deployment (ROADMAP scatter-gather serving): per-shard ranked group
+    streams, re-sorted on the same ``(score desc, table, column)`` keys
+    and fed through this cut, reproduce a single-node ranking exactly --
+    which is what makes seeker results mergeable partials rather than
+    opaque top-k lists.
+
+    *rows* yields ``(table_id, score, ...)`` best-first; ``skip_none``
+    drops rows whose score is NULL (the Correlation seeker's guard).
+    """
+    hits: list[TableHit] = []
+    seen: set[int] = set()
+    for table_id, score, *_ in rows:
+        if skip_none and score is None:
+            continue
+        if table_id not in seen:
+            seen.add(table_id)
+            hits.append(TableHit(table_id, float(score)))
+        if len(hits) == k:
+            break
+    return ResultList(hits)
+
+
+def rank_table_counts(
+    table_ids: Sequence[int] | np.ndarray,
+    counts: Sequence[int] | np.ndarray,
+    k: int,
+) -> ResultList:
+    """Rank per-table validated-row counts: ``(count desc, table asc)``,
+    top *k* -- the shared tail of the MC paths (scalar oracle, vectorized
+    pipeline, and the cross-query batch kernel), and, like
+    :func:`dedupe_ranked_groups`, the merge step for sharded partial
+    counts (per-shard counts of one table simply add before ranking)."""
+    ids = np.asarray(table_ids, dtype=np.int64)
+    tallies = np.asarray(counts, dtype=np.int64)
+    if len(ids) == 0:
+        return ResultList([])
+    ranked = np.lexsort((ids, -tallies))
+    return ResultList(
+        TableHit(int(ids[i]), float(tallies[i])) for i in ranked[:k]
+    )
+
+
 def _normalize_values(values: Iterable[Cell]) -> list[str]:
     tokens: list[str] = []
     seen: set[str] = set()
@@ -188,15 +240,7 @@ class SingleColumnSeeker(Seeker):
         context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
-        hits: list[TableHit] = []
-        seen: set[int] = set()
-        for table_id, overlap in result.rows:
-            if table_id not in seen:
-                seen.add(table_id)
-                hits.append(TableHit(table_id, float(overlap)))
-            if len(hits) == self.k:
-                break
-        return ResultList(hits)
+        return dedupe_ranked_groups(result.rows, self.k)
 
     def query_cardinality(self) -> int:
         return len(self.tokens)
@@ -349,10 +393,7 @@ class MultiColumnSeeker(Seeker):
         counts: dict[int, int] = {}
         for table_id, _ in validated:
             counts[table_id] = counts.get(table_id, 0) + 1
-        ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
-        return ResultList(
-            TableHit(table_id, float(count)) for table_id, count in ranked[: self.k]
-        )
+        return rank_table_counts(list(counts.keys()), list(counts.values()), self.k)
 
     def _execute_vectorized(
         self, context: SeekerContext, rewrite: Optional[Rewrite] = None
@@ -367,11 +408,7 @@ class MultiColumnSeeker(Seeker):
         if len(table_ids) == 0:
             return ResultList([])
         unique_tables, counts = np.unique(table_ids, return_counts=True)
-        ranked = np.lexsort((unique_tables, -counts))
-        return ResultList(
-            TableHit(int(unique_tables[i]), float(counts[i]))
-            for i in ranked[: self.k]
-        )
+        return rank_table_counts(unique_tables, counts, self.k)
 
     # -- the three MC phases, exposed for tests and Table V ------------------------
 
@@ -760,17 +797,7 @@ class CorrelationSeeker(Seeker):
         context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
-        hits: list[TableHit] = []
-        seen: set[int] = set()
-        for table_id, qcr in result.rows:
-            if qcr is None:
-                continue
-            if table_id not in seen:
-                seen.add(table_id)
-                hits.append(TableHit(table_id, float(qcr)))
-            if len(hits) == self.k:
-                break
-        return ResultList(hits)
+        return dedupe_ranked_groups(result.rows, self.k, skip_none=True)
 
     def query_cardinality(self) -> int:
         return len(self.k0) + len(self.k1)

@@ -42,7 +42,7 @@ from .optimizer.cost_model import TrainingReport, train_cost_model
 from .optimizer.planner import ExecutionPlan, Optimizer
 from .plan import Plan
 from .results import ResultList
-from .seekers import SeekerContext, Seekers
+from .seekers import Seeker, SeekerContext, Seekers
 
 
 class Blend:
@@ -275,6 +275,23 @@ class Blend:
             semantic=getattr(self, "_semantic", None),
             generation=self.lake.generation,
         )
+
+    def execute_batch(self, seekers: Sequence["Seeker"]) -> list[ResultList]:
+        """Execute several independent seekers against one context,
+        coalescing same-modality queries into shared index passes (the
+        serving tier's batch window). Results are positionally aligned
+        and identical to per-seeker ``execute`` -- see
+        :mod:`repro.core.batch`."""
+        from .batch import execute_batch
+
+        return execute_batch(seekers, self.context())
+
+    def warm(self) -> None:
+        """Force every lazily-built read structure (sealed columns,
+        postings, dictionary reverse maps) so concurrent readers never
+        race on first-touch materialization. Serving deployments call
+        this once before a snapshot starts taking traffic."""
+        self.db.warm()
 
     def semantic_search(self, values: Iterable[Cell], k: int = 10) -> ResultList:
         """Semantic join/union discovery via the SS seeker extension."""

@@ -19,6 +19,7 @@ Example
 from __future__ import annotations
 
 import functools
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Iterator, Mapping, Optional, Sequence, Union
@@ -160,6 +161,24 @@ def _normalize_sql_key(sql: str) -> str:
     )
 
 
+@dataclass
+class _PlanEntry:
+    """One plan-cache slot.
+
+    ``lock`` serialises *use* of the plan, not just cache bookkeeping:
+    :func:`rebind_plan` mutates the cached plan tree in place
+    (predicate values, LIMIT counts), so two threads rebinding-and-
+    executing one cached plan concurrently would race each other's
+    parameters. Every executor run holds the entry lock from rebind
+    through execution; distinct statements use distinct entries and run
+    fully in parallel.
+    """
+
+    plan: PlanNode
+    referenced: frozenset[str]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+
 class Database:
     """An embedded single-process database with pluggable storage layout.
 
@@ -174,6 +193,17 @@ class Database:
     plans that reference the compacted table, since their planning-time
     assumptions (cardinalities, clustering) no longer describe the
     storage they would scan.
+
+    **Concurrency:** read-only execution (``execute`` /
+    ``execute_columnar``) is thread-safe -- cache bookkeeping and
+    counters sit behind one lock, and each cached plan carries its own
+    lock held from parameter rebinding through executor run (cached plan
+    trees are rebound *in place*, so using one concurrently would race).
+    Mutating calls (inserts, deletes, DDL) are not synchronised against
+    concurrent readers; the serving tier swaps whole databases instead
+    of mutating a live one. Call :meth:`warm` before sharing a database
+    across reader threads so lazily-built storage state (seal merges,
+    index postings, text-probe dicts) is materialised up front.
     """
 
     PLAN_CACHE_SIZE = 256
@@ -184,10 +214,11 @@ class Database:
         self.backend = backend
         self._catalog = Catalog()
         self.last_stats = QueryStats()
-        # Cache values are (plan, referenced-table-names) pairs so
-        # compaction can invalidate exactly the plans that touch the
-        # compacted table.
-        self._plan_cache: OrderedDict[tuple, tuple[PlanNode, frozenset[str]]] = OrderedDict()
+        # Guards the cache dict, hit/miss counters, and the data epoch;
+        # never held while planning or executing (only per-entry locks
+        # are, so distinct statements execute concurrently).
+        self._cache_lock = threading.Lock()
+        self._plan_cache: OrderedDict[tuple, _PlanEntry] = OrderedDict()
         self._plan_cache_hits = 0
         self._plan_cache_misses = 0
         self._data_epoch = 0
@@ -331,20 +362,33 @@ class Database:
         cache when the (sql, backend, parameter-shape) key has been seen
         before; only parameter values are rebound.
         """
-        plan, cache_hit = self._cached_plan(sql, params)
+        entry, cache_hit = self._cached_plan(sql, params)
         stats = QueryStats()
         stats.plan_cache_hit = cache_hit
-        if self.backend == "row":
-            executor = RowExecutor(self._catalog, params, stats)
-            rows = executor.execute(plan)
-        else:
-            executor = ColumnExecutor(self._catalog, params, stats)
-            batch = executor.execute(plan)
-            rows = batch.to_rows()
+        plan = entry.plan
+        with entry.lock:
+            # Rebind unconditionally: on a miss the plan was bound at
+            # planning time, but a concurrent hit on the same (now
+            # cached) entry may have rebound it to its own parameters
+            # before this thread reached the lock.
+            rebind_plan(plan, params)
+            if self.backend == "row":
+                executor = RowExecutor(self._catalog, params, stats)
+                rows = executor.execute(plan)
+            else:
+                executor = ColumnExecutor(self._catalog, params, stats)
+                batch = executor.execute(plan)
+                rows = batch.to_rows()
+            names = plan.schema.names()
         self.last_stats = stats
-        return ResultSet(columns=plan.schema.names(), rows=rows, stats=stats)
+        return ResultSet(columns=names, rows=rows, stats=stats)
 
-    def execute_columnar(self, sql: str, params: Optional[Mapping[str, Any]] = None) -> "ColumnarResult":
+    def execute_columnar(
+        self,
+        sql: str,
+        params: Optional[Mapping[str, Any]] = None,
+        decode_text: bool = True,
+    ) -> "ColumnarResult":
         """Run a SELECT and return its result as typed column arrays.
 
         The vectorised consumer path (the MC seeker's candidate fetch,
@@ -353,39 +397,65 @@ class Database:
         row backend the row tuples are transposed into typed arrays once.
         Each column comes back as ``(data, null_mask)`` with ``int64`` /
         ``float64`` dtype where all values fit, object otherwise.
+
+        ``decode_text=False`` skips the dictionary gather on the column
+        backend: text columns that reach the projection still
+        dictionary-coded come back as :class:`DictCodes` (integer codes
+        plus a ``.dictionary`` attribute), letting consumers that
+        re-encode values anyway (the cross-query batch kernels) translate
+        per distinct code instead of per row. Purely an optimisation
+        hint: columns the executor already materialised, and everything
+        on the row backend, come back as plain arrays regardless.
         """
-        plan, cache_hit = self._cached_plan(sql, params)
+        entry, cache_hit = self._cached_plan(sql, params)
         stats = QueryStats()
         stats.plan_cache_hit = cache_hit
-        names = plan.schema.names()
-        if self.backend == "row":
-            executor = RowExecutor(self._catalog, params, stats)
-            rows = executor.execute(plan)
-            self.last_stats = stats
-            return ColumnarResult(names, _rows_to_arrays(rows, len(names)), stats)
-        executor = ColumnExecutor(self._catalog, params, stats)
-        batch = executor.execute(plan)
-        arrays: list[tuple[np.ndarray, np.ndarray]] = []
-        for position in range(len(names)):
-            data, null = batch.column(position)
-            arrays.append((decode_if_coded(data), null))
+        plan = entry.plan
+        with entry.lock:
+            rebind_plan(plan, params)
+            names = plan.schema.names()
+            if self.backend == "row":
+                executor = RowExecutor(self._catalog, params, stats)
+                rows = executor.execute(plan)
+                self.last_stats = stats
+                return ColumnarResult(names, _rows_to_arrays(rows, len(names)), stats)
+            executor = ColumnExecutor(self._catalog, params, stats)
+            batch = executor.execute(plan)
+            arrays: list[tuple[np.ndarray, np.ndarray]] = []
+            for position in range(len(names)):
+                data, null = batch.column(position)
+                if decode_text:
+                    data = decode_if_coded(data)
+                arrays.append((data, null))
         self.last_stats = stats
         return ColumnarResult(names, arrays, stats)
 
     def plan_cache_stats(self) -> dict[str, int]:
         """Plan-cache effectiveness counters (hits / misses / entries)."""
-        return {
-            "hits": self._plan_cache_hits,
-            "misses": self._plan_cache_misses,
-            "size": len(self._plan_cache),
-        }
+        with self._cache_lock:
+            return {
+                "hits": self._plan_cache_hits,
+                "misses": self._plan_cache_misses,
+                "size": len(self._plan_cache),
+            }
 
     def cache_stats(self) -> dict[str, int]:
         """Plan-cache counters plus the database's data epoch -- the
         monotonically increasing mutation counter consumers use to detect
         that cached derived state (result sets, contexts) predates a
         mutation."""
-        return {**self.plan_cache_stats(), "data_epoch": self._data_epoch}
+        stats = self.plan_cache_stats()
+        stats["data_epoch"] = self._data_epoch
+        return stats
+
+    def warm(self) -> None:
+        """Materialise every table's lazily-built read-path state (seal
+        merges, live-position caches, declared index postings, text-probe
+        dictionaries) so subsequent read-only queries can run from
+        concurrent threads without ever racing a lazy build. Idempotent;
+        the serving tier warms a deployment before admitting traffic."""
+        for name in self._catalog.table_names():
+            self._catalog.get(name).warm()
 
     @property
     def data_epoch(self) -> int:
@@ -410,38 +480,57 @@ class Database:
 
     def _cached_plan(
         self, sql: str, params: Optional[Mapping[str, Any]]
-    ) -> tuple[PlanNode, bool]:
-        """The cached plan for (sql, backend, param shapes), rebound to
-        *params* -- or a freshly planned (and cached) one."""
+    ) -> tuple[_PlanEntry, bool]:
+        """The cache entry for (sql, backend, param shapes) -- cached, or
+        freshly planned and inserted.
+
+        Planning runs *outside* the cache lock (it is the slow part);
+        when two threads race to plan the same statement, the loser
+        adopts the winner's entry and its duplicate plan is dropped, so
+        one key never maps to two live cache slots.
+        """
         key = (_normalize_sql_key(sql), self.backend, param_shapes(params))
-        entry = self._plan_cache.get(key)
-        if entry is not None:
-            plan = entry[0]
-            self._plan_cache.move_to_end(key)
-            self._plan_cache_hits += 1
-            rebind_plan(plan, params)
-            return plan, True
+        with self._cache_lock:
+            entry = self._plan_cache.get(key)
+            if entry is not None:
+                self._plan_cache.move_to_end(key)
+                self._plan_cache_hits += 1
+                return entry, True
         plan, referenced = self._plan_with_tables(sql, params)
-        self._plan_cache_misses += 1
-        self._plan_cache[key] = (plan, referenced)
-        if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
-            self._plan_cache.popitem(last=False)
-        return plan, False
+        with self._cache_lock:
+            existing = self._plan_cache.get(key)
+            if existing is not None:
+                # Lost the planning race: the work was redundant, not
+                # wrong. Count the miss (planning did happen) and share
+                # the winner's entry so its lock serialises both users.
+                self._plan_cache_misses += 1
+                self._plan_cache.move_to_end(key)
+                return existing, False
+            entry = _PlanEntry(plan, referenced)
+            self._plan_cache_misses += 1
+            self._plan_cache[key] = entry
+            if len(self._plan_cache) > self.PLAN_CACHE_SIZE:
+                # Evicted entries may still be executing (their holders
+                # keep object references); they simply drop out of reuse.
+                self._plan_cache.popitem(last=False)
+            return entry, False
 
     def _invalidate_plans(self) -> None:
         """Schema changed: cached plans may embed stale column layouts."""
-        self._plan_cache.clear()
+        with self._cache_lock:
+            self._plan_cache.clear()
 
     def _invalidate_plans_for(self, table_name: str) -> None:
         """Drop cached plans referencing one (compacted) table."""
         key = table_name.lower()
-        stale = [
-            cache_key
-            for cache_key, (_, referenced) in self._plan_cache.items()
-            if key in referenced
-        ]
-        for cache_key in stale:
-            del self._plan_cache[cache_key]
+        with self._cache_lock:
+            stale = [
+                cache_key
+                for cache_key, entry in self._plan_cache.items()
+                if key in entry.referenced
+            ]
+            for cache_key in stale:
+                del self._plan_cache[cache_key]
 
     def _column_names(self, table_name: str) -> list[str]:
         if table_name == "__dual__":

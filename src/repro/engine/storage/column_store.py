@@ -556,6 +556,30 @@ class ColumnTable:
     def has_index(self, column_name: str) -> bool:
         return column_name.lower() in self._index_columns
 
+    def warm(self) -> None:
+        """Force every lazily-built read-path structure, so subsequent
+        read-only access is safe from concurrent threads.
+
+        The column store defers work to first read in four places --
+        :meth:`_seal` (backlog merge), :meth:`_live_positions` (tombstone
+        compression), :meth:`_materialize_index` (postings rebuild after
+        deletes or snapshot load), and the per-column ``code_of`` text
+        probe dict (skipped by bulk-ingest chunks). Each is a benign
+        cache in single-threaded use but a data race under concurrent
+        first reads; warming materialises all of them up front.
+        Idempotent and cheap when already warm."""
+        sealed = self._seal()
+        if self._deleted is not None:
+            self._live_positions()
+        for key in self._index_columns:
+            if key not in self._indexes:
+                self._materialize_index(key)
+        for column in sealed:
+            if column.sql_type is SqlType.TEXT and column.code_of is None:
+                column.code_of = {
+                    value: code for code, value in enumerate(column.dictionary)
+                }
+
     def index_lookup(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
         """Live positions (ascending) whose column equals any of *values*."""
         key = column_name.lower()

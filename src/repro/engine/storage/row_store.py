@@ -253,6 +253,11 @@ class RowTable:
     def has_index(self, column_name: str) -> bool:
         return column_name.lower() in self._indexes
 
+    def warm(self) -> None:
+        """Interface parity with ``ColumnTable.warm``: the row store
+        builds its indexes eagerly and keeps no lazily-materialised read
+        state, so there is nothing to force before concurrent reads."""
+
     def index_lookup(self, column_name: str, values: Iterable[Any]) -> list[int]:
         """Live row positions whose *column_name* equals any of *values*,
         in ascending position order (so downstream operators see rows in

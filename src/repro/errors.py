@@ -81,3 +81,15 @@ class SnapshotError(BlendError):
 
 class CombinerError(BlendError):
     """Invalid combiner specification or input arity."""
+
+
+class ServingError(BlendError):
+    """Failure in the serving tier (scheduler shut down, no deployment
+    loaded, malformed request)."""
+
+
+class RequestTimeoutError(ServingError):
+    """A served request missed its deadline: it was either still queued
+    when its deadline passed (dropped at admission, never executed) or
+    its batch did not finish in time. The worker that noticed stays
+    healthy -- timeouts are per-request, not per-worker."""

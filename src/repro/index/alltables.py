@@ -303,6 +303,18 @@ class _TokenFactorizer:
             self.tokens.append(token)
         return code
 
+    def factorize_tokens(self, tokens, n_cells: int) -> np.ndarray:
+        """:meth:`factorize` fed pre-normalised tokens (a
+        ``Table.normalized_cells`` cache): skips the per-cell
+        ``normalize_cell`` scalar loop. Identical codes by construction
+        -- first-seen token order equals first-seen raw-value token
+        order, and ``_token_code`` assigns codes off exactly that order
+        in both paths."""
+        token_code = self._token_code
+        out = np.empty(n_cells, dtype=np.int32)
+        out[:] = [-1 if t is None else token_code(t) for t in tokens]
+        return out
+
 
 class _ValueMemo(dict):
     """Cell-value -> token-code memo whose miss logic lives in
@@ -347,6 +359,26 @@ class _ValueMemo(dict):
         return code
 
 
+class _TokenMemo(dict):
+    """Token -> code memo over a :class:`_ValueMemo`'s token registry,
+    for inputs that are already normalised tokens. Unlike raw cell
+    values, tokens are plain strings (or None), so every key is safe to
+    memoise -- the bool/int duality exclusion of ``_ValueMemo`` does not
+    apply (``"0"``/``"1"`` the *tokens* are unambiguous)."""
+
+    __slots__ = ("_registry",)
+
+    def __init__(self, registry: _ValueMemo) -> None:
+        super().__init__()
+        self[None] = -1
+        self._registry = registry
+
+    def __missing__(self, token: str) -> int:
+        code = self._registry._token_code(token)
+        self[token] = code
+        return code
+
+
 class _FastFactorizer:
     """The sharded pipeline's factoriser: same duck type as
     :class:`_TokenFactorizer` (``tokens`` / ``numeric_memo`` /
@@ -355,13 +387,14 @@ class _FastFactorizer:
     ``map`` over :class:`_ValueMemo`, and the vectorised per-column
     Quadrant pass."""
 
-    __slots__ = ("memo", "numeric_memo")
+    __slots__ = ("memo", "numeric_memo", "_token_memo")
 
     quadrant_matrix = staticmethod(column_quadrant_matrix_fast)
 
     def __init__(self) -> None:
         self.memo = _ValueMemo()
         self.numeric_memo: dict = {}
+        self._token_memo: Optional[_TokenMemo] = None
 
     @property
     def tokens(self) -> list[str]:
@@ -374,6 +407,19 @@ class _FastFactorizer:
         )
         if len(codes) != n_cells:  # pragma: no cover - Table guarantees width
             raise IndexingError("ragged rows in shard factorisation")
+        return codes
+
+    def factorize_tokens(self, tokens, n_cells: int) -> np.ndarray:
+        """:meth:`factorize` over pre-normalised tokens (see
+        ``_TokenFactorizer.factorize_tokens``); codes come from the same
+        shared registry, so mixing both paths within a flush is safe."""
+        if self._token_memo is None:
+            self._token_memo = _TokenMemo(self.memo)
+        codes = np.array(
+            list(map(self._token_memo.__getitem__, tokens)), dtype=np.int32
+        )
+        if len(codes) != n_cells:  # pragma: no cover - Table guarantees width
+            raise IndexingError("ragged token cache in shard factorisation")
         return codes
 
 
@@ -413,12 +459,24 @@ def _table_parts(
         return None
 
     _, quad = factorizer.quadrant_matrix(table, factorizer.numeric_memo)
-    rows = table.rows
     if perm is not None:
-        rows = [rows[i] for i in perm]
         quad = quad[np.asarray(perm, dtype=np.int64)]
 
-    codes = factorizer.factorize(rows, n_cells)
+    tokens = getattr(table, "tokens_if_cached", lambda: None)()
+    if tokens is not None:
+        # The table carries its normalized-token cache (lifecycle paths
+        # populate it): factorize straight from tokens, skipping the
+        # per-cell normalize_cell loop.
+        if perm is not None:
+            tokens = [
+                tokens[r * n_cols + c] for r in perm for c in range(n_cols)
+            ]
+        codes = factorizer.factorize_tokens(tokens, n_cells)
+    else:
+        rows = table.rows
+        if perm is not None:
+            rows = [rows[i] for i in perm]
+        codes = factorizer.factorize(rows, n_cells)
     return _TableParts(table_id, codes, quad.reshape(-1), n_rows, n_cols)
 
 
@@ -891,6 +949,13 @@ def index_table(
         # Same per-table seeded permutation a from-scratch build assigns.
         perm = shuffle_permutation(config.shuffle_seed, table_id, table.num_rows)
     if config.vectorized:
+        # Populate the table's normalized-token cache: this maintenance
+        # path handles one table at a time (memory is bounded), and
+        # ``Blend.add_table`` feeds the same object to the statistics
+        # update right after -- caching here halves its normalisation
+        # work, and a later ``replace_table``/re-add skips it entirely.
+        if hasattr(table, "normalized_cells"):
+            table.normalized_cells()
         factorizer = _TokenFactorizer()
         parts = _table_parts(table_id, table, factorizer, perm)
         if parts is None:

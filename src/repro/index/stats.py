@@ -46,7 +46,14 @@ def table_token_counts(table: Table, factorizer=None) -> tuple[list[str], np.nda
     n_cells = table.num_rows * table.num_columns
     if n_cells == 0:
         return factorizer.tokens, np.zeros(len(factorizer.tokens), dtype=np.int64)
-    codes = factorizer.factorize(table.rows, n_cells)
+    tokens = getattr(table, "tokens_if_cached", lambda: None)()
+    if tokens is not None:
+        # The indexing path already normalised this table (the cache is
+        # populated by ``index_table``/``Table.normalized_cells``):
+        # factorize straight from tokens.
+        codes = factorizer.factorize_tokens(tokens, n_cells)
+    else:
+        codes = factorizer.factorize(table.rows, n_cells)
     counts = np.bincount(codes[codes >= 0], minlength=len(factorizer.tokens))
     return factorizer.tokens, counts.astype(np.int64, copy=False)
 

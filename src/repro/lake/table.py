@@ -88,6 +88,7 @@ class Table:
                 )
             self.rows.append(tuple(row))
         self._numeric_cache: Optional[list[bool]] = None
+        self._token_cache: Optional[list[Optional[str]]] = None
 
     # -- shape ------------------------------------------------------------------
 
@@ -128,6 +129,43 @@ class Table:
         for row_id, row in enumerate(self.rows):
             for column_id, value in enumerate(row):
                 yield row_id, column_id, value
+
+    def set_cell(self, row_id: int, column_id: int, value: Cell) -> None:
+        """Mutate one cell in place, invalidating every derived cache
+        (normalized tokens, numeric-column inference)."""
+        if not 0 <= row_id < self.num_rows:
+            raise LakeError(f"table {self.name!r} has no row {row_id}")
+        if not 0 <= column_id < self.num_columns:
+            raise LakeError(f"table {self.name!r} has no column id {column_id}")
+        row = list(self.rows[row_id])
+        row[column_id] = value
+        self.rows[row_id] = tuple(row)
+        self._numeric_cache = None
+        self._token_cache = None
+
+    # -- normalized-token cache -----------------------------------------------------
+
+    def normalized_cells(self) -> list[Optional[str]]:
+        """Every cell's :func:`normalize_cell` token, row-major, cached.
+
+        Normalisation is the one scalar per-cell loop left on the
+        indexing path; lifecycle re-adds and ``replace_table`` rebuilds
+        hit the same table object repeatedly, so the tokens are computed
+        once and reused (``Blend.add_table`` alone normalises twice
+        without this: once for the index, once for the statistics).
+        Invalidated by :meth:`set_cell`.
+        """
+        if self._token_cache is None:
+            self._token_cache = [
+                normalize_cell(value) for row in self.rows for value in row
+            ]
+        return self._token_cache
+
+    def tokens_if_cached(self) -> Optional[list[Optional[str]]]:
+        """The cached token list, or None -- consumers that only want the
+        fast path (the bulk index build must not pin every table's tokens
+        in memory) probe with this instead of :meth:`normalized_cells`."""
+        return self._token_cache
 
     def project(self, columns: Sequence[str], name: Optional[str] = None) -> "Table":
         """A new table with only *columns* (in the given order)."""

@@ -1,0 +1,32 @@
+"""Discovery-as-a-service: the concurrent serving tier (ROADMAP item 1).
+
+Layers, bottom up:
+
+* :mod:`repro.serving.deployment` -- one served snapshot generation with
+  in-flight accounting, and the atomic-pointer hot-swap protocol.
+* :mod:`repro.serving.scheduler` -- admission queue + worker pool that
+  coalesces same-modality requests into :func:`repro.core.batch`
+  cross-query kernel calls, with per-request deadlines and transparent
+  stale-context retry across swaps.
+* :mod:`repro.serving.stats` -- thread-safe q/s, latency percentiles,
+  batch-size histogram.
+* :mod:`repro.serving.server` -- the stdlib HTTP front end
+  (``/query``, ``/stats``, ``/health``, ``/swap``).
+"""
+
+from .deployment import DeploymentManager, ServingDeployment, SwapReport
+from .scheduler import BatchScheduler, PendingQuery, QueryOutcome
+from .server import BlendServer, build_seeker
+from .stats import ServingStats
+
+__all__ = [
+    "BatchScheduler",
+    "BlendServer",
+    "DeploymentManager",
+    "PendingQuery",
+    "QueryOutcome",
+    "ServingDeployment",
+    "ServingStats",
+    "SwapReport",
+    "build_seeker",
+]

@@ -1,0 +1,375 @@
+"""Admission control and cross-query batching for the serving tier.
+
+Requests enter one queue; a pool of workers pulls them off, coalescing
+same-modality requests that arrive within a short batch window into ONE
+``Blend.execute_batch`` call -- a single index scan for an SC/KW window,
+one stacked super-key pass and one combined count-matrix validation for
+an MC window. Identical requests (same query, same k) coalesce further:
+executed once, answered many times.
+
+Deadlines are per-request and enforced at both ends: a worker drops a
+request whose deadline passed while it sat queued (clean
+:class:`RequestTimeoutError`, the worker moves on untouched), and the
+caller's ``result()`` stops waiting at the deadline even if a worker is
+still busy elsewhere. A request that both sides race to finish is
+finalized exactly once.
+
+``StaleContextError`` -- a request racing a hot-swap -- triggers one
+transparent retry against a fresh lease (the flipped pointer), invisible
+to the caller.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Hashable, Optional, Sequence
+
+from ..core.results import ResultList
+from ..core.seekers import Seeker
+from ..errors import RequestTimeoutError, ServingError, StaleContextError
+from .deployment import DeploymentManager
+from .stats import ServingStats
+
+DEFAULT_MAX_BATCH = 32
+DEFAULT_BATCH_WINDOW = 0.002  # seconds; a few ms, per the batching design
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """A completed request: its ranking, the snapshot generation that
+    served it, and how many requests shared its batch."""
+
+    result: ResultList
+    generation: int
+    batch_size: int
+
+
+class _Request:
+    __slots__ = (
+        "seeker",
+        "key",
+        "deadline",
+        "submitted",
+        "event",
+        "lock",
+        "finalized",
+        "outcome",
+        "error",
+    )
+
+    def __init__(
+        self, seeker: Seeker, deadline: Optional[float], key: Optional[Hashable]
+    ) -> None:
+        self.seeker = seeker
+        self.key = key
+        self.deadline = deadline
+        self.submitted = time.monotonic()
+        self.event = threading.Event()
+        self.lock = threading.Lock()
+        self.finalized = False
+        self.outcome: Optional[QueryOutcome] = None
+        self.error: Optional[BaseException] = None
+
+    def finalize(
+        self,
+        outcome: Optional[QueryOutcome] = None,
+        error: Optional[BaseException] = None,
+    ) -> bool:
+        """First caller wins; losers learn the request was already done."""
+        with self.lock:
+            if self.finalized:
+                return False
+            self.finalized = True
+            self.outcome = outcome
+            self.error = error
+        self.event.set()
+        return True
+
+    def expired(self, now: float) -> bool:
+        return self.deadline is not None and now >= self.deadline
+
+
+class PendingQuery:
+    """Caller-side handle for one submitted request."""
+
+    def __init__(self, request: _Request, stats: ServingStats) -> None:
+        self._request = request
+        self._stats = stats
+
+    def result(self) -> QueryOutcome:
+        """Block until the request completes or its deadline passes.
+
+        Raises :class:`RequestTimeoutError` on deadline, or whatever
+        per-request error execution produced.
+        """
+        request = self._request
+        if request.deadline is None:
+            request.event.wait()
+        else:
+            request.event.wait(max(request.deadline - time.monotonic(), 0.0))
+            if not request.event.is_set():
+                # We hit the deadline -- but a worker may finalize in
+                # this very instant; finalize() arbitrates.
+                if request.finalize(
+                    error=RequestTimeoutError(
+                        f"{request.seeker.kind} request missed its deadline"
+                    )
+                ):
+                    self._stats.record_timeout()
+        if request.error is not None:
+            raise request.error
+        assert request.outcome is not None
+        return request.outcome
+
+
+class BatchScheduler:
+    """The worker pool plus batching queue over a deployment manager."""
+
+    def __init__(
+        self,
+        manager: DeploymentManager,
+        stats: Optional[ServingStats] = None,
+        workers: int = 2,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        batch_window: float = DEFAULT_BATCH_WINDOW,
+    ) -> None:
+        if workers < 1:
+            raise ServingError("scheduler needs at least one worker")
+        if max_batch < 1:
+            raise ServingError("max_batch must be >= 1")
+        self.manager = manager
+        self.stats = stats if stats is not None else ServingStats()
+        self.max_batch = max_batch
+        self.batch_window = batch_window
+        self._queue: deque[_Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"blend-serve-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._workers:
+            thread.start()
+
+    # -- submission ------------------------------------------------------------------
+
+    def submit(
+        self,
+        seeker: Seeker,
+        timeout: Optional[float] = None,
+        key: Optional[Hashable] = None,
+    ) -> PendingQuery:
+        """Enqueue *seeker*; returns immediately with a handle.
+
+        *timeout* is seconds from now to the request's deadline. *key*,
+        when given, identifies the query semantically (same key = same
+        answer): concurrent duplicates execute once.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        request = _Request(seeker, deadline, key)
+        with self._cond:
+            if self._closed:
+                raise ServingError("scheduler is shut down")
+            self._queue.append(request)
+            self._cond.notify()
+        return PendingQuery(request, self.stats)
+
+    def execute(
+        self,
+        seeker: Seeker,
+        timeout: Optional[float] = None,
+        key: Optional[Hashable] = None,
+    ) -> QueryOutcome:
+        """Blocking convenience: ``submit(...).result()``."""
+        return self.submit(seeker, timeout, key).result()
+
+    def close(self) -> None:
+        """Stop accepting work, fail whatever is still queued, join the
+        workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            leftovers = list(self._queue)
+            self._queue.clear()
+            self._cond.notify_all()
+        for request in leftovers:
+            request.finalize(error=ServingError("scheduler is shut down"))
+        for thread in self._workers:
+            thread.join()
+
+    def __enter__(self) -> "BatchScheduler":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- worker side -----------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            first = self._next_request()
+            if first is None:
+                return
+            batch = self._fill_batch(first)
+            if batch:
+                self._run_batch(batch)
+
+    def _next_request(self) -> Optional[_Request]:
+        """Block for the next live request; drop expired ones cleanly."""
+        while True:
+            with self._cond:
+                while not self._queue and not self._closed:
+                    self._cond.wait()
+                if not self._queue:
+                    return None  # closed and drained
+                request = self._queue.popleft()
+            if self._admit(request):
+                return request
+
+    def _admit(self, request: _Request) -> bool:
+        """Deadline check at dequeue: a request that aged out while
+        queued fails without ever touching a worker's execution state."""
+        if request.expired(time.monotonic()):
+            if request.finalize(
+                error=RequestTimeoutError(
+                    f"{request.seeker.kind} request expired in queue"
+                )
+            ):
+                self.stats.record_timeout()
+            return False
+        return True
+
+    def _fill_batch(self, first: _Request) -> list[_Request]:
+        """Collect same-modality requests for *first*'s batch: everything
+        already queued, then whatever arrives within the batch window, up
+        to ``max_batch``. The window stays open only while it keeps
+        filling -- a wait round that produces no same-kind arrival means
+        the burst is collected, and idling out the rest of the window
+        would only stall this batch and anything queued behind it."""
+        batch = [first]
+        if self.max_batch == 1:
+            return batch
+        kind = first.seeker.kind
+        window_end = time.monotonic() + self.batch_window
+        waited = False
+        while len(batch) < self.max_batch:
+            with self._cond:
+                taken: list[_Request] = []
+                kept: deque[_Request] = deque()
+                for request in self._queue:
+                    if (
+                        request.seeker.kind == kind
+                        and len(batch) + len(taken) < self.max_batch
+                    ):
+                        taken.append(request)
+                    else:
+                        kept.append(request)
+                self._queue = kept
+                closed = self._closed
+            batch.extend(r for r in taken if self._admit(r))
+            if closed or len(batch) >= self.max_batch:
+                break
+            if waited and not taken:
+                break  # the queue went quiet; run what we have
+            remaining = window_end - time.monotonic()
+            if remaining <= 0:
+                break
+            # Wait for stragglers (bounded by the window's remainder).
+            with self._cond:
+                if not any(r.seeker.kind == kind for r in self._queue):
+                    self._cond.wait(remaining)
+                    waited = True
+        return batch
+
+    def _run_batch(self, batch: list[_Request]) -> None:
+        """Execute one batch against a leased deployment and finalize
+        every request. Identical keys coalesce; a batch-level failure
+        falls back to per-request execution so one poisoned query cannot
+        take its neighbours down."""
+        self.stats.record_batch(len(batch))
+        # Coalesce identical queries: first request per key executes.
+        unique: list[_Request] = []
+        followers: dict[int, list[_Request]] = {}
+        by_key: dict[Hashable, int] = {}
+        for request in batch:
+            if request.key is not None and request.key in by_key:
+                followers.setdefault(by_key[request.key], []).append(request)
+            else:
+                if request.key is not None:
+                    by_key[request.key] = len(unique)
+                unique.append(request)
+        coalesced = len(batch) - len(unique)
+        if coalesced:
+            self.stats.record_coalesced(coalesced)
+
+        seekers = [request.seeker for request in unique]
+        for attempt in (0, 1):
+            with self.manager.lease() as deployment:
+                generation = deployment.generation
+                try:
+                    results: list[Optional[ResultList]] = list(
+                        deployment.blend.execute_batch(seekers)
+                    )
+                    errors: list[Optional[BaseException]] = [None] * len(unique)
+                    break
+                except StaleContextError as stale:
+                    # Raced a hot-swap: retry ONCE against a fresh lease
+                    # (the next lease() sees the flipped pointer). A
+                    # second stale in a row fails the requests, never
+                    # the worker.
+                    if attempt == 1:
+                        results = [None] * len(unique)
+                        errors = [stale] * len(unique)
+                        break
+                    self.stats.record_stale_retry()
+                except Exception:
+                    # Isolate the offending request: run the batch's
+                    # members one at a time, capturing per-request
+                    # failures.
+                    results, errors = self._run_individually(deployment, seekers)
+                    break
+
+        batch_size = len(batch)
+        for i, request in enumerate(unique):
+            recipients = [request] + followers.get(i, [])
+            for recipient in recipients:
+                self._deliver(
+                    recipient, results[i], errors[i], generation, batch_size
+                )
+
+    def _run_individually(
+        self, deployment: Any, seekers: Sequence[Seeker]
+    ) -> tuple[list[Optional[ResultList]], list[Optional[BaseException]]]:
+        results: list[Optional[ResultList]] = [None] * len(seekers)
+        errors: list[Optional[BaseException]] = [None] * len(seekers)
+        for i, seeker in enumerate(seekers):
+            try:
+                results[i] = seeker.execute(deployment.blend.context())
+            except Exception as exc:  # per-request isolation
+                errors[i] = exc
+        return results, errors
+
+    def _deliver(
+        self,
+        request: _Request,
+        result: Optional[ResultList],
+        error: Optional[BaseException],
+        generation: int,
+        batch_size: int,
+    ) -> None:
+        if error is not None or result is None:
+            error = error or ServingError("request produced no result")
+            if request.finalize(error=error):
+                self.stats.record_error()
+            return
+        outcome = QueryOutcome(result, generation, batch_size)
+        if request.finalize(outcome=outcome):
+            self.stats.record_completed(
+                request.seeker.kind, time.monotonic() - request.submitted
+            )

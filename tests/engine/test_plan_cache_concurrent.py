@@ -1,0 +1,182 @@
+"""Hammer tests: the plan cache under concurrent execute traffic.
+
+The serving tier runs many handler threads against one read-only
+``Database``; the cache's get/put, LRU order, hit/miss counters, and
+invalidation must all hold up without losing entries or corrupting
+state. These tests drive real concurrent ``execute`` calls -- including
+the rebind race: same statement, different parameters, in flight at
+once -- and check both results and counter accounting.
+"""
+
+import threading
+
+import pytest
+
+from repro.engine.database import Database
+
+PLAN_CACHE_SIZE = Database.PLAN_CACHE_SIZE
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database(backend="column")
+    database.create_table("items", [("Val", "TEXT"), ("Grp", "INTEGER")])
+    database.insert(
+        "items",
+        [(f"v{i % 50}", i % 7) for i in range(700)],
+    )
+    return database
+
+
+def _expected_count(value: str) -> int:
+    # values v0..v49 appear 14 times each in the fixture
+    return 14
+
+
+def test_concurrent_execute_same_statement_different_params(db):
+    """The rebind race: N threads share one cached plan, each binding its
+    own parameters. Per-entry locking must serialise rebind+run so no
+    thread sees another's bindings."""
+    errors: list[str] = []
+    barrier = threading.Barrier(8)
+
+    def work(seed: int) -> None:
+        barrier.wait()
+        for i in range(60):
+            value = f"v{(seed * 7 + i) % 50}"
+            result = db.execute(
+                "SELECT COUNT(*) FROM items WHERE Val = :v", {"v": value}
+            )
+            got = result.rows[0][0]
+            if got != _expected_count(value):
+                errors.append(f"{value}: got {got}")
+
+    threads = [threading.Thread(target=work, args=(s,)) for s in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert errors == []
+
+
+def test_concurrent_counters_account_for_every_lookup(db):
+    """hits + misses == total executes, across racing threads."""
+    before = db.plan_cache_stats()
+    n_threads, per_thread = 6, 40
+    templates = [
+        "SELECT COUNT(*) FROM items WHERE Grp = :g",
+        "SELECT Val FROM items WHERE Grp = :g LIMIT 3",
+        "SELECT COUNT(*) FROM items WHERE Val = :v",
+    ]
+    barrier = threading.Barrier(n_threads)
+
+    def work(seed: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            sql = templates[(seed + i) % len(templates)]
+            params = {"g": i % 7} if ":g" in sql else {"v": f"v{i % 50}"}
+            db.execute(sql, params)
+
+    threads = [threading.Thread(target=work, args=(s,)) for s in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    after = db.plan_cache_stats()
+    lookups = (after["hits"] - before["hits"]) + (after["misses"] - before["misses"])
+    assert lookups == n_threads * per_thread
+    # No lost entries: every distinct (template, shape) is cached.
+    assert after["size"] >= len(templates)
+
+
+def test_concurrent_distinct_statements_never_lose_entries(db):
+    """Many distinct statements racing into the cache: the LRU must end
+    up with exactly the most recent PLAN_CACHE_SIZE-bounded set and the
+    map must never drop below the distinct count when it fits."""
+    n_threads = 4
+    statements = [
+        f"SELECT COUNT(*) FROM items WHERE Grp = {g} AND Val = :v" for g in range(7)
+    ]
+    assert len(statements) < PLAN_CACHE_SIZE
+    barrier = threading.Barrier(n_threads)
+
+    def work(seed: int) -> None:
+        barrier.wait()
+        for i in range(30):
+            sql = statements[(seed * 3 + i) % len(statements)]
+            db.execute(sql, {"v": f"v{i % 50}"})
+
+    threads = [threading.Thread(target=work, args=(s,)) for s in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stats = db.plan_cache_stats()
+    assert stats["size"] <= PLAN_CACHE_SIZE
+    # Re-running every statement now must be all hits: nothing was lost.
+    before = db.plan_cache_stats()
+    for sql in statements:
+        db.execute(sql, {"v": "v1"})
+    after = db.plan_cache_stats()
+    assert after["hits"] - before["hits"] == len(statements)
+    assert after["misses"] == before["misses"]
+
+
+def test_concurrent_execute_with_invalidation(db):
+    """Readers racing cache invalidation (the mutation path) still get
+    correct results and a consistent cache afterwards."""
+    stop = threading.Event()
+    errors: list[str] = []
+
+    def read() -> None:
+        i = 0
+        while not stop.is_set():
+            value = f"v{i % 50}"
+            result = db.execute(
+                "SELECT COUNT(*) FROM items WHERE Val = :v", {"v": value}
+            )
+            if result.rows[0][0] != _expected_count(value):
+                errors.append(value)
+            i += 1
+
+    def invalidate() -> None:
+        for _ in range(200):
+            db._invalidate_plans_for("items")
+
+    readers = [threading.Thread(target=read) for _ in range(4)]
+    for t in readers:
+        t.start()
+    inv = threading.Thread(target=invalidate)
+    inv.start()
+    inv.join()
+    stop.set()
+    for t in readers:
+        t.join()
+    assert errors == []
+    stats = db.plan_cache_stats()
+    assert stats["size"] <= PLAN_CACHE_SIZE
+
+
+def test_lru_order_survives_concurrent_touches(db):
+    """After concurrent traffic, the LRU still evicts oldest-first:
+    touch A, fill past capacity with fresh statements, A's re-execution
+    behaviour stays consistent with an intact OrderedDict (no corruption
+    -> no KeyError, size bounded)."""
+    db.execute("SELECT COUNT(*) FROM items WHERE Grp = :g", {"g": 1})
+
+    def churn(seed: int) -> None:
+        for i in range(PLAN_CACHE_SIZE // 2):
+            db.execute(
+                f"SELECT COUNT(*) FROM items WHERE Grp = {seed} OR Grp = {i % 7}",
+                {},
+            )
+
+    threads = [threading.Thread(target=churn, args=(s,)) for s in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    stats = db.plan_cache_stats()
+    assert stats["size"] <= PLAN_CACHE_SIZE
+    result = db.execute("SELECT COUNT(*) FROM items WHERE Grp = :g", {"g": 1})
+    assert result.rows[0][0] == 100

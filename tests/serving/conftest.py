@@ -1,0 +1,44 @@
+"""Fixtures for serving-tier tests: a small city/country lake whose MC
+joins have non-trivial answers, plus a second "generation" of the same
+lake produced through the mutable-lake lifecycle (so its generation
+counter genuinely differs)."""
+
+import random
+
+import pytest
+
+from repro import Blend, DataLake, Table
+
+CITIES = ["berlin", "paris", "rome", "madrid", "lisbon", "vienna", "oslo", "cairo"]
+COUNTRIES = [
+    "germany", "france", "italy", "spain",
+    "portugal", "austria", "norway", "egypt",
+]
+PAIRS = list(zip(CITIES, COUNTRIES))
+
+
+def make_lake(seed: int, tables: int = 10, extra_rows=None) -> DataLake:
+    rng = random.Random(seed)
+    lake = DataLake(f"serve-{seed}")
+    for t in range(tables):
+        rows = []
+        for _ in range(30):
+            city, country = rng.choice(PAIRS)
+            if rng.random() < 0.25:
+                country = rng.choice(COUNTRIES)
+            rows.append([city, country, rng.randint(0, 50)])
+        lake.add(Table(f"t{t}", ["city", "country", "pop"], rows))
+    if extra_rows is not None:
+        lake.add(Table("extra", ["city", "country", "pop"], extra_rows))
+    return lake
+
+
+def build_blend(seed: int = 23, backend: str = "column", **kwargs) -> Blend:
+    blend = Blend(make_lake(seed, **kwargs), backend=backend)
+    blend.build_index()
+    return blend
+
+
+@pytest.fixture(scope="module")
+def served_blend() -> Blend:
+    return build_blend()

@@ -1,0 +1,199 @@
+"""Batching-scheduler correctness: batches form and return exactly what
+one-at-a-time execution would, deadlines fail cleanly without poisoning
+workers, errors stay per-request, and coalescing answers duplicates from
+one execution."""
+
+import threading
+import time
+
+import pytest
+
+from repro import Seekers
+from repro.core.results import ResultList
+from repro.errors import RequestTimeoutError, ServingError
+from repro.serving import BatchScheduler, DeploymentManager
+
+from tests.serving.conftest import CITIES, COUNTRIES, PAIRS
+
+
+class SlowSeeker:
+    """Unbatchable stub that holds a worker for *seconds*."""
+
+    kind = "SLOW"
+    k = 1
+
+    def __init__(self, seconds: float) -> None:
+        self.seconds = seconds
+
+    def execute(self, context):
+        time.sleep(self.seconds)
+        return ResultList([])
+
+
+class BoomSeeker:
+    kind = "BOOM"
+    k = 1
+
+    def execute(self, context):
+        raise RuntimeError("boom")
+
+
+def test_batched_results_identical_to_serial(served_blend):
+    """Hold the single worker busy so queued requests form one batch;
+    every answer must equal direct Seeker.execute."""
+    manager = DeploymentManager(served_blend)
+    context = served_blend.context()
+    seekers = [
+        Seekers.SC(["berlin", "paris", "rome"], k=5),
+        Seekers.SC(["germany", "france"], k=4),
+        Seekers.SC(["oslo", "cairo", "madrid"], k=3),
+    ]
+    expected = [seeker.execute(context) for seeker in seekers]
+    with BatchScheduler(
+        manager, workers=1, max_batch=8, batch_window=0.05
+    ) as scheduler:
+        blocker = scheduler.submit(SlowSeeker(0.15))
+        time.sleep(0.02)  # let the worker pick the blocker up
+        pending = [scheduler.submit(seeker) for seeker in seekers]
+        outcomes = [p.result() for p in pending]
+        blocker.result()
+    for outcome, want in zip(outcomes, expected):
+        assert outcome.result == want
+        assert outcome.generation == served_blend.lake.generation
+        assert outcome.batch_size == len(seekers)
+    hist = scheduler.stats.snapshot()["batch_size_histogram"]
+    assert hist.get(str(len(seekers))) == 1
+
+
+def test_mixed_modalities_batch_per_kind(served_blend):
+    manager = DeploymentManager(served_blend)
+    context = served_blend.context()
+    seekers = [
+        Seekers.SC(["berlin", "paris"], k=4),
+        Seekers.KW(["italy", "rome"], k=3),
+        Seekers.MC([("berlin", "germany"), ("oslo", "norway")], k=5),
+        Seekers.KW(["egypt"], k=2),
+        Seekers.MC([("paris", "france")], k=3),
+    ]
+    expected = [seeker.execute(context) for seeker in seekers]
+    with BatchScheduler(
+        manager, workers=2, max_batch=8, batch_window=0.01
+    ) as scheduler:
+        pending = [scheduler.submit(seeker) for seeker in seekers]
+        outcomes = [p.result() for p in pending]
+    for outcome, want in zip(outcomes, expected):
+        assert outcome.result == want
+
+
+def test_timeout_is_clean_and_worker_survives(served_blend):
+    """A request that misses its deadline raises RequestTimeoutError for
+    that request only; the worker then serves the next request fine."""
+    manager = DeploymentManager(served_blend)
+    context = served_blend.context()
+    with BatchScheduler(
+        manager, workers=1, max_batch=1, batch_window=0.0
+    ) as scheduler:
+        blocker = scheduler.submit(SlowSeeker(0.3))
+        time.sleep(0.02)
+        doomed = scheduler.submit(Seekers.SC(["berlin"], k=3), timeout=0.05)
+        with pytest.raises(RequestTimeoutError):
+            doomed.result()
+        blocker.result()
+        # Worker is healthy: a fresh request completes correctly.
+        seeker = Seekers.SC(["paris", "france"], k=4)
+        outcome = scheduler.execute(seeker)
+        assert outcome.result == seeker.execute(context)
+    stats = scheduler.stats.snapshot()
+    assert stats["timeouts"] == 1
+    assert stats["errors"] == 0
+
+
+def test_error_isolated_per_request(served_blend):
+    """One failing request cannot take down its batch neighbours."""
+    manager = DeploymentManager(served_blend)
+    context = served_blend.context()
+    good = Seekers.SC(["berlin", "rome"], k=4)
+    expected = good.execute(context)
+    with BatchScheduler(
+        manager, workers=1, max_batch=4, batch_window=0.05
+    ) as scheduler:
+        blocker = scheduler.submit(SlowSeeker(0.1))
+        time.sleep(0.02)
+        bad = scheduler.submit(BoomSeeker())
+        fine = scheduler.submit(good)
+        with pytest.raises(RuntimeError):
+            bad.result()
+        assert fine.result().result == expected
+        blocker.result()
+    assert scheduler.stats.snapshot()["errors"] == 1
+
+
+def test_identical_requests_coalesce(served_blend):
+    manager = DeploymentManager(served_blend)
+    context = served_blend.context()
+    seeker_proto = Seekers.SC(["berlin", "paris"], k=5)
+    expected = seeker_proto.execute(context)
+    key = ("sc", tuple(seeker_proto.tokens), 5)
+    with BatchScheduler(
+        manager, workers=1, max_batch=16, batch_window=0.05
+    ) as scheduler:
+        blocker = scheduler.submit(SlowSeeker(0.15))
+        time.sleep(0.02)
+        pending = [
+            scheduler.submit(Seekers.SC(["berlin", "paris"], k=5), key=key)
+            for _ in range(5)
+        ]
+        outcomes = [p.result() for p in pending]
+        blocker.result()
+    for outcome in outcomes:
+        assert outcome.result == expected
+    assert scheduler.stats.snapshot()["coalesced"] == 4
+
+
+def test_submit_after_close_raises(served_blend):
+    manager = DeploymentManager(served_blend)
+    scheduler = BatchScheduler(manager, workers=1)
+    scheduler.close()
+    with pytest.raises(ServingError):
+        scheduler.submit(Seekers.SC(["berlin"], k=1))
+
+
+def test_concurrent_mixed_load_all_correct(served_blend):
+    """A burst of concurrent callers across modalities: every answer
+    equals direct execution, no request is lost."""
+    import random
+
+    rng = random.Random(77)
+    manager = DeploymentManager(served_blend)
+    context = served_blend.context()
+    queries = []
+    for _ in range(40):
+        roll = rng.random()
+        if roll < 0.4:
+            queries.append(Seekers.SC(rng.sample(CITIES + COUNTRIES, 3), k=5))
+        elif roll < 0.7:
+            queries.append(Seekers.KW(rng.sample(CITIES + COUNTRIES, 4), k=4))
+        else:
+            queries.append(Seekers.MC(rng.sample(PAIRS, 2), k=5))
+    expected = [seeker.execute(context) for seeker in queries]
+    outcomes = [None] * len(queries)
+
+    with BatchScheduler(
+        manager, workers=3, max_batch=16, batch_window=0.005
+    ) as scheduler:
+
+        def fire(i: int) -> None:
+            outcomes[i] = scheduler.execute(queries[i])
+
+        threads = [
+            threading.Thread(target=fire, args=(i,)) for i in range(len(queries))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    for i, (outcome, want) in enumerate(zip(outcomes, expected)):
+        assert outcome is not None, f"request {i} lost"
+        assert outcome.result == want, f"request {i} diverged"
+    assert scheduler.stats.snapshot()["completed"] == len(queries)

@@ -1,0 +1,196 @@
+"""HTTP front-end tests: route behaviour, parity with direct execution,
+error mapping, stats exposure, and the snapshot /swap endpoint."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Blend, Seekers, Table
+from repro.serving import BlendServer
+
+from tests.serving.conftest import build_blend, make_lake
+
+
+@pytest.fixture(scope="module")
+def server(served_blend):
+    with BlendServer(
+        served_blend, workers=2, max_batch=16, batch_window=0.002
+    ).start() as srv:
+        yield srv
+
+
+def _post(url: str, path: str, body: dict):
+    request = urllib.request.Request(
+        url + path,
+        data=json.dumps(body).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _get(url: str, path: str):
+    try:
+        with urllib.request.urlopen(url + path, timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _hits(body: dict):
+    return [(hit["table_id"], hit["score"]) for hit in body["results"]]
+
+
+def _expected_hits(result):
+    return [(hit.table_id, hit.score) for hit in result]
+
+
+def test_query_parity_all_modalities(server, served_blend):
+    context = served_blend.context()
+    cases = [
+        (
+            {"modality": "sc", "values": ["berlin", "paris", "rome"], "k": 5},
+            Seekers.SC(["berlin", "paris", "rome"], k=5),
+        ),
+        (
+            {"modality": "kw", "values": ["germany", "france"], "k": 4},
+            Seekers.KW(["germany", "france"], k=4),
+        ),
+        (
+            {
+                "modality": "mc",
+                "tuples": [["berlin", "germany"], ["oslo", "norway"]],
+                "k": 5,
+            },
+            Seekers.MC([("berlin", "germany"), ("oslo", "norway")], k=5),
+        ),
+    ]
+    for body, seeker in cases:
+        status, payload = _post(server.url, "/query", body)
+        assert status == 200, payload
+        assert payload["generation"] == served_blend.lake.generation
+        assert _hits(payload) == _expected_hits(seeker.execute(context))
+
+
+def test_concurrent_http_queries_batch_and_stay_correct(server, served_blend):
+    context = served_blend.context()
+    body = {"modality": "sc", "values": ["berlin", "paris"], "k": 5}
+    expected = _expected_hits(Seekers.SC(["berlin", "paris"], k=5).execute(context))
+    results = []
+
+    def fire() -> None:
+        results.append(_post(server.url, "/query", body))
+
+    threads = [threading.Thread(target=fire) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert len(results) == 8
+    for status, payload in results:
+        assert status == 200
+        assert _hits(payload) == expected
+
+
+def test_bad_requests_are_400(server):
+    for body in (
+        {"modality": "nope", "values": ["x"]},
+        {"modality": "sc"},
+        {"modality": "sc", "values": []},
+        {"modality": "mc", "tuples": []},
+        {"modality": "sc", "values": ["x"], "k": 0},
+        {"modality": "sc", "values": ["x"], "timeout_ms": -5},
+    ):
+        status, payload = _post(server.url, "/query", body)
+        assert status == 400, (body, payload)
+        assert "error" in payload
+
+    # Malformed JSON
+    request = urllib.request.Request(
+        server.url + "/query",
+        data=b"{not json",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            status = response.status
+    except urllib.error.HTTPError as error:
+        status = error.code
+        error.read()
+    assert status == 400
+
+
+def test_unknown_route_is_404(server):
+    assert _get(server.url, "/nope")[0] == 404
+    assert _post(server.url, "/nope", {})[0] == 404
+
+
+def test_health_and_stats(server, served_blend):
+    status, health = _get(server.url, "/health")
+    assert status == 200
+    assert health == {"status": "ok", "generation": served_blend.lake.generation}
+
+    status, stats = _get(server.url, "/stats")
+    assert status == 200
+    for field in (
+        "completed",
+        "queries_per_sec",
+        "latency_ms",
+        "batch_size_histogram",
+        "by_modality",
+        "plan_cache",
+        "generation",
+        "timeouts",
+    ):
+        assert field in stats, field
+    assert stats["completed"] > 0
+    assert 0.0 <= stats["plan_cache"]["hit_rate"] <= 1.0
+
+
+def test_http_snapshot_swap(tmp_path):
+    """POST /swap loads the snapshot and flips generations with traffic
+    still being answered."""
+    old = build_blend(seed=31, tables=6)
+    new = Blend(
+        make_lake(31, tables=6, extra_rows=[["quito", "ecuador", 3]] * 5),
+        backend="column",
+    )
+    new.build_index()
+    snapshot = new.save(tmp_path / "snap")
+
+    with BlendServer(old, workers=2, max_batch=8).start() as server:
+        status, before = _post(
+            server.url, "/query", {"modality": "sc", "values": ["quito"], "k": 3}
+        )
+        assert status == 200 and before["generation"] == old.lake.generation
+
+        status, report = _post(server.url, "/swap", {"snapshot": str(snapshot)})
+        assert status == 200, report
+        assert report["old_generation"] == old.lake.generation
+        assert report["new_generation"] == new.lake.generation
+        assert report["drained"] is True
+
+        status, after = _post(
+            server.url, "/query", {"modality": "sc", "values": ["quito"], "k": 3}
+        )
+        assert status == 200
+        assert after["generation"] == new.lake.generation
+        expected = Seekers.SC(["quito"], k=3).execute(new.context())
+        assert _hits(after) == _expected_hits(expected)
+
+        status, stats = _get(server.url, "/stats")
+        assert stats["swaps"] == 1
+
+        status, bad = _post(server.url, "/swap", {"snapshot": ""})
+        assert status == 503  # ServingError: missing path
+
+        status, missing = _post(
+            server.url, "/swap", {"snapshot": str(tmp_path / "nope")}
+        )
+        assert status in (409, 500)  # SnapshotError surface
