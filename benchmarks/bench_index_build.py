@@ -10,6 +10,10 @@ build_parallel_wN   sharded build, ``IndexConfig(workers=N)`` (the
                     ``--workers`` axis; adaptive scheduling, so on a
                     single-CPU host this measures the in-process sharded
                     kernel and the fan-out engages where cores exist)
+normalize_scalar    per-cell ``normalize_cell`` loop over the lake's full
+                    cell matrix (the old flush-path tokenisation)
+normalize           the batched ``normalize_tokens`` kernel on the same
+                    cells (byte-identical output, asserted in-run)
 ingest_rows         storage-layer ``insert`` of prepared AllTables tuples
 ingest_columns      storage-layer typed bulk ``insert_columns`` of the same
 query_cold          four seeker templates, plan cache cleared per query
@@ -39,6 +43,7 @@ from repro.index import IndexConfig, build_alltables
 from repro.index.alltables import ALLTABLES_SCHEMA, _available_cpus
 from repro.index.xash import xash
 from repro.lake.generators import CorpusConfig, generate_corpus
+from repro.lake.table import normalize_cell, normalize_tokens
 
 DEFAULT_SEED = 71
 QUERY_ROUNDS = 25
@@ -108,6 +113,17 @@ def run_benchmark(
                 f"index rows, serial produced {index_rows}"
             )
         results[f"build_parallel_w{workers}"] = _phase(seconds, index_rows)
+
+    # -- flush-path tokenisation: scalar loop vs batched kernel ---------------
+    cells = [value for table in lake for row in table.rows for value in row]
+    seconds, scalar_tokens = _timed(lambda: [normalize_cell(v) for v in cells])
+    results["normalize_scalar"] = _phase(seconds, len(cells))
+    seconds, kernel_tokens = _timed(lambda: normalize_tokens(cells))
+    if kernel_tokens != scalar_tokens:
+        raise AssertionError(
+            "normalize_tokens diverged from the scalar normalize_cell oracle"
+        )
+    results["normalize"] = _phase(seconds, len(cells))
 
     # -- storage-layer ingest: tuple inserts vs typed bulk append -------------
     rows = db_vector.execute("SELECT * FROM AllTables").rows
@@ -220,6 +236,12 @@ def format_report(results: dict[str, dict[str, float]]) -> str:
                 f"parallel build speedup ({phase[len('build_parallel_'):]}, "
                 f"{_available_cpus()} cpu available): {fast / seconds:.2f}x vs vectorized serial"
             )
+    norm_scalar, norm_kernel = (
+        results.get("normalize_scalar", {}).get("seconds"),
+        results.get("normalize", {}).get("seconds"),
+    )
+    if norm_scalar and norm_kernel:
+        lines.append(f"normalize speedup: {norm_scalar / norm_kernel:.1f}x")
     ingest, bulk = (
         results.get("ingest_rows", {}).get("seconds"),
         results.get("ingest_columns", {}).get("seconds"),
@@ -240,10 +262,18 @@ def run_check(seed: int = DEFAULT_SEED, scale: float = 0.25, workers: int = 4) -
     assert the scalar oracle, the vectorised serial build, and the
     sharded parallel build (both adaptive and pinned-pool scheduling)
     produce byte-identical ``AllTables`` relations on a reduced-scale
-    lake. No timing thresholds -- raises ``AssertionError`` on any
-    divergence, returns a summary line otherwise.
+    lake, and that the batched ``normalize_tokens`` kernel matches the
+    per-cell ``normalize_cell`` oracle cell-for-cell over the same lake.
+    No timing thresholds -- raises ``AssertionError`` on any divergence,
+    returns a summary line otherwise.
     """
     lake = _bench_lake(seed, scale)
+    cells = [value for table in lake for row in table.rows for value in row]
+    if normalize_tokens(cells) != [normalize_cell(v) for v in cells]:
+        raise AssertionError(
+            "token parity violated: normalize_tokens diverged from the "
+            "scalar normalize_cell oracle"
+        )
     configs = {
         "scalar": IndexConfig(vectorized=False),
         "vectorized": IndexConfig(vectorized=True),
@@ -267,7 +297,8 @@ def run_check(seed: int = DEFAULT_SEED, scale: float = 0.25, workers: int = 4) -
             )
     return (
         f"index build parity OK: {len(configs)} pipelines x "
-        f"{len(reference)} identical AllTables rows (scale={scale})"
+        f"{len(reference)} identical AllTables rows (scale={scale}); "
+        f"normalize kernel matches the scalar oracle on {len(cells)} cells"
     )
 
 
@@ -275,6 +306,8 @@ PHASES = (
     "build_scalar",
     "build_vectorized",
     "build_parallel_w4",
+    "normalize_scalar",
+    "normalize",
     "ingest_rows",
     "ingest_columns",
     "query_cold",

@@ -599,6 +599,8 @@ def _min_max(
     else:
         np.maximum.at(out, group_ids[valid], numeric[valid])
     out = np.where(null_out, 0.0, out)
+    if data.dtype == bool:
+        return out.astype(bool), null_out
     if data.dtype in (np.int64, np.int32):
         return out.astype(np.int64), null_out
     return out, null_out

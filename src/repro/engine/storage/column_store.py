@@ -458,7 +458,9 @@ class ColumnTable:
 
         Text columns come back as object arrays of ``str`` (gathered from
         the dictionary); integers as int64; floats as float64; booleans as
-        int64 0/1. ``positions`` optionally selects a row subset first.
+        a boolean-typed logical view over the int8 storage (NULL slots are
+        False under the null mask). ``positions`` optionally selects a row
+        subset first.
         """
         column = self._column(column_name)
         positions = self._storage_positions(positions)
@@ -476,7 +478,7 @@ class ColumnTable:
         if column.sql_type is SqlType.BOOLEAN:
             raw = column.data if positions is None else column.data[positions]
             null = raw < 0
-            data = np.where(null, 0, raw).astype(np.int64)
+            data = raw > 0
             return data, null
         data = column.data if positions is None else column.data[positions]
         null = column.null if positions is None else column.null[positions]

@@ -59,7 +59,7 @@ from ..engine.database import Database
 from ..engine.storage.column_store import DictEncodedText
 from ..errors import IndexingError
 from ..lake.datalake import DataLake, LakeShard
-from ..lake.table import normalize_cell
+from ..lake.table import normalize_cell, normalize_tokens
 from .quadrant import column_means, column_quadrant_matrix, column_quadrant_matrix_fast, quadrant_bit
 from .xash import (
     DEFAULT_HASH_SIZE,
@@ -476,7 +476,16 @@ def _table_parts(
         rows = table.rows
         if perm is not None:
             rows = [rows[i] for i in perm]
-        codes = factorizer.factorize(rows, n_cells)
+        try:
+            codes = factorizer.factorize(rows, n_cells)
+        except TypeError:
+            # Unhashable cells cannot take the fused value->code memo;
+            # route the whole table through the batched token kernel
+            # instead (byte-identical: first-seen token order equals
+            # first-seen raw-value token order, and re-registered tokens
+            # keep the codes the aborted fused pass assigned).
+            tokens = normalize_tokens(list(chain.from_iterable(rows)))
+            codes = factorizer.factorize_tokens(tokens, n_cells)
     return _TableParts(table_id, codes, quad.reshape(-1), n_rows, n_cols)
 
 

@@ -24,7 +24,7 @@ from typing import Iterable
 import numpy as np
 
 from ..lake.datalake import DataLake
-from ..lake.table import Cell, Table, normalize_cell
+from ..lake.table import Cell, Table, normalize_cell, normalize_tokens
 
 
 def table_token_counts(table: Table, factorizer=None) -> tuple[list[str], np.ndarray]:
@@ -53,7 +53,9 @@ def table_token_counts(table: Table, factorizer=None) -> tuple[list[str], np.nda
         # factorize straight from tokens.
         codes = factorizer.factorize_tokens(tokens, n_cells)
     else:
-        codes = factorizer.factorize(table.rows, n_cells)
+        codes = factorizer.factorize_tokens(
+            normalize_tokens([v for row in table.rows for v in row]), n_cells
+        )
     counts = np.bincount(codes[codes >= 0], minlength=len(factorizer.tokens))
     return factorizer.tokens, counts.astype(np.int64, copy=False)
 

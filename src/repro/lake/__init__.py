@@ -2,6 +2,6 @@
 seeded benchmark generators with exact ground truth."""
 
 from .datalake import DataLake, LakeStats
-from .table import Table, normalize_cell
+from .table import Table, normalize_cell, normalize_tokens
 
-__all__ = ["DataLake", "LakeStats", "Table", "normalize_cell"]
+__all__ = ["DataLake", "LakeStats", "Table", "normalize_cell", "normalize_tokens"]

@@ -341,8 +341,13 @@ class TestGatherRows:
         got = table.gather_rows(np.array([3, 0, 1]))
         assert got == [("x", -3, 2.25, None), ("x", 1, 1.5, 1), (None, None, None, None)]
         assert all(
-            value is None or type(value) in (str, int, float) for row in got for value in row
+            value is None or type(value) in (str, int, float, bool)
+            for row in got
+            for value in row
         )
+        # BOOLEAN cells come back as Python bool (type parity with the
+        # row backend), not the int8 storage representation.
+        assert type(got[1][3]) is bool
 
     def test_empty_positions(self):
         db = Database(backend="column")

@@ -27,6 +27,14 @@ from repro.lake import DataLake, Table
 from repro.lake.generators import CorpusConfig, generate_corpus
 
 
+class _UnstringableCell:
+    """A picklable cell whose ``__str__`` raises -- drives an ordinary
+    exception out of a worker's normalize kernel."""
+
+    def __str__(self):
+        raise TypeError("unstringable cell")
+
+
 def _random_lake(rng: random.Random, num_tables: int = 12) -> DataLake:
     """Adversarial random lakes: shared skewed vocabulary, numeric and
     mixed columns, NULL/empty/whitespace cells, bool/int collisions
@@ -200,19 +208,40 @@ class TestWorkerFailureModes:
         assert report.num_index_rows == len(reference_rows)
 
     def test_worker_exception_propagates(self):
-        """An ordinary exception inside a worker (unhashable cell) is
-        re-raised in the parent, original type intact. Two tables, so the
-        build really fans out instead of degrading to the inline path."""
+        """An ordinary exception inside a worker (a cell whose __str__
+        raises, exploding inside the normalize kernel) is re-raised in
+        the parent, original type intact. Two tables, so the build really
+        fans out instead of degrading to the inline path. (Unhashable
+        cells -- the old trigger -- no longer raise: the token kernel
+        normalises them via str() exactly like the scalar oracle.)"""
         lake = DataLake(
             "bad",
             [
                 Table("ok", ["a"], [("fine",)] * 3),
-                Table("t", ["a"], [(["unhashable"],)] * 3),
+                Table("t", ["a"], [(_UnstringableCell(),)] * 3),
             ],
         )
         db = Database(backend="column")
-        with pytest.raises(TypeError):
+        with pytest.raises(TypeError, match="unstringable"):
             build_alltables(lake, db, IndexConfig(workers=2, pin_workers=True))
+
+    def test_unhashable_cells_index_like_the_scalar_oracle(self):
+        """Unhashable cells (lists) used to TypeError in the vectorised
+        factoriser's value memo while the scalar oracle happily tokenised
+        them via ``str()``; the token kernel removed the divergence --
+        every pipeline now agrees with the oracle."""
+        lake = DataLake(
+            "unhashable",
+            [Table("t", ["a", "b"], [(["x", 1], "plain"), (["x", 1], None)] * 3)],
+        )
+        reference = Database(backend="column")
+        build_alltables(lake, reference, IndexConfig(vectorized=False))
+        expected = reference.execute("SELECT * FROM AllTables").rows
+        assert expected, "scalar oracle indexed the unhashable cells"
+        for config in (IndexConfig(), IndexConfig(workers=2, pin_workers=True)):
+            db = Database(backend="column")
+            build_alltables(lake, db, config)
+            assert db.execute("SELECT * FROM AllTables").rows == expected
 
     def test_invalid_worker_counts_rejected(self):
         lake = _random_lake(random.Random(2))
