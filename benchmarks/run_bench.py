@@ -17,6 +17,10 @@ Two suites, each emitting one committed JSON artefact at the repo root:
 * ``--suite serving``: ``bench_serving`` -> ``BENCH_serving.json``
   (batched admission vs per-request serialization on one worker pool,
   plus hot-swap under sustained load; answers parity-checked in-run);
+* ``--suite sharded``: ``bench_sharded`` (scatter-gather over K shard
+  workers vs one process, all five modalities, answers checked against
+  the single-process oracle in-run) -- rows merge into
+  ``BENCH_serving.json``;
 * ``--suite all``: all of them.
 
 Artefacts are merged per phase: a suite run updates its own rows in the
@@ -52,6 +56,7 @@ import bench_index_build  # noqa: E402
 import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
 import bench_serving  # noqa: E402
+import bench_sharded  # noqa: E402
 import bench_snapshot  # noqa: E402
 
 DEFAULT_SEED = bench_index_build.DEFAULT_SEED
@@ -63,6 +68,7 @@ SUITES = {
     "maintenance": (bench_maintenance, _REPO_ROOT / "BENCH_index.json"),
     "snapshot": (bench_snapshot, _REPO_ROOT / "BENCH_index.json"),
     "serving": (bench_serving, _REPO_ROOT / "BENCH_serving.json"),
+    "sharded": (bench_sharded, _REPO_ROOT / "BENCH_serving.json"),
 }
 
 

@@ -19,10 +19,13 @@ regardless of how many requests it coalesces:
   vocabulary, from which every query's containment check is a
   column-gathered slice.
 
-Every kernel returns exactly what ``seeker.execute(context)`` would --
-the batching-parity tests pin byte-identical results on both storage
-backends. Rewrites (combiner-injected predicates) stay on the per-query
-path: batches are built from independent requests, which have none.
+Every kernel emits the same :class:`~repro.core.results.SeekerPartials`
+the serial path does, so serial, batched, and sharded execution share one
+result contract: ``execute_batch`` is the degenerate one-shard merge of
+``execute_batch_partials``, and the batching-parity tests pin
+byte-identical results on both storage backends. Rewrites
+(combiner-injected predicates) stay on the per-query path: batches are
+built from independent requests, which have none.
 """
 
 from __future__ import annotations
@@ -33,7 +36,14 @@ import numpy as np
 
 from ..engine.storage.column_store import DictCodes
 from ..index.xash import may_contain_batch
-from .results import ResultList, TableHit
+from .results import (
+    RANKED,
+    ResultList,
+    SeekerPartials,
+    count_partials,
+    merge_partials,
+    resolved_partials,
+)
 from .seekers import (
     OVERFETCH,
     KeywordSeeker,
@@ -42,9 +52,16 @@ from .seekers import (
     SeekerContext,
     SingleColumnSeeker,
     _token_count_matrix,
-    dedupe_ranked_groups,
-    rank_table_counts,
 )
+
+
+def seeker_partials(seeker: Seeker, context: SeekerContext) -> SeekerPartials:
+    """``seeker.partials(context)``, degrading to a non-mergeable wrap of
+    ``execute`` for duck-typed seekers that never implemented partials."""
+    method = getattr(type(seeker), "partials", None)
+    if method is None or method is Seeker.partials:
+        return resolved_partials(seeker.execute(context))
+    return seeker.partials(context)
 
 
 def execute_batch(
@@ -53,13 +70,27 @@ def execute_batch(
     """Execute *seekers* against *context*, coalescing same-modality
     queries into shared index passes. Returns one ``ResultList`` per
     seeker, positionally aligned, each identical to what
-    ``seeker.execute(context)`` returns.
+    ``seeker.execute(context)`` returns."""
+    partials = execute_batch_partials(seekers, context)
+    return [
+        merge_partials([part], seeker.k)
+        for seeker, part in zip(seekers, partials)
+    ]
+
+
+def execute_batch_partials(
+    seekers: Sequence[Seeker], context: SeekerContext
+) -> list[SeekerPartials]:
+    """The partials form of :func:`execute_batch`: one mergeable
+    :class:`SeekerPartials` per seeker, positionally aligned, each
+    identical to ``seeker.partials(context)`` -- this is what a shard
+    worker ships to the scatter-gather coordinator.
 
     Seekers outside the batchable modalities (or MC under a
-    non-vectorized context) fall back to their own ``execute``.
+    non-vectorized context) fall back to their own ``partials``.
     """
     context.ensure_fresh()
-    results: list[Optional[ResultList]] = [None] * len(seekers)
+    results: list[Optional[SeekerPartials]] = [None] * len(seekers)
     value_groups: dict[str, list[int]] = {}
     mc_group: list[int] = []
     for i, seeker in enumerate(seekers):
@@ -68,10 +99,10 @@ def execute_batch(
         elif isinstance(seeker, (SingleColumnSeeker, KeywordSeeker)):
             value_groups.setdefault(seeker.kind, []).append(i)
         else:
-            results[i] = seeker.execute(context)
+            results[i] = seeker_partials(seeker, context)
     for kind, indices in value_groups.items():
         if len(indices) == 1:  # nothing to coalesce; solo SQL is cheaper
-            results[indices[0]] = seekers[indices[0]].execute(context)
+            results[indices[0]] = seeker_partials(seekers[indices[0]], context)
             continue
         batch = _execute_value_batch(
             [seekers[i] for i in indices], context, per_column=kind == "SC"
@@ -79,7 +110,7 @@ def execute_batch(
         for i, result in zip(indices, batch):
             results[i] = result
     if len(mc_group) == 1:
-        results[mc_group[0]] = seekers[mc_group[0]].execute(context)
+        results[mc_group[0]] = seeker_partials(seekers[mc_group[0]], context)
     elif mc_group:
         batch = _execute_mc_batch([seekers[i] for i in mc_group], context)
         for i, result in zip(mc_group, batch):
@@ -114,7 +145,7 @@ def _vocab_codes(values: np.ndarray, vocabulary: dict[str, int]) -> np.ndarray:
 
 def _execute_value_batch(
     seekers: Sequence[Seeker], context: SeekerContext, per_column: bool
-) -> list[ResultList]:
+) -> list[SeekerPartials]:
     """Shared kernel for SC (``per_column=True``) and KW batches.
 
     One ``CellValue IN (union of all queries' tokens)`` scan replaces N
@@ -122,7 +153,8 @@ def _execute_value_batch(
     triples are grouped once, and each query ranks groups by how many of
     *its* tokens each holds -- the same ``COUNT(DISTINCT CellValue)`` /
     ``ORDER BY overlap DESC, TableId[, ColumnId]`` / ``LIMIT`` pipeline
-    its solo SQL runs, followed by the same table dedupe cut.
+    its solo SQL runs, emitted as ranked partials (group rows best-first,
+    cut at the solo fetch) for the shared merge tail.
     """
     vocabulary: dict[str, int] = {}
     for seeker in seekers:
@@ -140,10 +172,13 @@ def _execute_value_batch(
     else:
         column_ids = np.zeros(len(table_ids), dtype=np.int64)
         values = result.arrays[1][0]
+    def empty_partials(seeker: Seeker) -> SeekerPartials:
+        fetch = seeker.k * OVERFETCH if per_column else seeker.k
+        return SeekerPartials(RANKED, fetch=fetch)
+
     n = len(table_ids)
-    empty = [ResultList([]) for _ in seekers]
     if n == 0:
-        return empty
+        return [empty_partials(seeker) for seeker in seekers]
     codes = _vocab_codes(values, vocabulary)
 
     # Distinct (table[, column], value) triples, sorted by group -- the
@@ -171,7 +206,7 @@ def _execute_value_batch(
     group_columns = column_ids[group_starts]
     n_groups = len(group_starts)
 
-    results: list[ResultList] = []
+    results: list[SeekerPartials] = []
     member = np.zeros(len(vocabulary), dtype=bool)
     for seeker in seekers:
         my_codes = [vocabulary[token] for token in seeker.tokens]  # type: ignore[attr-defined]
@@ -182,23 +217,21 @@ def _execute_value_batch(
         member[my_codes] = False
         hit = overlaps > 0
         if not hit.any():
-            results.append(ResultList([]))
+            results.append(empty_partials(seeker))
             continue
         tables, cols, counts = group_tables[hit], group_columns[hit], overlaps[hit]
         ranked = np.lexsort((cols, tables, -counts))
-        if per_column:
-            fetch = seeker.k * OVERFETCH
-            rows = (
-                (int(tables[i]), int(counts[i])) for i in ranked[:fetch]
+        fetch = seeker.k * OVERFETCH if per_column else seeker.k
+        cut = ranked[:fetch]
+        results.append(
+            SeekerPartials(
+                RANKED,
+                tables[cut].astype(np.int64),
+                counts[cut].astype(np.float64),
+                group_keys=cols[cut].astype(np.int64) if per_column else None,
+                fetch=fetch,
             )
-            results.append(dedupe_ranked_groups(rows, seeker.k))
-        else:
-            results.append(
-                ResultList(
-                    TableHit(int(tables[i]), float(counts[i]))
-                    for i in ranked[: seeker.k]
-                )
-            )
+        )
     return results
 
 
@@ -247,7 +280,7 @@ def _fetch_mc_group(
 
 def _execute_mc_batch(
     seekers: Sequence[MultiColumnSeeker], context: SeekerContext
-) -> list[ResultList]:
+) -> list[SeekerPartials]:
     """Batched MC pipeline: one candidate join per tuple width (phase 1),
     one stacked super-key containment pass per width group (phase 2), and
     one combined count-matrix validation for the whole batch (phase 3)."""
@@ -288,7 +321,7 @@ def _execute_mc_batch(
     all_rows = np.concatenate(survivor_rows)
 
     if len(all_tables) == 0:
-        return [ResultList([]) for _ in seekers]
+        return [count_partials([], []) for _ in seekers]
 
     # Combined query vocabulary: per-seeker local code -> global code
     # gather arrays. Iterating a vocabulary dict yields tokens in local
@@ -341,13 +374,13 @@ def _execute_mc_batch(
         gathered.extend(rows)
 
     if not gathered:
-        return [ResultList([]) for _ in seekers]
+        return [count_partials([], []) for _ in seekers]
     # Fresh memo: codes here live in the batch's global vocabulary, which
     # is incompatible with each seeker's private ``_cell_memo``.
     batch_memo: dict[Any, int] = {}
     counts = _token_count_matrix(gathered, global_vocab, batch_memo)
 
-    results: list[ResultList] = []
+    results: list[SeekerPartials] = []
     for q, (seeker, req, code_map) in enumerate(
         zip(seekers, requirements, code_maps)
     ):
@@ -356,7 +389,7 @@ def _execute_mc_batch(
         present = rows_idx >= 0
         rows_idx = rows_idx[present]
         if len(rows_idx) == 0:
-            results.append(ResultList([]))
+            results.append(count_partials([], []))
             continue
         local_counts = counts[rows_idx][:, code_map]
         valid = np.zeros(len(rows_idx), dtype=bool)
@@ -367,8 +400,8 @@ def _execute_mc_batch(
             valid |= (local_counts[:, codes] >= required).all(axis=1)
         validated_tables = all_tables[mine][present][valid]
         if len(validated_tables) == 0:
-            results.append(ResultList([]))
+            results.append(count_partials([], []))
             continue
         unique_tables, tallies = np.unique(validated_tables, return_counts=True)
-        results.append(rank_table_counts(unique_tables, tallies, seeker.k))
+        results.append(count_partials(unique_tables, tallies))
     return results

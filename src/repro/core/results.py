@@ -5,12 +5,25 @@ scores, ordered best-first. Scores are operator-specific (overlap counts
 for SC/KW/MC, |QCR| for the correlation seeker, frequencies for Counter)
 but always "higher is better", which is what makes set-based composition
 well-defined.
+
+This module also defines the *mergeable partial* contract behind every
+execution path -- serial, batched, and sharded. A seeker does not rank
+directly: it emits a :class:`SeekerPartials` (per-group ``(table, score)``
+arrays, or per-table counts), and :func:`merge_partials` turns one or
+more such partials into the final :class:`ResultList`. Solo execution is
+the degenerate one-shard merge, so a scatter-gather deployment that
+merges K per-shard partials is byte-identical to a single process by
+construction.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SeekerError
 
 
 @dataclass(frozen=True)
@@ -81,3 +94,211 @@ class ResultList:
         return ResultList(
             sorted(self._hits, key=lambda hit: (-hit.score, hit.table_id))
         )
+
+
+# -- mergeable partial results -------------------------------------------------
+
+
+RANKED = "ranked"
+COUNTS = "counts"
+RESOLVED = "resolved"
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_SCORES = np.empty(0, dtype=np.float64)
+
+
+@dataclass(frozen=True)
+class SeekerPartials:
+    """The mergeable intermediate every seeker emits before ranking.
+
+    Two kinds, matching the two ranking tails the seekers share:
+
+    * ``"ranked"`` -- per-*group* rows ``(table_id, score[, group_key])``
+      in best-first emission order, as produced by the SC/KW/C SQL
+      statements and the semantic seeker: sorted by
+      ``(score desc, table, group)`` and already cut at ``fetch`` rows.
+      Merging concatenates, re-sorts on the same keys (stably, so each
+      shard's emission order survives ties), re-cuts at ``fetch``, and
+      collapses groups to tables via :func:`dedupe_ranked_groups`.
+    * ``"counts"`` -- exact per-table validated-row counts (the MC
+      seeker), *not* cut: merging sums counts per table id across
+      partials before the global :func:`rank_table_counts` top-k.
+
+    Partials are safe to merge across shards because every table lives
+    wholly in one shard: per-table sums never split, and ties on
+    ``(score, table)`` can only originate from a single shard, so a
+    stable re-sort reproduces the single-process order exactly.
+
+    A third kind, ``"resolved"``, wraps an already-final ranking verbatim
+    (duck-typed seekers that implement only ``execute``); it round-trips
+    through the degenerate one-partial merge unchanged but refuses
+    cross-shard merging -- a seeker must emit real partials to shard.
+
+    ``group_keys`` (e.g. ColumnId for SC) is carried when the producer
+    has it cheaply; the merge does not need it -- rows that tie on
+    ``(score, table)`` collapse to the same :class:`TableHit` regardless
+    of intra-table order.
+    """
+
+    kind: str
+    table_ids: np.ndarray = field(default_factory=lambda: _EMPTY_IDS)
+    scores: np.ndarray = field(default_factory=lambda: _EMPTY_SCORES)
+    group_keys: Optional[np.ndarray] = None
+    fetch: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (RANKED, COUNTS, RESOLVED):
+            raise SeekerError(f"unknown partials kind: {self.kind!r}")
+        if len(self.table_ids) != len(self.scores):
+            raise SeekerError("partials table_ids and scores must align")
+
+    def __len__(self) -> int:
+        return len(self.table_ids)
+
+
+def ranked_partials(
+    rows: Iterable[Sequence[Any]],
+    fetch: Optional[int],
+    *,
+    skip_none: bool = False,
+) -> SeekerPartials:
+    """Wrap best-first ``(table_id, score, ...)`` rows (a seeker's SQL
+    output) as a ranked partial. ``skip_none`` drops NULL-score rows (the
+    Correlation seeker's guard), applied here so shards never ship them."""
+    ids: list[int] = []
+    scores: list[float] = []
+    for table_id, score, *_ in rows:
+        if skip_none and score is None:
+            continue
+        ids.append(table_id)
+        scores.append(float(score))
+    return SeekerPartials(
+        RANKED,
+        np.asarray(ids, dtype=np.int64),
+        np.asarray(scores, dtype=np.float64),
+        fetch=fetch,
+    )
+
+
+def count_partials(
+    table_ids: Sequence[int] | np.ndarray, counts: Sequence[int] | np.ndarray
+) -> SeekerPartials:
+    """Wrap exact per-table counts (the MC tail) as a counts partial."""
+    return SeekerPartials(
+        COUNTS,
+        np.asarray(table_ids, dtype=np.int64),
+        np.asarray(counts, dtype=np.float64),
+    )
+
+
+def resolved_partials(result: "ResultList") -> SeekerPartials:
+    """Wrap an already-final ranking as a non-mergeable partial -- the
+    compatibility path for seekers that implement only ``execute``."""
+    return SeekerPartials(
+        RESOLVED,
+        np.fromiter((hit.table_id for hit in result), dtype=np.int64, count=len(result)),
+        np.fromiter((hit.score for hit in result), dtype=np.float64, count=len(result)),
+    )
+
+
+def merge_partials(partials: Sequence[SeekerPartials], k: int) -> ResultList:
+    """The single ranking tail: merge per-shard partials into the final
+    top-k :class:`ResultList`.
+
+    With one partial this is exactly the seeker's old serial tail; with K
+    it is the scatter-gather coordinator's global merge. Counts partials
+    sum per table id (exact in int64 -- scores are integral row counts)
+    before :func:`rank_table_counts`; ranked partials concatenate,
+    stable-sort on ``(score desc, table)``, re-cut at ``fetch``, and
+    collapse through :func:`dedupe_ranked_groups`. Per-shard ``fetch``
+    cuts lose nothing globally: the global top-``fetch`` groups are a
+    subset of the union of per-shard top-``fetch`` groups.
+    """
+    parts = [p for p in partials if p is not None and len(p)]
+    if not parts:
+        return ResultList([])
+    kinds = {p.kind for p in parts}
+    if len(kinds) != 1:
+        raise SeekerError(f"cannot merge partials of mixed kinds: {sorted(kinds)}")
+    kind = kinds.pop()
+
+    if kind == RESOLVED:
+        if len(parts) > 1:
+            raise SeekerError(
+                "resolved partials carry a final ranking and cannot be "
+                "merged across shards; the seeker must implement partials()"
+            )
+        part = parts[0]
+        return ResultList(
+            TableHit(int(table_id), float(score))
+            for table_id, score in zip(part.table_ids, part.scores)
+        )
+
+    if kind == COUNTS:
+        ids = np.concatenate([p.table_ids for p in parts])
+        tallies = np.concatenate(
+            [p.scores.astype(np.int64) for p in parts]
+        )
+        unique_ids, inverse = np.unique(ids, return_inverse=True)
+        sums = np.zeros(len(unique_ids), dtype=np.int64)
+        np.add.at(sums, inverse, tallies)
+        return rank_table_counts(unique_ids, sums, k)
+
+    fetches = {p.fetch for p in parts}
+    if len(fetches) != 1:
+        raise SeekerError(f"cannot merge partials with mixed fetch cuts: {sorted(map(str, fetches))}")
+    fetch = fetches.pop()
+    ids = np.concatenate([p.table_ids for p in parts])
+    scores = np.concatenate([p.scores for p in parts])
+    order = np.lexsort((ids, -scores))
+    if fetch is not None:
+        order = order[:fetch]
+    return dedupe_ranked_groups(
+        ((int(ids[i]), float(scores[i])) for i in order), k
+    )
+
+
+def dedupe_ranked_groups(
+    rows: Iterable[Sequence[Any]], k: int, *, skip_none: bool = False
+) -> ResultList:
+    """Collapse ranked *group* rows to ranked *tables*: first (best) hit
+    per table wins, cut at *k*.
+
+    The shared tail of every per-(table, column)-grouped seeker, invoked
+    through :func:`merge_partials` -- and the reason seeker results are
+    mergeable partials rather than opaque top-k lists: per-shard ranked
+    group streams, re-sorted on the same ``(score desc, table)`` keys and
+    fed through this cut, reproduce a single-node ranking exactly.
+
+    *rows* yields ``(table_id, score, ...)`` best-first; ``skip_none``
+    drops rows whose score is NULL (the Correlation seeker's guard).
+    """
+    hits: list[TableHit] = []
+    seen: set[int] = set()
+    for table_id, score, *_ in rows:
+        if skip_none and score is None:
+            continue
+        if table_id not in seen:
+            seen.add(table_id)
+            hits.append(TableHit(table_id, float(score)))
+        if len(hits) == k:
+            break
+    return ResultList(hits)
+
+
+def rank_table_counts(
+    table_ids: Sequence[int] | np.ndarray,
+    counts: Sequence[int] | np.ndarray,
+    k: int,
+) -> ResultList:
+    """Rank per-table validated-row counts: ``(count desc, table asc)``,
+    top *k* -- the counts-kind tail of :func:`merge_partials` (per-shard
+    counts of one table simply add before ranking)."""
+    ids = np.asarray(table_ids, dtype=np.int64)
+    tallies = np.asarray(counts, dtype=np.int64)
+    if len(ids) == 0:
+        return ResultList([])
+    ranked = np.lexsort((ids, -tallies))
+    return ResultList(
+        TableHit(int(ids[i]), float(tallies[i])) for i in ranked[:k]
+    )

@@ -32,7 +32,36 @@ from ..index.xash import (
 )
 from ..lake.datalake import DataLake
 from ..lake.table import Cell, Table, normalize_cell
-from .results import ResultList, TableHit
+from .results import (
+    ResultList,
+    SeekerPartials,
+    TableHit,
+    count_partials,
+    dedupe_ranked_groups,
+    merge_partials,
+    rank_table_counts,
+    ranked_partials,
+)
+
+__all__ = [
+    "OVERFETCH",
+    "REWRITE_MARKER",
+    "Rewrite",
+    "SeekerContext",
+    "Seeker",
+    "Seekers",
+    "SeekerPartials",
+    "SingleColumnSeeker",
+    "KeywordSeeker",
+    "MultiColumnSeeker",
+    "CorrelationSeeker",
+    "SEEKER_RULE_RANK",
+    "count_partials",
+    "dedupe_ranked_groups",
+    "merge_partials",
+    "rank_table_counts",
+    "ranked_partials",
+]
 
 OVERFETCH = 32
 REWRITE_MARKER = "/*REWRITE*/"
@@ -105,58 +134,6 @@ class SeekerContext:
             )
 
 
-def dedupe_ranked_groups(
-    rows: Iterable[Sequence[Any]], k: int, *, skip_none: bool = False
-) -> ResultList:
-    """Collapse ranked *group* rows to ranked *tables*: first (best) hit
-    per table wins, cut at *k*.
-
-    The shared tail of every per-(table, column)-grouped seeker -- SC and
-    Correlation execute it over their SQL result rows, and the
-    cross-query batch kernels (:mod:`repro.core.batch`) over their
-    in-memory rankings. It is also the *merge* operation of a sharded
-    deployment (ROADMAP scatter-gather serving): per-shard ranked group
-    streams, re-sorted on the same ``(score desc, table, column)`` keys
-    and fed through this cut, reproduce a single-node ranking exactly --
-    which is what makes seeker results mergeable partials rather than
-    opaque top-k lists.
-
-    *rows* yields ``(table_id, score, ...)`` best-first; ``skip_none``
-    drops rows whose score is NULL (the Correlation seeker's guard).
-    """
-    hits: list[TableHit] = []
-    seen: set[int] = set()
-    for table_id, score, *_ in rows:
-        if skip_none and score is None:
-            continue
-        if table_id not in seen:
-            seen.add(table_id)
-            hits.append(TableHit(table_id, float(score)))
-        if len(hits) == k:
-            break
-    return ResultList(hits)
-
-
-def rank_table_counts(
-    table_ids: Sequence[int] | np.ndarray,
-    counts: Sequence[int] | np.ndarray,
-    k: int,
-) -> ResultList:
-    """Rank per-table validated-row counts: ``(count desc, table asc)``,
-    top *k* -- the shared tail of the MC paths (scalar oracle, vectorized
-    pipeline, and the cross-query batch kernel), and, like
-    :func:`dedupe_ranked_groups`, the merge step for sharded partial
-    counts (per-shard counts of one table simply add before ranking)."""
-    ids = np.asarray(table_ids, dtype=np.int64)
-    tallies = np.asarray(counts, dtype=np.int64)
-    if len(ids) == 0:
-        return ResultList([])
-    ranked = np.lexsort((ids, -tallies))
-    return ResultList(
-        TableHit(int(ids[i]), float(tallies[i])) for i in ranked[:k]
-    )
-
-
 def _normalize_values(values: Iterable[Cell]) -> list[str]:
     tokens: list[str] = []
     seen: set[str] = set()
@@ -169,7 +146,15 @@ def _normalize_values(values: Iterable[Cell]) -> list[str]:
 
 
 class Seeker:
-    """Base class: a parameterised SQL template plus result shaping."""
+    """Base class: a parameterised SQL template plus result shaping.
+
+    Subclasses implement :meth:`partials` -- everything up to but not
+    including the final ranking cut. :meth:`execute` is the degenerate
+    one-shard merge of that partial; a scatter-gather coordinator calls
+    :meth:`partials` on every shard and merges the K results with the
+    same :func:`~repro.core.results.merge_partials`, which is what makes
+    sharded execution byte-identical to serial by construction.
+    """
 
     kind: str = "?"
 
@@ -187,8 +172,15 @@ class Seeker:
     def params(self, rewrite: Optional[Rewrite] = None) -> dict[str, Any]:
         raise NotImplementedError
 
-    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+    def partials(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> SeekerPartials:
+        """The mergeable partial result of this query over *context*'s
+        (shard of the) lake -- see :class:`~repro.core.results.SeekerPartials`."""
         raise NotImplementedError
+
+    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+        return merge_partials([self.partials(context, rewrite)], self.k)
 
     # -- cost-model features (paper §VII-B) ------------------------------------------
 
@@ -236,11 +228,13 @@ class SingleColumnSeeker(Seeker):
             params["__rewrite_ids"] = list(rewrite.table_ids)
         return params
 
-    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+    def partials(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> SeekerPartials:
         context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
-        return dedupe_ranked_groups(result.rows, self.k)
+        return ranked_partials(result.rows, self.k * OVERFETCH)
 
     def query_cardinality(self) -> int:
         return len(self.tokens)
@@ -284,13 +278,13 @@ class KeywordSeeker(Seeker):
             params["__rewrite_ids"] = list(rewrite.table_ids)
         return params
 
-    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+    def partials(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> SeekerPartials:
         context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
-        return ResultList(
-            TableHit(table_id, float(overlap)) for table_id, overlap in result.rows
-        )
+        return ranked_partials(result.rows, self.k)
 
     def query_cardinality(self) -> int:
         return len(self.tokens)
@@ -383,32 +377,38 @@ class MultiColumnSeeker(Seeker):
             params["__rewrite_ids"] = list(rewrite.table_ids)
         return params
 
-    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+    def partials(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> SeekerPartials:
+        """Exact per-table validated-row counts -- the counts-kind
+        partial; per-shard counts sum in the merge before the top-k.
+
+        ``context.vectorized`` selects the batched phase-2/3 pipeline
+        (columnar candidate fetch, one bitwise pass, per-table factorized
+        validation); ``False`` runs the seed scalar phases, kept as the
+        reference oracle."""
         context.ensure_fresh()
         if context.vectorized:
-            return self._execute_vectorized(context, rewrite)
+            table_ids, row_ids, super_keys = self.fetch_candidate_arrays(
+                context, rewrite
+            )
+            table_ids, row_ids = self.superkey_filter_batch(
+                table_ids, row_ids, super_keys, context
+            )
+            table_ids, _ = self.validate_batch(table_ids, row_ids, context)
+            if len(table_ids) == 0:
+                return count_partials([], [])
+            unique_tables, counts = np.unique(table_ids, return_counts=True)
+            return count_partials(unique_tables, counts)
         candidates = self.fetch_candidates(context, rewrite)
         filtered = self.superkey_filter(candidates, context)
         validated = self.validate(filtered, context)
-        counts: dict[int, int] = {}
+        counts_by_table: dict[int, int] = {}
         for table_id, _ in validated:
-            counts[table_id] = counts.get(table_id, 0) + 1
-        return rank_table_counts(list(counts.keys()), list(counts.values()), self.k)
-
-    def _execute_vectorized(
-        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
-    ) -> ResultList:
-        """The batched pipeline: columnar candidate fetch, one bitwise
-        pass for phase 2, per-table factorized validation for phase 3."""
-        table_ids, row_ids, super_keys = self.fetch_candidate_arrays(context, rewrite)
-        table_ids, row_ids = self.superkey_filter_batch(
-            table_ids, row_ids, super_keys, context
+            counts_by_table[table_id] = counts_by_table.get(table_id, 0) + 1
+        return count_partials(
+            list(counts_by_table.keys()), list(counts_by_table.values())
         )
-        table_ids, row_ids = self.validate_batch(table_ids, row_ids, context)
-        if len(table_ids) == 0:
-            return ResultList([])
-        unique_tables, counts = np.unique(table_ids, return_counts=True)
-        return rank_table_counts(unique_tables, counts, self.k)
 
     # -- the three MC phases, exposed for tests and Table V ------------------------
 
@@ -793,11 +793,13 @@ class CorrelationSeeker(Seeker):
             params["__rewrite_ids"] = list(rewrite.table_ids)
         return params
 
-    def execute(self, context: SeekerContext, rewrite: Optional[Rewrite] = None) -> ResultList:
+    def partials(
+        self, context: SeekerContext, rewrite: Optional[Rewrite] = None
+    ) -> SeekerPartials:
         context.ensure_fresh()
         sql = self.sql(rewrite).format(index=context.index_table)
         result = context.db.execute(sql, self.params(rewrite))
-        return dedupe_ranked_groups(result.rows, self.k, skip_none=True)
+        return ranked_partials(result.rows, self.k * OVERFETCH, skip_none=True)
 
     def query_cardinality(self) -> int:
         return len(self.k0) + len(self.k1)

@@ -38,7 +38,7 @@ from ..engine.database import Database
 from ..errors import SeekerError
 from ..lake.datalake import DataLake
 from ..lake.table import Cell
-from .results import ResultList, TableHit
+from .results import SeekerPartials, ranked_partials
 from .seekers import Rewrite, Seeker, SeekerContext
 
 ALLVECTORS_SCHEMA = [
@@ -191,8 +191,24 @@ class SemanticIndex:
         return instance
 
     def search_columns(
-        self, vector: np.ndarray, k: int, ef: Optional[int] = None
+        self,
+        vector: np.ndarray,
+        k: int,
+        ef: Optional[int] = None,
+        exact: bool = False,
     ) -> list[tuple[tuple[int, int], float]]:
+        """Closest *k* columns as ``((table_id, column_id), similarity)``,
+        best first. ``exact=True`` brute-forces every stored vector with
+        the same cosine metric, ties broken on the (table, column) key --
+        deterministic and graph-independent, which is what makes sharded
+        semantic search byte-identical to a single process at any scale
+        (the HNSW beam is only exhaustive on small indexes)."""
+        if exact:
+            scored = sorted(
+                (HnswIndex._distance(vector, stored), key)
+                for key, stored in self._vectors.items()
+            )
+            return [(key, 1.0 - distance) for distance, key in scored[:k]]
         return self._hnsw.search(vector, k=k, ef=ef)
 
     def storage_bytes(self) -> int:
@@ -214,7 +230,13 @@ class SemanticSeeker(Seeker):
 
     kind = "SS"
 
-    def __init__(self, values: Iterable[Cell], k: int = 10, overfetch: int = 4) -> None:
+    def __init__(
+        self,
+        values: Iterable[Cell],
+        k: int = 10,
+        overfetch: int = 4,
+        exact: bool = False,
+    ) -> None:
         super().__init__(k)
         self.values = list(values)
         if not self.values:
@@ -222,6 +244,7 @@ class SemanticSeeker(Seeker):
         if overfetch < 1:
             raise SeekerError("overfetch must be >= 1")
         self.overfetch = overfetch
+        self.exact = exact
 
     def sql(self, rewrite: Optional[Rewrite] = None) -> str:
         raise SeekerError(
@@ -232,9 +255,19 @@ class SemanticSeeker(Seeker):
     def params(self, rewrite: Optional[Rewrite] = None) -> dict:
         return {}
 
-    def execute(
+    def partials(
         self, context: SeekerContext, rewrite: Optional[Rewrite] = None
-    ) -> ResultList:
+    ) -> SeekerPartials:
+        """Best-similarity-per-table rows, best-first, cut at *k* -- a
+        ranked partial over this context's shard of the vector index.
+
+        Sharded caveat: per-shard partials merge to the single-process
+        ranking exactly when the column search is deterministic -- either
+        ``exact=True`` (brute force, any scale) or an exhaustive beam
+        (``ef`` at least the shard's column count -- always true at test
+        scale). With a genuinely approximate beam, the merge is as
+        approximate as the underlying HNSW itself.
+        """
         context.ensure_fresh()
         semantic = getattr(context, "semantic", None)
         if semantic is None:
@@ -243,11 +276,11 @@ class SemanticSeeker(Seeker):
             )
         query_vector = embed_values(self.values, semantic.dimensions)
         if not np.any(query_vector):
-            return ResultList()
+            return ranked_partials([], self.k)
         # Over-fetch columns: several columns of one table may rank high,
         # and rewrite post-filters may drop tables.
         column_hits = semantic.search_columns(
-            query_vector, k=self.k * self.overfetch * 2
+            query_vector, k=self.k * self.overfetch * 2, exact=self.exact
         )
         best_per_table: dict[int, float] = {}
         for (table_id, _), similarity in column_hits:
@@ -266,9 +299,7 @@ class SemanticSeeker(Seeker):
                 ranked = [item for item in ranked if item[0] not in allowed]
             else:
                 raise SeekerError(f"unknown rewrite mode: {rewrite.mode}")
-        return ResultList(
-            TableHit(table_id, score) for table_id, score in ranked[: self.k]
-        )
+        return ranked_partials(ranked[: self.k], self.k)
 
     def query_cardinality(self) -> int:
         return len(self.values)

@@ -41,7 +41,7 @@ from .executor import PlanExecutor, PlanRunResult
 from .optimizer.cost_model import TrainingReport, train_cost_model
 from .optimizer.planner import ExecutionPlan, Optimizer
 from .plan import Plan
-from .results import ResultList
+from .results import ResultList, SeekerPartials
 from .seekers import Seeker, SeekerContext, Seekers
 
 
@@ -173,7 +173,7 @@ class Blend:
         if self._indexed:
             _check_maintenance(self.db, self.index_config)
 
-    def add_table(self, table: Table) -> int:
+    def add_table(self, table: Table, table_id: Optional[int] = None) -> int:
         """Maintenance path: add one table to the lake AND the index
         incrementally (no rebuild). Returns the new table id.
 
@@ -182,11 +182,20 @@ class Blend:
         vectorised token-count kernel rather than a per-cell Python loop
         -- so the cost model sees the new tokens exactly as a fresh
         offline scan would.
+
+        *table_id* places the table at an explicit id instead of the next
+        free slot -- the sharded-serving path, where the coordinator
+        allocates globally-unique ids and each shard's lake holds only
+        its own slice of the id space (see
+        :meth:`~repro.lake.datalake.DataLake.add_at`).
         """
         self._check_maintainable()
         if self._stats is None:
             self._stats = self._resolve_stats_loader()
-        table_id = self.lake.add(table)
+        if table_id is None:
+            table_id = self.lake.add(table)
+        else:
+            table_id = self.lake.add_at(table_id, table)
         if self._indexed:
             index_table(table_id, table, self.db, self.index_config)
         if self._stats is not None:
@@ -285,6 +294,17 @@ class Blend:
         from .batch import execute_batch
 
         return execute_batch(seekers, self.context())
+
+    def execute_batch_partials(
+        self, seekers: Sequence["Seeker"]
+    ) -> list["SeekerPartials"]:
+        """The partials form of :meth:`execute_batch`: one mergeable
+        :class:`~repro.core.results.SeekerPartials` per seeker instead of
+        the final ranking -- what a shard worker ships to the
+        scatter-gather coordinator (:mod:`repro.serving.sharded`)."""
+        from .batch import execute_batch_partials
+
+        return execute_batch_partials(seekers, self.context())
 
     def warm(self) -> None:
         """Force every lazily-built read structure (sealed columns,

@@ -103,6 +103,29 @@ class DataLake:
         self._generation += 1
         return table_id
 
+    def add_at(self, table_id: int, table: Table) -> int:
+        """Add a table under an explicit id, padding holes as needed.
+
+        The sharded-serving path: a shard's lake holds only its own slice
+        of the global id space, and the coordinator -- not the lake --
+        allocates fresh ids, so each shard must be able to place a table
+        at any id it does not already occupy. Slots skipped by the
+        padding are permanent holes, exactly like removal holes.
+        """
+        if table.name in self._id_by_name:
+            raise LakeError(f"lake already contains a table named {table.name!r}")
+        if table_id < 0:
+            raise LakeError(f"table id must be non-negative, got {table_id}")
+        if table_id < len(self._tables) and self._tables[table_id] is not None:
+            raise LakeError(f"table id {table_id} is already occupied")
+        while len(self._tables) <= table_id:
+            self._tables.append(None)
+        self._tables[table_id] = table
+        self._id_by_name[table.name] = table_id
+        self._num_live += 1
+        self._generation += 1
+        return table_id
+
     def remove(self, table_id: int) -> Table:
         """Remove the table with *table_id*; its id becomes a permanent
         hole (never reassigned). Returns the removed table."""
@@ -131,6 +154,13 @@ class DataLake:
 
     def __len__(self) -> int:
         return self._num_live
+
+    @property
+    def num_slots(self) -> int:
+        """Number of id slots (live tables plus holes) -- the smallest id
+        guaranteed free, which is what a sharded coordinator seeds its
+        global id allocator with."""
+        return len(self._tables)
 
     def __iter__(self) -> Iterator[Table]:
         return (table for table in self._tables if table is not None)
@@ -245,6 +275,18 @@ class DataLake:
         if start < num_tables:
             shards.append(_shard_of(items, start, num_tables))
         return shards
+
+    @classmethod
+    def from_shard(cls, shard: LakeShard, name: str = "shard") -> "DataLake":
+        """A standalone lake over one shard's tables, each at its
+        **global** id slot (ids below/between the shard's tables become
+        holes). A per-shard ``AllTables`` built over such a lake indexes
+        rows under globally-stable ``TableId``s, which is what makes
+        per-shard seeker partials mergeable without any id translation."""
+        lake = cls(name)
+        for table_id, table in zip(shard.table_ids, shard.tables):
+            lake.add_at(table_id, table)
+        return lake
 
     # -- statistics -------------------------------------------------------------------
 

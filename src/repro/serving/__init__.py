@@ -12,21 +12,29 @@ Layers, bottom up:
   batch-size histogram.
 * :mod:`repro.serving.server` -- the stdlib HTTP front end
   (``/query``, ``/stats``, ``/health``, ``/swap``).
+* :mod:`repro.serving.sharded` -- scatter-gather over K shard workers
+  (each a deployment manager + scheduler of its own, in-process or in a
+  child process), merging per-shard partials into rankings
+  byte-identical to single-process execution.
 """
 
 from .deployment import DeploymentManager, ServingDeployment, SwapReport
 from .scheduler import BatchScheduler, PendingQuery, QueryOutcome
 from .server import BlendServer, build_seeker
+from .sharded import LocalShardWorker, ProcessShardWorker, ShardCoordinator
 from .stats import ServingStats
 
 __all__ = [
     "BatchScheduler",
     "BlendServer",
     "DeploymentManager",
+    "LocalShardWorker",
     "PendingQuery",
+    "ProcessShardWorker",
     "QueryOutcome",
     "ServingDeployment",
     "ServingStats",
+    "ShardCoordinator",
     "SwapReport",
     "build_seeker",
 ]

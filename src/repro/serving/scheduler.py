@@ -27,7 +27,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Hashable, Optional, Sequence
 
-from ..core.results import ResultList
+from ..core.batch import seeker_partials
+from ..core.results import ResultList, SeekerPartials, merge_partials
 from ..core.seekers import Seeker
 from ..errors import RequestTimeoutError, ServingError, StaleContextError
 from .deployment import DeploymentManager
@@ -40,11 +41,17 @@ DEFAULT_BATCH_WINDOW = 0.002  # seconds; a few ms, per the batching design
 @dataclass(frozen=True)
 class QueryOutcome:
     """A completed request: its ranking, the snapshot generation that
-    served it, and how many requests shared its batch."""
+    served it, and how many requests shared its batch.
+
+    ``partials`` is populated only for requests submitted with
+    ``partials=True`` -- the shard-worker path, where the caller is a
+    scatter-gather coordinator that merges this worker's partial with its
+    siblings' instead of consuming the locally-merged ``result``."""
 
     result: ResultList
     generation: int
     batch_size: int
+    partials: Optional[SeekerPartials] = None
 
 
 class _Request:
@@ -58,14 +65,20 @@ class _Request:
         "finalized",
         "outcome",
         "error",
+        "want_partials",
     )
 
     def __init__(
-        self, seeker: Seeker, deadline: Optional[float], key: Optional[Hashable]
+        self,
+        seeker: Seeker,
+        deadline: Optional[float],
+        key: Optional[Hashable],
+        want_partials: bool = False,
     ) -> None:
         self.seeker = seeker
         self.key = key
         self.deadline = deadline
+        self.want_partials = want_partials
         self.submitted = time.monotonic()
         self.event = threading.Event()
         self.lock = threading.Lock()
@@ -163,15 +176,18 @@ class BatchScheduler:
         seeker: Seeker,
         timeout: Optional[float] = None,
         key: Optional[Hashable] = None,
+        partials: bool = False,
     ) -> PendingQuery:
         """Enqueue *seeker*; returns immediately with a handle.
 
         *timeout* is seconds from now to the request's deadline. *key*,
         when given, identifies the query semantically (same key = same
-        answer): concurrent duplicates execute once.
+        answer): concurrent duplicates execute once. *partials* asks for
+        the request's mergeable :class:`SeekerPartials` on the outcome
+        (the shard-worker path) alongside the locally-merged result.
         """
         deadline = None if timeout is None else time.monotonic() + timeout
-        request = _Request(seeker, deadline, key)
+        request = _Request(seeker, deadline, key, want_partials=partials)
         with self._cond:
             if self._closed:
                 raise ServingError("scheduler is shut down")
@@ -184,9 +200,10 @@ class BatchScheduler:
         seeker: Seeker,
         timeout: Optional[float] = None,
         key: Optional[Hashable] = None,
+        partials: bool = False,
     ) -> QueryOutcome:
         """Blocking convenience: ``submit(...).result()``."""
-        return self.submit(seeker, timeout, key).result()
+        return self.submit(seeker, timeout, key, partials).result()
 
     def close(self) -> None:
         """Stop accepting work, fail whatever is still queued, join the
@@ -313,8 +330,8 @@ class BatchScheduler:
             with self.manager.lease() as deployment:
                 generation = deployment.generation
                 try:
-                    results: list[Optional[ResultList]] = list(
-                        deployment.blend.execute_batch(seekers)
+                    parts: list[Optional[SeekerPartials]] = list(
+                        deployment.blend.execute_batch_partials(seekers)
                     )
                     errors: list[Optional[BaseException]] = [None] * len(unique)
                     break
@@ -324,7 +341,7 @@ class BatchScheduler:
                     # second stale in a row fails the requests, never
                     # the worker.
                     if attempt == 1:
-                        results = [None] * len(unique)
+                        parts = [None] * len(unique)
                         errors = [stale] * len(unique)
                         break
                     self.stats.record_stale_retry()
@@ -332,33 +349,41 @@ class BatchScheduler:
                     # Isolate the offending request: run the batch's
                     # members one at a time, capturing per-request
                     # failures.
-                    results, errors = self._run_individually(deployment, seekers)
+                    parts, errors = self._run_individually(deployment, seekers)
                     break
 
         batch_size = len(batch)
         for i, request in enumerate(unique):
+            part, error = parts[i], errors[i]
+            result: Optional[ResultList] = None
+            if error is None and part is not None:
+                try:
+                    result = merge_partials([part], request.seeker.k)
+                except Exception as exc:
+                    error = exc
             recipients = [request] + followers.get(i, [])
             for recipient in recipients:
                 self._deliver(
-                    recipient, results[i], errors[i], generation, batch_size
+                    recipient, result, part, error, generation, batch_size
                 )
 
     def _run_individually(
         self, deployment: Any, seekers: Sequence[Seeker]
-    ) -> tuple[list[Optional[ResultList]], list[Optional[BaseException]]]:
-        results: list[Optional[ResultList]] = [None] * len(seekers)
+    ) -> tuple[list[Optional[SeekerPartials]], list[Optional[BaseException]]]:
+        parts: list[Optional[SeekerPartials]] = [None] * len(seekers)
         errors: list[Optional[BaseException]] = [None] * len(seekers)
         for i, seeker in enumerate(seekers):
             try:
-                results[i] = seeker.execute(deployment.blend.context())
+                parts[i] = seeker_partials(seeker, deployment.blend.context())
             except Exception as exc:  # per-request isolation
                 errors[i] = exc
-        return results, errors
+        return parts, errors
 
     def _deliver(
         self,
         request: _Request,
         result: Optional[ResultList],
+        part: Optional[SeekerPartials],
         error: Optional[BaseException],
         generation: int,
         batch_size: int,
@@ -368,7 +393,12 @@ class BatchScheduler:
             if request.finalize(error=error):
                 self.stats.record_error()
             return
-        outcome = QueryOutcome(result, generation, batch_size)
+        outcome = QueryOutcome(
+            result,
+            generation,
+            batch_size,
+            partials=part if request.want_partials else None,
+        )
         if request.finalize(outcome=outcome):
             self.stats.record_completed(
                 request.seeker.kind, time.monotonic() - request.submitted

@@ -66,7 +66,11 @@ from .lake.datalake import DataLake
 FORMAT_NAME = "blend-snapshot"
 FORMAT_VERSION = 1
 
+SHARD_FORMAT_NAME = "blend-shards"
+SHARD_FORMAT_VERSION = 1
+
 _MANIFEST = "manifest.json"
+_SHARD_MANIFEST = "shards.json"
 _CRC_CHUNK = 1 << 20
 
 
@@ -365,6 +369,120 @@ def _save_row_table(writer: _Writer, prefix: str, storage: RowTable) -> dict:
         else None
     )
     return meta
+
+
+# --------------------------------------------------------------------------
+# Sharded snapshots (scatter-gather serving)
+# --------------------------------------------------------------------------
+
+
+def save_sharded(
+    blend, path: Union[str, Path], num_shards: int, include_lake: bool = True
+) -> Path:
+    """Persist *blend* as K per-shard snapshots plus a routing manifest.
+
+    The lake is partitioned with :meth:`DataLake.shard_plan` (contiguous,
+    cell-balanced -- the same partitioning the sharded *build* uses); each
+    shard becomes a standalone :func:`save_blend` snapshot under
+    ``<path>/shard<i>/`` whose lake places every table at its **global**
+    id slot, so per-shard ``AllTables`` rows carry globally-stable
+    ``TableId``s and per-shard seeker partials merge without translation.
+    ``shards.json`` records the table-id -> shard routing and the next
+    free global id, which is everything a
+    :class:`~repro.serving.sharded.ShardCoordinator` needs to start.
+
+    Per-table indexing is deterministic (including per-table seeded
+    shuffle permutations), so each shard's rebuilt index is byte-identical
+    to the corresponding slice of the single-process index.
+    """
+    if not getattr(blend, "_indexed", False):
+        raise SnapshotError("nothing to save: call build_index() first")
+    shards = blend.lake.shard_plan(num_shards)
+    if not shards:
+        raise SnapshotError("cannot shard-save an empty lake")
+    root = Path(path)
+    if root.exists():
+        if not root.is_dir():
+            raise SnapshotError(f"snapshot path {root} exists and is not a directory")
+        if any(root.iterdir()):
+            raise SnapshotError(
+                f"refusing to overwrite non-empty directory {root}; "
+                "point save_sharded() at a fresh path"
+            )
+    root.mkdir(parents=True, exist_ok=True)
+
+    semantic = getattr(blend, "_semantic", None)
+    semantic_meta = semantic.snapshot_meta() if semantic is not None else None
+    shard_names: list[str] = []
+    table_shard: dict[str, int] = {}
+    for i, shard in enumerate(shards):
+        shard_lake = DataLake.from_shard(shard, name=f"{blend.lake.name}/shard{i}")
+        sub = type(blend)(
+            shard_lake, backend=blend.db.backend, index_config=blend.index_config
+        )
+        sub.build_index()
+        if semantic_meta is not None:
+            from .core.semantic import SemanticIndex
+
+            sub._semantic = SemanticIndex(
+                shard_lake,
+                dimensions=semantic_meta["dimensions"],
+                m=semantic_meta["m"],
+                ef_construction=semantic_meta["ef_construction"],
+                seed=semantic_meta["seed"],
+            )
+            sub._semantic.persist(sub.db)
+        name = f"shard{i}"
+        save_blend(sub, root / name, include_lake=include_lake)
+        shard_names.append(name)
+        for table_id in shard.table_ids:
+            table_shard[str(int(table_id))] = i
+
+    manifest = {
+        "format": SHARD_FORMAT_NAME,
+        "format_version": SHARD_FORMAT_VERSION,
+        "backend": blend.db.backend,
+        "hash_size": blend.index_config.hash_size,
+        "lake_name": blend.lake.name,
+        "num_shards": len(shard_names),
+        "shards": shard_names,
+        "table_shard": table_shard,
+        "next_table_id": blend.lake.num_slots,
+        "semantic": semantic_meta,
+    }
+    (root / _SHARD_MANIFEST).write_text(
+        json.dumps(manifest, indent=1, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return root
+
+
+def read_shard_manifest(path: Union[str, Path]) -> dict:
+    """Parse and version-check a :func:`save_sharded` routing manifest."""
+    root = Path(path)
+    target = root / _SHARD_MANIFEST
+    if not target.is_file():
+        raise SnapshotError(f"not a sharded snapshot (missing {target})")
+    try:
+        manifest = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot parse shard manifest {target}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != SHARD_FORMAT_NAME:
+        raise SnapshotError(f"{target} is not a {SHARD_FORMAT_NAME} manifest")
+    version = manifest.get("format_version")
+    if version != SHARD_FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported shard manifest version {version!r} in {target}: "
+            f"this build reads version {SHARD_FORMAT_VERSION} only"
+        )
+    for key in ("backend", "shards", "table_shard", "next_table_id"):
+        if key not in manifest:
+            raise SnapshotError(f"shard manifest {target} lacks the {key!r} section")
+    if len(manifest["shards"]) != manifest.get("num_shards", len(manifest["shards"])):
+        raise SnapshotError(
+            f"shard manifest {target} lists {len(manifest['shards'])} shard "
+            f"directories but records num_shards={manifest.get('num_shards')}"
+        )
+    return manifest
 
 
 # --------------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """Smoke tests for the micro-benchmark harness (``bench_index_build.py``,
 ``bench_seeker.py``, ``bench_maintenance.py``, ``bench_snapshot.py``,
-``run_bench.py``): tiny lakes, well-formed JSON payloads, and the
-committed artefacts' schemas and acceptance bars."""
+``bench_sharded.py``, ``run_bench.py``): tiny lakes, well-formed JSON
+payloads, and the committed artefacts' schemas and acceptance bars."""
 
 import json
 import sys
@@ -14,6 +14,7 @@ sys.path.insert(0, str(BENCHMARKS_DIR))
 
 import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
+import bench_sharded  # noqa: E402
 import bench_snapshot  # noqa: E402
 from bench_index_build import PHASES, format_report, run_benchmark  # noqa: E402
 
@@ -81,6 +82,8 @@ class TestCheckOnly:
         assert "[seeker] MC seeker oracle parity OK" in out
         assert "[maintenance] lifecycle parity OK" in out
         assert "[snapshot] snapshot round-trip parity OK" in out
+        assert "[serving] serving parity OK" in out
+        assert "[sharded] scatter-gather parity OK" in out
 
     def test_index_divergence_raises(self, monkeypatch):
         """The build-parity assertion is live: break the sharded merge
@@ -271,3 +274,47 @@ class TestSnapshotSuite:
         monkeypatch.setattr(snapshot_module, "load_blend", mangled)
         with pytest.raises(AssertionError, match="diverge"):
             bench_snapshot.run_check(seed=3, scale=0.1)
+
+
+class TestShardedSuite:
+    """The scatter-gather benchmark: end-to-end on a tiny lake (asserting
+    coordinator-vs-oracle parity internally) + its CI smoke."""
+
+    @pytest.fixture(scope="class")
+    def sharded_results(self):
+        return bench_sharded.run_benchmark(seed=3, scale=0.08)
+
+    def test_phases_and_schema(self, sharded_results):
+        assert set(sharded_results) == set(bench_sharded.PHASES)
+        for numbers in sharded_results.values():
+            assert numbers["seconds"] >= 0
+            assert numbers["queries_per_sec"] > 0
+        assert json.loads(json.dumps(sharded_results)) == sharded_results
+
+    def test_report_renders(self, sharded_results):
+        text = bench_sharded.format_report(sharded_results)
+        assert "scatter-gather over 4 shards" in text
+
+    def test_committed_artifact_has_sharded_rows(self):
+        payload = json.loads((BENCHMARKS_DIR.parent / "BENCH_serving.json").read_text())
+        assert set(payload) >= set(bench_sharded.PHASES)
+        for phase in bench_sharded.PHASES:
+            assert payload[phase]["queries_per_sec"] > 0
+
+    def test_check_smoke_passes(self):
+        summary = bench_sharded.run_check(seed=3, scale=0.1)
+        assert "scatter-gather parity OK" in summary
+
+    def test_merge_divergence_raises(self, monkeypatch):
+        """The parity assertion is live: a coordinator that silently
+        drops one shard's partials from the merge must fail the smoke."""
+        from repro.serving import sharded as sharded_module
+
+        real = sharded_module.merge_partials
+        monkeypatch.setattr(
+            sharded_module,
+            "merge_partials",
+            lambda parts, k: real(parts[:-1], k) if len(parts) > 1 else real(parts, k),
+        )
+        with pytest.raises(AssertionError, match="diverged"):
+            bench_sharded.run_check(seed=3, scale=0.1)
