@@ -1,0 +1,205 @@
+"""Micro-benchmark: streaming ingest over the base+delta write path.
+
+A loaded deployment keeps its base snapshot as a frozen read-only mmap;
+mutations append to delta segments and ``save()`` against the base
+writes only the diff. Phases measured (same seeded lake as the index and
+snapshot suites, so the rows compare directly):
+
+======================  ===================================================
+delta_mutation          one lifecycle mutation (add a small table) on a
+                        loaded frozen-base deployment -- the
+                        ingestion-to-queryable latency; ``rows_per_sec``
+                        counts ingested cells
+delta_save_full         ``save(..., incremental="never")`` of the mutated
+                        deployment into a fresh directory: the O(lake)
+                        cost incremental persistence avoids
+delta_save_incremental  ``save_delta()`` of the same state into the base:
+                        O(delta) -- asserted >= 10x faster than the full
+                        save in-run
+delta_query_basedelta   the snapshot suite's seeker battery over
+                        base ∪ delta (the query-time overhead of the
+                        unmerged delta layer)
+delta_query_compacted   the same battery after ``compact_index()`` folds
+                        the delta away -- the overhead baseline
+delta_compaction        ``compact_snapshot``: load base+delta, fold, write
+                        the next clean generation
+======================  ===================================================
+
+Results merge into ``BENCH_index.json`` (run through
+``benchmarks/run_bench.py --suite delta``). Every timed phase is
+oracle-checked in-run: the mutated deployment's seeker results must
+match a from-scratch build of the final lake, and the incremental
+round-trip must land on the writer's exact lake. ``run_check`` is the
+hardware-independent base+delta parity smoke the nightly CI job runs via
+``run_bench.py --check-only --suite all`` -- no timing thresholds.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+
+from repro.core.system import Blend
+from repro.engine import Database
+from repro.index import build_alltables
+from repro.lake import Table
+from repro.serving.compaction import compact_snapshot
+
+from bench_snapshot import _bench_lake, _phase, _timed, seeker_results
+
+DEFAULT_SEED = 71
+_MUTATION_ROUNDS = 12
+
+
+def _ingest_table(i: int, rows: int = 24) -> Table:
+    return Table(
+        f"stream{i}",
+        ["key", "val", "num"],
+        [(f"sk{i}_{j}", f"tok{j % 7}", j * i) for j in range(rows)],
+    )
+
+
+def run_benchmark(seed: int = DEFAULT_SEED, scale: float = 1.0) -> dict[str, dict[str, float]]:
+    lake = _bench_lake(seed, scale)
+    blend = Blend(lake, backend="column")
+    blend.build_index()
+
+    results: dict[str, dict[str, float]] = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        base = Path(tmp) / "base"
+        blend.save(base)
+        served = Blend.load(base)
+
+        # -- mutation latency on the frozen base -------------------------------
+        ingested_cells = 0
+        start = time.perf_counter()
+        for i in range(_MUTATION_ROUNDS):
+            table = _ingest_table(i)
+            served.add_table(table)
+            ingested_cells += table.num_rows * table.num_columns
+        removed = served.remove_table(served.lake.table_ids()[0])
+        ingested_cells += removed.num_rows * removed.num_columns
+        seconds = time.perf_counter() - start
+        results["delta_mutation"] = _phase(seconds, ingested_cells)
+        stats = served.delta_stats()
+        if not stats["frozen"] or stats["delta_rows"] == 0:
+            raise AssertionError("mutations did not take the delta path")
+
+        # -- incremental vs full persistence -----------------------------------
+        # (incremental first: a full save into a fresh directory adopts
+        # that directory as the new base, re-anchoring later deltas)
+        incr_seconds, _ = _timed(served.save_delta)
+        results["delta_save_incremental"] = _phase(incr_seconds, ingested_cells)
+        full_seconds, _ = _timed(
+            lambda: served.save(Path(tmp) / "full", incremental="never")
+        )
+        results["delta_save_full"] = _phase(full_seconds, ingested_cells)
+        if incr_seconds * 10 > full_seconds:
+            raise AssertionError(
+                f"incremental save ({incr_seconds:.4f}s) is not >=10x faster "
+                f"than the full save ({full_seconds:.4f}s)"
+            )
+
+        # Oracle: the incremental round-trip lands on the writer's lake.
+        reloaded = Blend.load(base)
+        if seeker_results(reloaded) != seeker_results(served):
+            raise AssertionError("base+delta round-trip diverges from the writer")
+
+        # -- query overhead: base ∪ delta vs compacted -------------------------
+        # (both deployments warmed first, so the rows compare steady-state
+        # query cost rather than one side's lazy first-touch builds)
+        reloaded.warm()
+        basedelta_seconds, over_delta = _timed(lambda: seeker_results(reloaded))
+        results["delta_query_basedelta"] = _phase(basedelta_seconds, ingested_cells)
+
+        compaction_seconds, compacted = _timed(
+            lambda: compact_snapshot(base, Path(tmp) / "gen-0001")
+        )
+        results["delta_compaction"] = _phase(compaction_seconds, ingested_cells)
+        compacted.warm()
+        compacted_seconds, over_compacted = _timed(lambda: seeker_results(compacted))
+        results["delta_query_compacted"] = _phase(compacted_seconds, ingested_cells)
+        if over_delta != over_compacted:
+            raise AssertionError("compaction changed seeker results")
+
+        # Oracle: base ∪ delta equals a from-scratch build of the final lake.
+        fresh = Blend(reloaded.lake, backend="column", index_config=reloaded.index_config)
+        fresh.build_index()
+        if seeker_results(fresh) != over_delta:
+            raise AssertionError("base+delta diverges from a from-scratch build")
+
+    return results
+
+
+def format_report(results: dict[str, dict[str, float]]) -> str:
+    lines = [f"{'phase':<24} {'seconds':>10} {'cells/s':>14}"]
+    for phase, numbers in results.items():
+        lines.append(
+            f"{phase:<24} {numbers['seconds']:>10.4f} {numbers['rows_per_sec']:>14,.0f}"
+        )
+    full = results.get("delta_save_full", {}).get("seconds")
+    incr = results.get("delta_save_incremental", {}).get("seconds")
+    if full and incr:
+        lines.append(f"incremental-save speedup vs full rewrite: {full / incr:.1f}x")
+    basedelta = results.get("delta_query_basedelta", {}).get("seconds")
+    compacted = results.get("delta_query_compacted", {}).get("seconds")
+    if basedelta and compacted:
+        lines.append(
+            f"base ∪ delta query overhead vs compacted: {basedelta / compacted:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def run_check(seed: int = DEFAULT_SEED, scale: float = 0.25) -> str:
+    """Hardware-independent base+delta parity smoke
+    (``run_bench.py --check-only``): on both storage backends, save ->
+    load -> mutate (frozen base, no promote) -> incremental save ->
+    reload, asserting seeker parity with a from-scratch build of the
+    final lake and that ``delta=False`` still restores the bare base.
+    No timing thresholds -- raises ``AssertionError`` on divergence."""
+    checked = 0
+    sql = "SELECT * FROM AllTables"
+    for backend in ("column", "row"):
+        lake = _bench_lake(seed, scale)
+        blend = Blend(lake, backend=backend)
+        blend.build_index()
+        base_rows = sorted(blend.db.execute(sql).rows)
+        with tempfile.TemporaryDirectory() as tmp:
+            base = Path(tmp) / "base"
+            blend.save(base)
+            served = Blend.load(base)
+            for i in range(4):
+                served.add_table(_ingest_table(i, rows=8))
+            served.remove_table(served.lake.table_ids()[0])
+            if not served.delta_stats()["frozen"]:
+                raise AssertionError(f"[{backend}] mutations promoted the base")
+            served.save_delta()
+
+            reloaded = Blend.load(base)
+            if seeker_results(reloaded) != seeker_results(served):
+                raise AssertionError(f"[{backend}] base+delta reload diverges")
+            fresh = Database(backend=backend)
+            build_alltables(reloaded.lake, fresh, reloaded.index_config)
+            if sorted(reloaded.db.execute(sql).rows) != sorted(fresh.execute(sql).rows):
+                raise AssertionError(
+                    f"[{backend}] base ∪ delta diverges from a from-scratch build"
+                )
+            bare = Blend.load(base, delta=False)
+            if sorted(bare.db.execute(sql).rows) != base_rows:
+                raise AssertionError(f"[{backend}] delta=False lost the base")
+        checked += 1
+    return (
+        f"base+delta parity OK: {checked} backends, mutate -> incremental save -> "
+        f"reload matches a from-scratch build (scale={scale})"
+    )
+
+
+PHASES = (
+    "delta_mutation",
+    "delta_save_full",
+    "delta_save_incremental",
+    "delta_query_basedelta",
+    "delta_query_compacted",
+    "delta_compaction",
+)

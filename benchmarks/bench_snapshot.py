@@ -145,8 +145,9 @@ def assert_lifecycle_rebuild_parity(loaded: Blend, backend: str) -> None:
     """Mutate a loaded deployment (add + remove) and assert its index
     equals a from-scratch build of the final lake -- shared by
     ``run_check`` and the cross-version CI driver. Must run while the
-    snapshot files are still on disk: the first mutation is what
-    promotes the mmap'd arrays to private copies."""
+    snapshot files are still on disk: the base arrays stay read-only
+    mmaps for the life of the deployment (mutations land in the delta
+    layer, never promote the base)."""
     sql = "SELECT * FROM AllTables"
     loaded.add_table(
         Table("snap_check_add", ["a", "b"], [(f"v{i}", i) for i in range(6)])

@@ -14,6 +14,10 @@ Two suites, each emitting one committed JSON artefact at the repo root:
   ``BENCH_index.json`` alongside the build phases;
 * ``--suite snapshot``: ``bench_snapshot`` (save / mmap warm-start load
   vs the cold build) -- rows merge into ``BENCH_index.json`` too;
+* ``--suite delta``: ``bench_delta`` (streaming ingest: mutation latency
+  on a frozen base, incremental vs full save, base ∪ delta query
+  overhead vs compacted; parity oracle-checked in-run) -- rows merge
+  into ``BENCH_index.json``;
 * ``--suite serving``: ``bench_serving`` -> ``BENCH_serving.json``
   (batched admission vs per-request serialization on one worker pool,
   plus hot-swap under sustained load; answers parity-checked in-run);
@@ -52,6 +56,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
+import bench_delta  # noqa: E402
 import bench_index_build  # noqa: E402
 import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
@@ -67,6 +72,7 @@ SUITES = {
     "seeker": (bench_seeker, _REPO_ROOT / "BENCH_seeker.json"),
     "maintenance": (bench_maintenance, _REPO_ROOT / "BENCH_index.json"),
     "snapshot": (bench_snapshot, _REPO_ROOT / "BENCH_index.json"),
+    "delta": (bench_delta, _REPO_ROOT / "BENCH_index.json"),
     "serving": (bench_serving, _REPO_ROOT / "BENCH_serving.json"),
     "sharded": (bench_sharded, _REPO_ROOT / "BENCH_serving.json"),
 }

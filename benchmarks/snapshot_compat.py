@@ -16,10 +16,15 @@ Usage::
     PYTHONPATH=src python benchmarks/snapshot_compat.py --save DIR
     PYTHONPATH=src python benchmarks/snapshot_compat.py --load DIR
 
-Both commands cover both storage backends (``DIR/column``, ``DIR/row``);
-``--load`` additionally exercises the post-load lifecycle (mutate, then
-rebuild parity) and the failure path (a truncated payload must raise
-``SnapshotError``). Exit code 0 = verified.
+Both commands cover both storage backends (``DIR/column``, ``DIR/row``).
+The saved directories are **base+delta**: the saver loads its own base
+back, applies a deterministic mutation batch, and persists it with an
+incremental ``save_delta`` -- so the artifact round-trips the streaming
+ingest layer (``delta.json`` + payloads) across interpreters, not just
+the base manifest. ``--load`` additionally exercises the post-load
+lifecycle (mutate, then rebuild parity), bare-base recovery
+(``delta=False``), and the failure paths (a truncated payload -- base or
+delta -- must raise ``SnapshotError``). Exit code 0 = verified.
 """
 
 from __future__ import annotations
@@ -37,7 +42,7 @@ from bench_snapshot import (  # noqa: E402
     assert_lifecycle_rebuild_parity,
     seeker_results,
 )
-from repro import Blend  # noqa: E402
+from repro import Blend, Table  # noqa: E402
 from repro.errors import SnapshotError  # noqa: E402
 from repro.lake.generators import CorpusConfig, generate_corpus  # noqa: E402
 
@@ -60,6 +65,25 @@ def _lake(seed: int, scale: float):
     return lake
 
 
+def _mutate_for_delta(blend: Blend) -> None:
+    """The deterministic mutation batch both sides apply: the saver
+    persists it as the artifact's delta layer, the loader replays it
+    through the in-memory reference."""
+    blend.add_table(
+        Table(
+            "compat_delta",
+            ["key", "val"],
+            [(f"dk{i}", f"dv{i % 3}") for i in range(9)],
+        )
+    )
+    live = blend.lake.table_ids()
+    blend.remove_table(live[0])
+    blend.replace_table(
+        live[1],
+        Table("compat_swap", ["key", "val"], [(f"rk{i}", f"rv{i}") for i in range(5)]),
+    )
+
+
 def save(root: Path, seed: int, scale: float) -> int:
     root.mkdir(parents=True, exist_ok=True)
     for backend in BACKENDS:
@@ -67,7 +91,12 @@ def save(root: Path, seed: int, scale: float) -> int:
         blend.build_index()
         blend.train_optimizer(samples_per_type=3, seed=seed)
         path = blend.save(root / backend)
-        print(f"[save] {backend}: {path} ({sys.version_info.major}."
+        # Ship a delta layer on top of the base: load the base back,
+        # mutate, persist incrementally.
+        loaded = Blend.load(path)
+        _mutate_for_delta(loaded)
+        loaded.save_delta()
+        print(f"[save] {backend}: {path} +delta ({sys.version_info.major}."
               f"{sys.version_info.minor}, {platform.machine()})")
     (root / "meta.json").write_text(
         json.dumps(
@@ -91,24 +120,42 @@ def load(root: Path) -> int:
     sql = "SELECT * FROM AllTables"
     for backend in BACKENDS:
         lake = _lake(seed, scale)
-        reference = Blend(lake, backend=backend)
-        reference.build_index()
+        base_reference = Blend(lake, backend=backend)
+        base_reference.build_index()
+        base_results = seeker_results(base_reference)
 
+        # Bare base first: delta=False must reproduce the pre-mutation
+        # build without reading a byte of the delta layer.
+        bare = Blend.load(root / backend, backend=backend, delta=False)
+        if seeker_results(bare) != base_results:
+            raise AssertionError(f"[{backend}] cross-version base results diverge")
+        if bare.db.execute(sql).rows != base_reference.db.execute(sql).rows:
+            raise AssertionError(f"[{backend}] cross-version base rows diverge")
+
+        # Full load replays the artifact's delta layer; the reference
+        # applies the same mutation batch through the in-memory lifecycle.
+        reference = base_reference
+        _mutate_for_delta(reference)
         loaded = Blend.load(root / backend, backend=backend)
         if seeker_results(loaded) != seeker_results(reference):
             raise AssertionError(f"[{backend}] cross-version seeker results diverge")
-        if loaded.db.execute(sql).rows != reference.db.execute(sql).rows:
+        if sorted(loaded.db.execute(sql).rows) != sorted(reference.db.execute(sql).rows):
             raise AssertionError(f"[{backend}] cross-version AllTables rows diverge")
         if loaded.stats != reference.stats:
             raise AssertionError(f"[{backend}] cross-version statistics diverge")
         if not loaded.optimizer.cost_model.is_trained():
             raise AssertionError(f"[{backend}] trained cost model lost in transit")
+        loaded.compact_index()
+        reference.compact_index()
+        if loaded.db.execute(sql).rows != reference.db.execute(sql).rows:
+            raise AssertionError(f"[{backend}] compacted base+delta rows diverge")
 
         # The loaded deployment is first-class: mutate, then rebuild parity.
         assert_lifecycle_rebuild_parity(loaded, backend)
         print(f"[load] {backend}: OK ({len(reference.db.execute(sql).rows)} index rows)")
 
-    # Corruption must fail loudly, on this interpreter too.
+    # Corruption must fail loudly, on this interpreter too -- in the base
+    # payloads and in the delta layer alike.
     manifest = json.loads((root / BACKENDS[0] / "manifest.json").read_text())
     victim = root / BACKENDS[0] / next(
         rel for rel in manifest["files"] if rel.endswith(".npy")
@@ -123,7 +170,21 @@ def load(root: Path) -> int:
         raise AssertionError("truncated snapshot loaded without error")
     finally:
         victim.write_bytes(payload)
-    print("[load] cross-version snapshot compatibility verified")
+
+    delta_manifest = json.loads((root / BACKENDS[0] / "delta.json").read_text())
+    victim = root / BACKENDS[0] / next(iter(delta_manifest["files"]))
+    payload = victim.read_bytes()
+    victim.write_bytes(payload[: len(payload) - 5])
+    try:
+        Blend.load(root / BACKENDS[0])
+    except SnapshotError as exc:
+        print(f"[load] delta truncation refused as expected: {str(exc)[:80]}")
+    else:
+        raise AssertionError("truncated delta loaded without error")
+    finally:
+        victim.write_bytes(payload)
+    Blend.load(root / BACKENDS[0], delta=False)  # base survives a dead delta
+    print("[load] cross-version snapshot compatibility verified (base + delta)")
     return 0
 
 

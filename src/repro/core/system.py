@@ -64,6 +64,10 @@ class Blend:
         # warm-start path, so serving processes that never touch the
         # optimizer never pay for it.
         self._stats_loader = None
+        # Identity of the on-disk snapshot this deployment was loaded
+        # from (or last fully saved to) -- what incremental saves diff
+        # against. ``None`` for deployments that never touched disk.
+        self._snapshot_base = None
         self.optimizer = Optimizer()
 
     # -- offline phase ---------------------------------------------------------
@@ -100,7 +104,13 @@ class Blend:
 
     # -- snapshots: persist the built system (offline/online split) ------------------
 
-    def save(self, path, include_lake: bool = True):
+    def save(
+        self,
+        path,
+        include_lake: bool = True,
+        overwrite: bool = False,
+        incremental: str = "auto",
+    ):
         """Persist the entire built deployment -- sealed storage arrays,
         ``AllTables``/``AllVectors`` postings and token dictionaries,
         declared indexes, lake statistics, cost-model weights, lake
@@ -109,12 +119,79 @@ class Blend:
         :meth:`load` restores near-instantly (payloads are raw ``.npy``
         files opened with ``mmap_mode="r"``). Returns the path written.
 
+        When *path* is the snapshot this deployment was loaded from (or
+        last fully saved to), only the mutations since that base are
+        written -- O(delta) instead of O(lake) (``incremental="never"``
+        forces a full rewrite, ``"always"`` errors rather than fall back
+        to one). A full save refuses a non-empty *path* unless
+        ``overwrite=True``, which replaces it atomically
+        (write-to-temp + rename).
+
         See :mod:`repro.snapshot` for the on-disk layout, versioning
         policy, and integrity checking.
         """
-        from ..snapshot import save_blend
+        from pathlib import Path
 
-        return save_blend(self, path, include_lake=include_lake)
+        from ..snapshot import save_blend, save_blend_delta
+
+        if incremental not in ("auto", "always", "never"):
+            raise BlendError(
+                f"incremental must be 'auto', 'always' or 'never', "
+                f"got {incremental!r}"
+            )
+        base = self._snapshot_base
+        if (
+            incremental != "never"
+            and base is not None
+            and Path(base.path) == Path(path).resolve()
+        ):
+            return save_blend_delta(self, path)
+        if incremental == "always":
+            raise BlendError(
+                "incremental='always' requires saving into the snapshot this "
+                "deployment was loaded from; this deployment's base is "
+                + (repr(base.path) if base is not None else "not on disk")
+            )
+        return save_blend(self, path, include_lake=include_lake, overwrite=overwrite)
+
+    def save_delta(self, path=None):
+        """Persist only the mutations since this deployment's base
+        snapshot (``delta.json`` + per-table payloads beside the base
+        manifest) -- O(delta) where :meth:`save` from scratch is O(lake).
+        *path* defaults to the base snapshot directory. Returns the path
+        written."""
+        from ..snapshot import save_blend_delta
+
+        if path is None:
+            if self._snapshot_base is None:
+                raise BlendError(
+                    "this deployment has no base snapshot; save() it fully first"
+                )
+            path = self._snapshot_base.path
+        return save_blend_delta(self, path)
+
+    def delta_stats(self) -> dict:
+        """Aggregate base-vs-delta occupancy across the maintained
+        storage tables: how much of the deployment's state lives in
+        delta segments and tombstones rather than the frozen base --
+        the compaction trigger's input (see
+        :mod:`repro.serving.compaction`)."""
+        base_rows = delta_rows = deleted_rows = 0
+        frozen = False
+        for name in self.db.table_names():
+            stats = self.db.table(name).delta_stats()
+            frozen = frozen or stats["frozen"]
+            base_rows += stats["base_rows"]
+            delta_rows += stats["delta_rows"]
+            deleted_rows += stats["deleted_rows"]
+        churn = delta_rows + deleted_rows
+        return {
+            "frozen": frozen,
+            "base_rows": base_rows,
+            "delta_rows": delta_rows,
+            "deleted_rows": deleted_rows,
+            "delta_fraction": churn / max(1, base_rows + delta_rows),
+        }
 
     @classmethod
     def load(
@@ -125,6 +202,7 @@ class Blend:
         hash_size: Optional[int] = None,
         mmap: bool = True,
         verify: bool = True,
+        delta: bool = True,
     ) -> "Blend":
         """Warm-start a deployment from a :meth:`save` snapshot.
 
@@ -139,6 +217,11 @@ class Blend:
         matches the expected deployment. Corrupted, truncated, or
         version-mismatched snapshots raise
         :class:`~repro.errors.SnapshotError` naming the offending file.
+
+        ``delta=True`` (the default) replays the directory's incremental
+        layer -- mutations persisted by :meth:`save_delta` -- on top of
+        the base; ``delta=False`` recovers the bare base snapshot, never
+        reading the (possibly damaged) delta files at all.
         """
         from ..snapshot import load_blend
 
@@ -150,6 +233,7 @@ class Blend:
             hash_size=hash_size,
             mmap=mmap,
             verify=verify,
+            delta=delta,
         )
 
     def train_optimizer(

@@ -30,12 +30,28 @@ dictionaries are re-encoded down to the surviving values, and (when
 order -- compacted storage is byte-identical to a fresh bulk load of the
 same rows.
 
+Tables adopted from a snapshot are **frozen-base**: their sealed arrays
+(typically read-only ``np.memmap`` views shared by every worker mapping
+the same snapshot) are never rewritten. Mutations append to a *delta
+segment* instead -- one extra ``_ColumnData`` run per column holding
+every row ingested since the load, plus the ordinary tombstone mask
+over base ∪ delta. Reads serve the concatenation (storage position
+``p`` lives in the base when ``p < len(base)``, else at ``p -
+len(base)`` in the delta); text columns expose a lazily-cached sorted
+union dictionary over both segments so dictionary-code consumers keep
+the code-order == string-order contract. Folding the delta back into a
+single private segment (:meth:`compact`) produces arrays byte-identical
+to a fresh bulk load of the same rows, which is what the background
+snapshot compactor persists as the next base generation.
+
 Secondary indexes are *declared* once (``create_index``) and survive
 mutations: ``insert_columns`` appends merge each new chunk's sorted run
 into the existing postings (no full re-argsort), while row-at-a-time
-inserts and deletes drop the materialised postings for a lazy rebuild on
-the next look-up. Postings are in live-row coordinates, matching every
-other read API.
+inserts drop the materialised postings for a lazy rebuild on the next
+look-up. Postings are in **storage** coordinates over base ∪ delta with
+tombstoned rows included -- look-ups filter dead positions and
+translate to the live coordinates every other read API speaks -- so
+deletes are O(delta) and never invalidate postings.
 """
 
 from __future__ import annotations
@@ -177,9 +193,18 @@ class ColumnTable:
         self.cluster_keys: tuple[str, ...] = ()
         self.compactions = 0  # bumped per physical compaction
         # True while sealed arrays are memory-mapped snapshot payloads
-        # (read-only views over the on-disk .npy files); any mutation
-        # promotes them to private in-memory copies first (copy-on-write).
+        # (read-only views over the on-disk .npy files, possibly shared
+        # by other serving processes mapping the same snapshot).
         self._mmap_backed = False
+        # Frozen-base mode (snapshot-adopted tables): the sealed arrays
+        # are immutable and every appended row lands in the write-ahead
+        # delta segment below instead of being merged into them.
+        self._frozen_base = False
+        self._delta: Optional[list[_ColumnData]] = None
+        # Per-text-column cache of (union dictionary, base code remap,
+        # delta code remap) over both segments; dropped when the delta
+        # grows.
+        self._merged_text: dict[int, tuple] = {}
 
     # -- loading ---------------------------------------------------------------
 
@@ -193,8 +218,19 @@ class ColumnTable:
         """The sealed storage state a snapshot persists: one
         :class:`_ColumnData` per schema column (buffered batches merged
         first, so the arrays are exactly what a reader would see) plus
-        the tombstone mask, ``None`` while the table holds no deletes."""
-        return self._seal(), self._deleted
+        the tombstone mask, ``None`` while the table holds no deletes.
+
+        Frozen-base tables fold base + delta into fresh merged arrays
+        *without* touching the table: a full save of a mutated loaded
+        table must not cost this process (or its siblings) the shared
+        base mmap."""
+        sealed = self._seal()
+        if self._delta is not None:
+            sealed = [
+                _merge_many([base, delta])
+                for base, delta in zip(sealed, self._delta)
+            ]
+        return sealed, self._deleted
 
     @classmethod
     def from_snapshot(
@@ -213,13 +249,19 @@ class ColumnTable:
         """Rebuild a table around already-sealed column arrays (the
         snapshot load path). The arrays are adopted as-is -- typically
         read-only ``np.memmap`` views over the snapshot's ``.npy``
-        payloads, so loading is I/O-bound; the first mutation promotes
-        them to in-memory copies (:meth:`_promote`). Secondary-index
+        payloads, so loading is I/O-bound -- and **frozen**: mutations
+        append to the write-ahead delta segment, never to these arrays,
+        so the snapshot files on disk (possibly shared by many serving
+        processes) stay mapped read-only forever. Secondary-index
         *declarations* are restored; postings rematerialise lazily on
         the first look-up, exactly as after a delete."""
         table = cls(schema)
         table._sealed = columns
         table._num_rows = num_rows
+        if deleted is not None and isinstance(deleted, np.memmap):
+            # The tombstone mask is the one base-coordinate structure
+            # deletes keep writing; give it a private copy up front.
+            deleted = np.array(deleted)
         table._deleted = deleted
         table._num_deleted = num_deleted
         table._index_columns = {name.lower() for name in index_columns}
@@ -227,31 +269,40 @@ class ColumnTable:
         table.compact_threshold = compact_threshold
         table.compactions = compactions
         table._mmap_backed = mmap_backed
+        table._frozen_base = True
         return table
 
-    def _promote(self) -> None:
-        """Copy-on-write promotion: replace memory-mapped snapshot arrays
-        with private in-memory copies before the first mutation, so a
-        loaded table can be mutated (deletes write the tombstone mask,
-        compaction gathers in place of views) while the snapshot files
-        on disk -- possibly shared by other serving processes -- stay
-        untouched and read-only."""
-        if not self._mmap_backed:
-            return
-        for column in self._sealed or []:
-            for attr in ("codes", "data", "null"):
-                array = getattr(column, attr)
-                if isinstance(array, np.memmap):
-                    setattr(column, attr, np.array(array))
+    def _materialize_merged(self) -> None:
+        """Fold the delta segment (and any memory-mapped base arrays)
+        into one private single-segment form -- the shape the pre-delta
+        code paths, notably :meth:`compact`'s cluster sort, operate on.
+        The snapshot files on disk stay untouched; this table simply
+        stops sharing them. Storage positions are preserved (base rows
+        keep their positions, delta row ``i`` stays at ``len(base) +
+        i``), so tombstones and index postings remain valid."""
+        self._seal()
+        if self._delta is not None:
+            self._sealed = [
+                _merge_many([base, delta])
+                for base, delta in zip(self._sealed, self._delta)
+            ]
+            self._delta = None
+        else:
+            for column in self._sealed or []:
+                for attr in ("codes", "data", "null"):
+                    array = getattr(column, attr)
+                    if isinstance(array, np.memmap):
+                        setattr(column, attr, np.array(array))
         if isinstance(self._deleted, np.memmap):
             self._deleted = np.array(self._deleted)
+        self._merged_text = {}
+        self._frozen_base = False
         self._mmap_backed = False
 
     def insert_rows(self, rows: Iterable[Sequence[Any]]) -> int:
         """Buffer *rows* for columnar sealing; secondary indexes are
         invalidated (rebuilt lazily), sealed arrays are kept and merged
         incrementally at the next seal."""
-        self._promote()
         types = [column.sql_type for column in self.schema.columns]
         width = len(types)
         inserted = 0
@@ -285,7 +336,6 @@ class ColumnTable:
         count = validate_chunk(self.schema, columns)
         if count == 0:
             return 0
-        self._promote()
         # Preserve arrival order: any row-at-a-time values buffered so far
         # become their own backlog batch before this chunk is appended.
         self._flush_pending_to_backlog()
@@ -293,7 +343,9 @@ class ColumnTable:
             _encode_chunk(column_def.sql_type, data, null)
             for column_def, (data, null) in zip(self.schema.columns, columns)
         ]
-        offset = self._num_rows  # live position of the chunk's first row
+        # Storage position of the chunk's first row: appends always land
+        # past every existing storage row, tombstoned ones included.
+        offset = self._num_rows + self._num_deleted
         self._backlog.append(encoded)
         self._num_rows += count
         for key in self._indexes:
@@ -332,24 +384,55 @@ class ColumnTable:
                     for column_def in self.schema.columns
                 ]
             return self._sealed
-        parts = ([self._sealed] if self._sealed is not None else []) + self._backlog
-        if len(parts) == 1:
-            self._sealed = parts[0]
+        if self._frozen_base and self._sealed is not None:
+            # Frozen-base tables: buffered batches merge into the
+            # write-ahead delta segment. The base arrays -- read-only
+            # memmaps possibly shared across serving processes -- are
+            # never rewritten.
+            parts = ([self._delta] if self._delta is not None else []) + self._backlog
+            if len(parts) == 1:
+                self._delta = parts[0]
+            else:
+                self._delta = [
+                    _merge_many([part[position] for part in parts])
+                    for position in range(len(self.schema.columns))
+                ]
+            self._merged_text = {}
         else:
-            self._sealed = [
-                _merge_many([part[position] for part in parts])
-                for position in range(len(self.schema.columns))
-            ]
+            parts = ([self._sealed] if self._sealed is not None else []) + self._backlog
+            if len(parts) == 1:
+                self._sealed = parts[0]
+            else:
+                self._sealed = [
+                    _merge_many([part[position] for part in parts])
+                    for position in range(len(self.schema.columns))
+                ]
         self._backlog = []
         if self._deleted is not None:
             # Newly sealed rows are live: pad the tombstone mask out to
-            # the new storage length.
-            total = _column_length(self._sealed[0]) if self._sealed else 0
+            # the new storage length (base + delta).
+            total = self._storage_length()
             if total > len(self._deleted):
                 pad = np.zeros(total - len(self._deleted), dtype=bool)
                 self._deleted = np.concatenate((self._deleted, pad))
                 self._live = None
         return self._sealed
+
+    def _storage_length(self) -> int:
+        """Sealed storage rows across base + delta, tombstones included."""
+        if not self._sealed:
+            return 0
+        total = _column_length(self._sealed[0])
+        if self._delta is not None and self._delta:
+            total += _column_length(self._delta[0])
+        return total
+
+    def _segments(self, position: int) -> tuple[_ColumnData, Optional[_ColumnData]]:
+        """One column's sealed ``(base, delta)`` pair; ``delta`` is None
+        for single-segment (non-frozen or unmutated) tables."""
+        sealed = self._seal()
+        delta = self._delta[position] if self._delta is not None else None
+        return sealed[position], delta
 
     # -- deletes and compaction ---------------------------------------------------
 
@@ -375,15 +458,16 @@ class ColumnTable:
         Deletion is logical: the rows are masked out of every read path
         but stay in the sealed arrays until the dead fraction reaches
         ``compact_threshold``, at which point :meth:`compact` rebuilds
-        the storage. Returns the number of rows deleted.
+        the storage. Frozen-base tables never self-compact (folding the
+        base is the background compactor's job, not a surprise O(lake)
+        stall on the mutation path); they expose the dead fraction via
+        :meth:`delta_stats` instead. Returns the number of rows deleted.
         """
-        self.schema.position_of(column_name)  # validates existence
-        self._promote()
-        sealed = self._seal()
-        if not sealed or _column_length(sealed[0]) == 0:
+        position = self.schema.position_of(column_name)  # validates existence
+        self._seal()
+        if self._storage_length() == 0:
             return 0
-        column = sealed[self.schema.position_of(column_name)]
-        match = _storage_isin(column, values)
+        match = self._storage_isin_all(position, values)
         if self._deleted is not None:
             match &= ~self._deleted
         deleted = int(match.sum())
@@ -396,8 +480,12 @@ class ColumnTable:
         self._num_deleted += deleted
         self._num_rows -= deleted
         self._live = None
-        self._indexes = {}  # postings are live-coordinate; rebuild lazily
-        if self._num_deleted >= self.compact_threshold * len(self._deleted):
+        # Postings are storage-coordinate with dead rows filtered at
+        # look-up, so they survive deletes untouched: O(delta) mutation.
+        if (
+            not self._frozen_base
+            and self._num_deleted >= self.compact_threshold * len(self._deleted)
+        ):
             self.compact()
         return deleted
 
@@ -408,9 +496,14 @@ class ColumnTable:
         rows are re-sorted into ``cluster_keys`` order when declared, so
         the result is byte-identical to a fresh bulk load of the live
         rows (the rebuild-parity invariant of the AllTables maintenance
-        path). Materialised index postings are dropped for lazy rebuild.
+        path). Frozen-base tables first fold their delta segment into a
+        private single-segment form (storage positions are preserved, so
+        the tombstone mask stays valid) -- this fold is the primitive
+        the background snapshot compactor persists as the next base
+        generation. Materialised index postings are dropped for lazy
+        rebuild.
         """
-        self._promote()
+        self._materialize_merged()
         sealed = self._seal()
         if not sealed:
             return
@@ -462,36 +555,102 @@ class ColumnTable:
         False under the null mask). ``positions`` optionally selects a row
         subset first.
         """
-        column = self._column(column_name)
-        positions = self._storage_positions(positions)
-        if column.sql_type is SqlType.TEXT:
-            codes = column.codes if positions is None else column.codes[positions]
-            null = codes < 0
-            safe_codes = np.where(null, 0, codes)
-            if len(column.dictionary):
-                data = column.dictionary[safe_codes]
-            else:
-                data = np.empty(len(codes), dtype=object)
-            data = data.copy()
-            data[null] = None
-            return data, null
-        if column.sql_type is SqlType.BOOLEAN:
-            raw = column.data if positions is None else column.data[positions]
-            null = raw < 0
-            data = raw > 0
-            return data, null
-        data = column.data if positions is None else column.data[positions]
-        null = column.null if positions is None else column.null[positions]
-        return data, null.copy()
+        position = self.schema.position_of(column_name)
+        base, delta = self._segments(position)
+        storage = self._storage_positions(positions)
+        if delta is None:
+            return _segment_values(base, storage)
+        base_length = _column_length(base)
+        if storage is None:
+            base_data, base_null = _segment_values(base, None)
+            delta_data, delta_null = _segment_values(delta, None)
+            return (
+                np.concatenate((base_data, delta_data)),
+                np.concatenate((base_null, delta_null)),
+            )
+        storage = np.asarray(storage, dtype=np.int64)
+        in_base = storage < base_length
+        if in_base.all():
+            return _segment_values(base, storage)
+        if not in_base.any():
+            return _segment_values(delta, storage - base_length)
+        base_data, base_null = _segment_values(base, storage[in_base])
+        delta_data, delta_null = _segment_values(delta, storage[~in_base] - base_length)
+        data = np.empty(len(storage), dtype=base_data.dtype)
+        null = np.empty(len(storage), dtype=bool)
+        data[in_base] = base_data
+        data[~in_base] = delta_data
+        null[in_base] = base_null
+        null[~in_base] = delta_null
+        return data, null
 
     def text_codes(self, column_name: str, positions: Optional[np.ndarray] = None) -> tuple[np.ndarray, np.ndarray]:
-        """Dictionary codes (and the dictionary) of a text column."""
-        column = self._column(column_name)
-        if column.sql_type is not SqlType.TEXT:
+        """Dictionary codes (and the dictionary) of a text column.
+
+        On a base+delta table the codes come back remapped into the
+        sorted *union* dictionary over both segments (cached per
+        column), preserving the code-order == string-order contract
+        every :class:`DictCodes` consumer relies on."""
+        position = self.schema.position_of(column_name)
+        base, delta = self._segments(position)
+        if base.sql_type is not SqlType.TEXT:
             raise CatalogError(f"{column_name!r} is not a text column")
-        positions = self._storage_positions(positions)
-        codes = column.codes if positions is None else column.codes[positions]
-        return codes, column.dictionary
+        storage = self._storage_positions(positions)
+        if delta is None:
+            codes = base.codes if storage is None else base.codes[storage]
+            return codes, base.dictionary
+        union, base_remap, delta_remap = self._merged_text_view(position)
+        base_length = _column_length(base)
+        if storage is None:
+            return (
+                np.concatenate(
+                    (
+                        _remap_codes(base.codes, base_remap),
+                        _remap_codes(delta.codes, delta_remap),
+                    )
+                ),
+                union,
+            )
+        storage = np.asarray(storage, dtype=np.int64)
+        in_base = storage < base_length
+        codes = np.empty(len(storage), dtype=np.int32)
+        codes[in_base] = _remap_codes(base.codes[storage[in_base]], base_remap)
+        codes[~in_base] = _remap_codes(
+            delta.codes[storage[~in_base] - base_length], delta_remap
+        )
+        return codes, union
+
+    def _merged_text_view(self, position: int) -> tuple:
+        """``(union dictionary, base code remap, delta code remap)`` for
+        one text column of a base+delta table. The union is the sorted
+        set union of both segment dictionaries -- exactly the dictionary
+        a single-segment merge of the same rows would build -- and each
+        remap is ``None`` when that segment's codes are already union
+        codes. Cached until the delta grows."""
+        view = self._merged_text.get(position)
+        if view is None:
+            base, delta = self._segments(position)
+            if not len(delta.dictionary):
+                union = base.dictionary
+            elif not len(base.dictionary):
+                union = delta.dictionary
+            else:
+                union = np.unique(
+                    np.concatenate((base.dictionary, delta.dictionary))
+                ).astype(object)
+            base_remap = (
+                None
+                if union is base.dictionary
+                else np.searchsorted(union, base.dictionary).astype(np.int32)
+            )
+            delta_remap = (
+                None
+                if union is delta.dictionary
+                else np.searchsorted(union, delta.dictionary).astype(np.int32)
+            )
+            view = (union, base_remap, delta_remap)
+            self._merged_text[position] = view
+        return view
 
     def isin_positions(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
         """Positions where the column equals any of *values*, computed by a
@@ -501,11 +660,21 @@ class ColumnTable:
 
     def isin_mask(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
         """Boolean mask over all live rows for ``column IN values``."""
-        column = self._column(column_name)
-        mask = _storage_isin(column, values)
+        mask = self._storage_isin_all(self.schema.position_of(column_name), values)
         if self._deleted is not None:
             return mask[self._live_positions()]
         return mask
+
+    def _storage_isin_all(self, position: int, values: Iterable[Any]) -> np.ndarray:
+        """``column IN values`` over the full storage (base + delta,
+        tombstones included)."""
+        base, delta = self._segments(position)
+        if delta is None:
+            return _storage_isin(base, values)
+        probes = list(values)  # consumed once per segment
+        return np.concatenate(
+            (_storage_isin(base, probes), _storage_isin(delta, probes))
+        )
 
     def gather_rows(self, positions: np.ndarray) -> list[tuple]:
         """Materialise full tuples at *positions* (row-store interop and
@@ -535,9 +704,10 @@ class ColumnTable:
 
     def create_index(self, column_name: str) -> None:
         """Declare (and materialise) a hash index value -> ndarray of
-        live-row positions (idempotent). The declaration is permanent;
-        the postings are maintained incrementally on bulk appends and
-        rebuilt lazily after deletes or row-at-a-time inserts."""
+        storage positions (idempotent; look-ups translate to live
+        coordinates). The declaration is permanent; the postings are
+        maintained incrementally on bulk appends, survive deletes, and
+        are rebuilt lazily after row-at-a-time inserts."""
         key = column_name.lower()
         self.schema.position_of(column_name)  # validates existence
         self._index_columns.add(key)
@@ -545,14 +715,24 @@ class ColumnTable:
             self._materialize_index(key)
 
     def _materialize_index(self, key: str) -> None:
-        """Build the postings dict for one declared index over the live
-        view of the column."""
-        column = self._column(key)
+        """Build the postings dict for one declared index in **storage**
+        coordinates over base + delta, tombstoned rows included (look-ups
+        filter and translate) -- the same content the incremental
+        ``insert_columns`` maintenance accumulates, so deletes never
+        force a rebuild."""
+        position = self.schema.position_of(key)
+        base, delta = self._segments(position)
         index: dict[Any, np.ndarray] = {}
-        if self._num_rows:
-            if self._deleted is not None:
-                column = _gather_column(column, self._live_positions())
-            index = dict(_index_groups(column))
+        if _column_length(base):
+            index = dict(_index_groups(base))
+        if delta is not None and _column_length(delta):
+            offset = _column_length(base)
+            for value, positions in _index_groups(delta):
+                run = positions + offset
+                existing = index.get(value)
+                index[value] = (
+                    run if existing is None else np.concatenate((existing, run))
+                )
         self._indexes[key] = index
 
     def has_index(self, column_name: str) -> bool:
@@ -568,7 +748,8 @@ class ColumnTable:
         deletes or snapshot load), and the per-column ``code_of`` text
         probe dict (skipped by bulk-ingest chunks). Each is a benign
         cache in single-threaded use but a data race under concurrent
-        first reads; warming materialises all of them up front.
+        first reads; warming materialises all of them up front (plus,
+        on base+delta tables, the per-column union text dictionaries).
         Idempotent and cheap when already warm."""
         sealed = self._seal()
         if self._deleted is not None:
@@ -576,17 +757,26 @@ class ColumnTable:
         for key in self._index_columns:
             if key not in self._indexes:
                 self._materialize_index(key)
-        for column in sealed:
+        for column in list(sealed) + list(self._delta or []):
             if column.sql_type is SqlType.TEXT and column.code_of is None:
                 column.code_of = {
                     value: code for code, value in enumerate(column.dictionary)
                 }
+        if self._delta is not None:
+            for position, column_def in enumerate(self.schema.columns):
+                if column_def.sql_type is SqlType.TEXT:
+                    self._merged_text_view(position)
 
     def index_lookup(self, column_name: str, values: Iterable[Any]) -> np.ndarray:
-        """Live positions (ascending) whose column equals any of *values*."""
+        """Live positions (ascending) whose column equals any of *values*.
+
+        Postings are storage-coordinate: dead positions are filtered and
+        the survivors translated into the live numbering here, so the
+        result matches every other read API."""
         key = column_name.lower()
         if key not in self._index_columns:
             raise CatalogError(f"no index on {self.schema.name}.{column_name}")
+        self._seal()  # incremental postings may reference buffered rows
         if key not in self._indexes:
             self._materialize_index(key)
         index = self._indexes[key]
@@ -595,14 +785,18 @@ class ColumnTable:
             return np.empty(0, dtype=np.int64)
         merged = np.concatenate(chunks)
         merged.sort()
+        if self._deleted is not None:
+            merged = merged[~self._deleted[merged]]
+            merged = np.searchsorted(self._live_positions(), merged)
         return merged
 
     # -- storage accounting --------------------------------------------------------
 
     def storage_bytes(self) -> int:
-        """Resident bytes of sealed arrays, dictionaries, and indexes."""
+        """Resident bytes of sealed arrays (both segments), dictionaries,
+        and indexes."""
         total = 0
-        for column in self._seal():
+        for column in list(self._seal()) + list(self._delta or []):
             if column.codes is not None:
                 total += column.codes.nbytes
                 total += sum(49 + len(v) for v in column.dictionary) if len(column.dictionary) else 0
@@ -616,11 +810,28 @@ class ColumnTable:
             total += sum(positions.nbytes for positions in index.values())
         return total
 
-    # -- internals ---------------------------------------------------------------
+    # -- delta accounting ----------------------------------------------------------
 
-    def _column(self, column_name: str) -> _ColumnData:
-        position = self.schema.position_of(column_name)
-        return self._seal()[position]
+    def delta_stats(self) -> dict[str, Any]:
+        """Mutation debt of this table: storage rows in the (frozen)
+        base segment, rows appended since (delta segment + unsealed
+        buffers), and tombstones. The background compactor's trigger
+        signal."""
+        total = self._num_rows + self._num_deleted  # incl. unsealed buffers
+        if not self._frozen_base or self._sealed is None:
+            return {
+                "frozen": False,
+                "base_rows": total,
+                "delta_rows": 0,
+                "deleted_rows": self._num_deleted,
+            }
+        base = _column_length(self._sealed[0]) if self._sealed else 0
+        return {
+            "frozen": True,
+            "base_rows": base,
+            "delta_rows": total - base,
+            "deleted_rows": self._num_deleted,
+        }
 
 
 def _encode_text(values: list[Any]) -> tuple[np.ndarray, np.ndarray, dict[str, int]]:
@@ -746,12 +957,40 @@ def _merge_many(columns: list[_ColumnData]) -> _ColumnData:
     return merged
 
 
-def _remap_codes(codes: np.ndarray, mapping: np.ndarray) -> np.ndarray:
-    """Apply a dictionary remap, passing NULL codes (-1) through."""
-    if not len(mapping):
+def _remap_codes(codes: np.ndarray, mapping: Optional[np.ndarray]) -> np.ndarray:
+    """Apply a dictionary remap, passing NULL codes (-1) through.
+    ``mapping`` may be None (identity: the codes already target the
+    union dictionary)."""
+    if mapping is None or not len(mapping):
         return codes
     remapped = mapping[np.maximum(codes, 0)]
     return np.where(codes < 0, np.int32(-1), remapped)
+
+
+def _segment_values(column: _ColumnData, positions: Optional[np.ndarray]) -> tuple[np.ndarray, np.ndarray]:
+    """Materialise one sealed segment as ``(data, null_mask)`` -- the
+    per-segment half of :meth:`ColumnTable.column_values` (each text
+    segment decodes through its *own* dictionary; no union needed for
+    materialised strings)."""
+    if column.sql_type is SqlType.TEXT:
+        codes = column.codes if positions is None else column.codes[positions]
+        null = codes < 0
+        safe_codes = np.where(null, 0, codes)
+        if len(column.dictionary):
+            data = column.dictionary[safe_codes]
+        else:
+            data = np.empty(len(codes), dtype=object)
+        data = data.copy()
+        data[null] = None
+        return data, null
+    if column.sql_type is SqlType.BOOLEAN:
+        raw = column.data if positions is None else column.data[positions]
+        null = raw < 0
+        data = raw > 0
+        return data, null
+    data = column.data if positions is None else column.data[positions]
+    null = column.null if positions is None else column.null[positions]
+    return data, null.copy()
 
 
 def _column_length(column: _ColumnData) -> int:
@@ -847,20 +1086,6 @@ def _index_groups(column: _ColumnData):
         if column.sql_type is SqlType.BOOLEAN and value == -1:
             continue
         yield value, positions
-
-
-def _gather_column(column: _ColumnData, positions: np.ndarray) -> _ColumnData:
-    """A row subset of one sealed column as a standalone _ColumnData
-    (text keeps the full dictionary; compaction re-encodes separately)."""
-    subset = _ColumnData(column.sql_type)
-    if column.sql_type is SqlType.TEXT:
-        subset.codes = column.codes[positions]
-        subset.dictionary = column.dictionary
-        return subset
-    subset.data = column.data[positions]
-    if column.null is not None:
-        subset.null = column.null[positions]
-    return subset
 
 
 def _compact_column(column: _ColumnData, positions: np.ndarray) -> _ColumnData:

@@ -48,6 +48,10 @@ class RowTable:
         self.compact_threshold = DEFAULT_COMPACT_THRESHOLD
         self.cluster_keys: tuple[str, ...] = ()
         self.compactions = 0  # bumped per physical compaction
+        # Storage rows adopted from a snapshot base (delta accounting
+        # only -- the row store has no mmap sharing to protect, so
+        # mutations need no structural base/delta split).
+        self._base_rows = 0
 
     # -- data ----------------------------------------------------------------
 
@@ -89,6 +93,7 @@ class RowTable:
         table.cluster_keys = tuple(cluster_keys)
         table.compact_threshold = compact_threshold
         table.compactions = compactions
+        table._base_rows = len(table._rows)
         for name in index_columns:
             table.create_index(name)
         return table
@@ -210,6 +215,7 @@ class RowTable:
             self._indexes[key] = {}
             self._build_index(key)
         self.compactions += 1
+        self._base_rows = 0  # the base/delta boundary is gone
 
     def scan(self) -> Iterator[tuple]:
         """Iterate live rows in insertion order."""
@@ -296,6 +302,21 @@ class RowTable:
             for value, postings in index.items()
             if any(not mask[p] for p in postings)
         ]
+
+    # -- delta accounting ---------------------------------------------------------
+
+    def delta_stats(self) -> dict[str, Any]:
+        """Mutation debt since the snapshot load (interface parity with
+        :meth:`ColumnTable.delta_stats`; the trigger signal the
+        background snapshot compactor polls)."""
+        total = len(self._rows)
+        base = min(self._base_rows, total)
+        return {
+            "frozen": self._base_rows > 0,
+            "base_rows": base if base else total,
+            "delta_rows": total - base if base else 0,
+            "deleted_rows": self._num_deleted,
+        }
 
     # -- storage accounting -------------------------------------------------------
 

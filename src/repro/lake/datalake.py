@@ -81,6 +81,11 @@ class DataLake:
         self._id_by_name: dict[str, int] = {}
         self._num_live = 0
         self._generation = 0
+        # Per-slot generation stamp: the generation at which each slot
+        # last changed (add or replace). The incremental-snapshot diff
+        # compares these against a base snapshot's generation to find
+        # the slots that need a delta payload.
+        self._slot_generation: list[int] = []
         if tables is not None:
             for table in tables:
                 self.add(table)
@@ -101,6 +106,7 @@ class DataLake:
         self._id_by_name[table.name] = table_id
         self._num_live += 1
         self._generation += 1
+        self._slot_generation.append(self._generation)
         return table_id
 
     def add_at(self, table_id: int, table: Table) -> int:
@@ -120,10 +126,12 @@ class DataLake:
             raise LakeError(f"table id {table_id} is already occupied")
         while len(self._tables) <= table_id:
             self._tables.append(None)
+            self._slot_generation.append(0)
         self._tables[table_id] = table
         self._id_by_name[table.name] = table_id
         self._num_live += 1
         self._generation += 1
+        self._slot_generation[table_id] = self._generation
         return table_id
 
     def remove(self, table_id: int) -> Table:
@@ -134,6 +142,7 @@ class DataLake:
         del self._id_by_name[removed.name]
         self._num_live -= 1
         self._generation += 1
+        self._slot_generation[table_id] = self._generation
         return removed
 
     def replace(self, table_id: int, table: Table) -> Table:
@@ -150,6 +159,7 @@ class DataLake:
         del self._id_by_name[previous.name]
         self._id_by_name[table.name] = table_id
         self._generation += 1
+        self._slot_generation[table_id] = self._generation
         return previous
 
     def __len__(self) -> int:
@@ -314,6 +324,7 @@ class DataLake:
         return {
             "name": self.name,
             "generation": self._generation,
+            "slot_generations": list(self._slot_generation),
             "slots": [
                 None
                 if table is None
@@ -325,6 +336,19 @@ class DataLake:
                 for table in self._tables
             ],
         }
+
+    def slot_stamp(self, table_id: int) -> int:
+        """Generation at which slot *table_id* last changed (0 for slots
+        created as padding holes)."""
+        return self._slot_generation[table_id]
+
+    def adopt_slot_generations(self, stamps: Optional[list]) -> None:
+        """Align the per-slot stamps with a snapshot's recorded ones (the
+        load path: a caller-supplied lake may have reached the same state
+        through a different op order, and payload-rebuilt lakes default
+        to zero stamps). No-op when the snapshot predates stamps."""
+        if stamps is not None and len(stamps) == len(self._tables):
+            self._slot_generation = [int(stamp) for stamp in stamps]
 
     def snapshot_payload(self) -> list:
         """The picklable cell payload backing :meth:`from_snapshot`:
@@ -344,11 +368,13 @@ class DataLake:
         for slot in payload:
             if slot is None:
                 lake._tables.append(None)
+                lake._slot_generation.append(0)
                 continue
             table_name, columns, rows = slot
             table = Table(table_name, columns, rows)
             lake._id_by_name[table.name] = len(lake._tables)
             lake._tables.append(table)
+            lake._slot_generation.append(0)
             lake._num_live += 1
         lake._generation = generation
         return lake

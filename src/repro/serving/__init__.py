@@ -16,8 +16,12 @@ Layers, bottom up:
   (each a deployment manager + scheduler of its own, in-process or in a
   child process), merging per-shard partials into rankings
   byte-identical to single-process execution.
+* :mod:`repro.serving.compaction` -- background folding of the
+  streaming-ingest delta layer into clean base generations, deployed
+  through the hot-swap protocol (solo) or per-shard routing (sharded).
 """
 
+from .compaction import CompactionReport, SnapshotCompactor, compact_snapshot
 from .deployment import DeploymentManager, ServingDeployment, SwapReport
 from .scheduler import BatchScheduler, PendingQuery, QueryOutcome
 from .server import BlendServer, build_seeker
@@ -27,6 +31,7 @@ from .stats import ServingStats
 __all__ = [
     "BatchScheduler",
     "BlendServer",
+    "CompactionReport",
     "DeploymentManager",
     "LocalShardWorker",
     "PendingQuery",
@@ -35,6 +40,8 @@ __all__ = [
     "ServingDeployment",
     "ServingStats",
     "ShardCoordinator",
+    "SnapshotCompactor",
     "SwapReport",
     "build_seeker",
+    "compact_snapshot",
 ]

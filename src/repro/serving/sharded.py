@@ -159,6 +159,13 @@ class LocalShardWorker:
             return blend.lake.table_ids()
         if op == "stats":
             return self.scheduler.stats.snapshot()
+        if op == "save_delta":
+            # Persist this shard's mutations since its base snapshot
+            # (O(delta)); returns the snapshot path written, which is
+            # what the coordinator compacts from.
+            return str(blend.save_delta(payload))
+        if op == "delta_stats":
+            return blend.delta_stats()
         raise ServingError(f"unknown shard worker op: {op!r}")
 
     def close(self) -> None:
@@ -328,6 +335,10 @@ class ShardCoordinator:
         self._next_table_id = int(next_table_id)
         self._generation = 0
         self._closed = False
+        # Per-shard snapshot directory (known after load()/swap_shard;
+        # None for workers handed in without one) -- what compact_shard
+        # reads the base+delta from.
+        self._shard_paths: list[Optional[str]] = [None] * len(self.workers)
 
     # -- loading ---------------------------------------------------------------
 
@@ -380,11 +391,13 @@ class ShardCoordinator:
             int(table_id): shard
             for table_id, shard in manifest["table_shard"].items()
         }
-        return cls(
+        coordinator = cls(
             shard_workers,
             routing=routing,
             next_table_id=manifest["next_table_id"],
         )
+        coordinator._shard_paths = [str(root / name) for name in manifest["shards"]]
+        return coordinator
 
     # -- querying --------------------------------------------------------------
 
@@ -505,8 +518,42 @@ class ShardCoordinator:
             self._next_table_id = max(
                 self._next_table_id, max(new_ids, default=-1) + 1
             )
+            self._shard_paths[shard] = str(snapshot_path)
             self._generation += 1
             return new_ids
+
+    def shard_delta_stats(self, shard: int) -> dict[str, Any]:
+        """One shard's base-vs-delta storage occupancy (see
+        :meth:`repro.Blend.delta_stats`) -- the per-shard compaction
+        trigger input."""
+        if not 0 <= shard < len(self.workers):
+            raise ServingError(f"no such shard: {shard}")
+        return self.workers[shard].request("delta_stats")
+
+    def compact_shard(
+        self, shard: int, destination: Union[str, Path], verify: bool = True
+    ) -> list[int]:
+        """Fold one shard's delta layer into a clean snapshot generation
+        at *destination* and hot-swap the shard onto it.
+
+        Three steps under the routing lock (mutations wait; queries keep
+        flowing -- the scatter path never takes this lock): the worker
+        persists its live delta into its base directory (O(delta)),
+        the coordinator rebuilds a compacted generation beside it
+        (:func:`~repro.serving.compaction.compact_snapshot`), and the
+        shard flips through its own :class:`DeploymentManager` with the
+        usual drain. Each shard compacts independently -- the fleet
+        never pauses in lockstep. Returns the shard's table ids after
+        the swap."""
+        from .compaction import compact_snapshot
+
+        with self._lock:
+            if not 0 <= shard < len(self.workers):
+                raise ServingError(f"no such shard: {shard}")
+            source = self._shard_paths[shard]
+            source = self.workers[shard].request("save_delta", source)
+            compact_snapshot(source, destination, verify=verify)
+            return self.swap_shard(shard, destination)
 
     # -- observability / teardown ----------------------------------------------
 

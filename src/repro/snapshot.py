@@ -28,14 +28,28 @@ On-disk layout (all paths relative to the snapshot directory)::
 
 Numeric payloads load via ``np.load(mmap_mode="r")``: warm start is
 I/O-bound, not compute-bound, and the arrays stay read-only views over
-the snapshot files until the first mutation promotes them to private
-copies (:meth:`ColumnTable._promote` -- copy-on-write, so a loaded
-deployment keeps its full add/remove/replace lifecycle while the shared
-snapshot stays untouched).
+the snapshot files **forever** -- a loaded deployment's mutations land
+in the storage layer's write-ahead delta segments, never in the base
+arrays, so N serving workers keep sharing one snapshot through an
+arbitrary lifecycle.
 
-Versioning policy: ``FORMAT_VERSION`` bumps on any layout change; a
-loader only accepts its own version (no silent migrations -- rebuild or
-re-save). Every payload's size is checked on load and, with
+**Incremental persistence** builds on that split: a deployment loaded
+from a snapshot records its base identity (:class:`SnapshotBase`), and
+:func:`save_blend_delta` persists only the lake slots that changed since
+-- a ``delta.json`` manifest (written atomically; the previous delta
+stays valid on a crash) plus one class-free table payload per changed
+slot under ``delta/``, all CRC-recorded like base payloads. Loading a
+base+delta directory replays the recorded ops through the ordinary
+lifecycle (removals first, then adds ascending by id), which converges
+to the mutated lake exactly; ``load(..., delta=False)`` ignores the
+delta layer, so a corrupt delta never takes the base down with it. A
+compactor (:mod:`repro.serving.compaction`) folds base+delta into a
+fresh full snapshot -- the next base generation.
+
+Versioning policy: ``FORMAT_VERSION`` bumps on any layout change (v2:
+``snapshot_id`` + per-slot lake generations, required by the delta
+layer); a loader only accepts its own version (no silent migrations --
+rebuild or re-save). Every payload's size is checked on load and, with
 ``verify=True`` (the default), its CRC-32 too; truncation, corruption,
 or a version/backend/hash-width mismatch raise
 :class:`~repro.errors.SnapshotError` naming the offending file -- a bad
@@ -44,10 +58,14 @@ snapshot must never load into garbage results.
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
+import os
 import pickle
+import shutil
 import zlib
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
@@ -62,16 +80,40 @@ from .errors import SnapshotError
 from .index.alltables import IndexConfig
 from .index.stats import LakeStatistics
 from .lake.datalake import DataLake
+from .lake.table import Table
 
 FORMAT_NAME = "blend-snapshot"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
 SHARD_FORMAT_NAME = "blend-shards"
 SHARD_FORMAT_VERSION = 1
 
+DELTA_FORMAT_NAME = "blend-delta"
+DELTA_FORMAT_VERSION = 1
+
 _MANIFEST = "manifest.json"
 _SHARD_MANIFEST = "shards.json"
+_DELTA_MANIFEST = "delta.json"
+_DELTA_DIR = "delta"
 _CRC_CHUNK = 1 << 20
+
+
+@dataclass(frozen=True)
+class SnapshotBase:
+    """Identity of the base snapshot a deployment was loaded from -- what
+    the incremental save path diffs the live lake against."""
+
+    path: str
+    snapshot_id: str
+    generation: int
+    live_slots: tuple[bool, ...]
+
+
+def _snapshot_id(files: dict) -> str:
+    """Deterministic identity of a snapshot's payload set (the sizes and
+    CRCs of every file) -- what ties a delta segment to its base."""
+    digest = hashlib.sha256(json.dumps(files, sort_keys=True).encode("utf-8"))
+    return digest.hexdigest()[:16]
 
 
 # --------------------------------------------------------------------------
@@ -227,29 +269,47 @@ class _Reader:
 # --------------------------------------------------------------------------
 
 
-def save_blend(blend, path: Union[str, Path], include_lake: bool = True) -> Path:
+def save_blend(
+    blend,
+    path: Union[str, Path],
+    include_lake: bool = True,
+    overwrite: bool = False,
+) -> Path:
     """Persist a built :class:`~repro.Blend` deployment into *path*.
 
     The manifest is written last, so an interrupted save leaves a
     directory no loader will accept (missing manifest) rather than a
-    plausible-looking torso. With ``include_lake=False`` the snapshot
-    carries lake *metadata* only and ``load`` requires the caller to
-    supply the (identical) lake -- the multi-worker deployment shape
-    where the lake source is already shared.
+    plausible-looking torso. A non-empty target is refused unless
+    ``overwrite=True``, which stages the new snapshot in a sibling
+    temporary directory and swaps it in by rename -- at no point does
+    the target hold a torn mix of old and new payloads, and readers
+    that already mmap'd the old files keep them alive until unmapped.
+    With ``include_lake=False`` the snapshot carries lake *metadata*
+    only and ``load`` requires the caller to supply the (identical)
+    lake -- the multi-worker deployment shape where the lake source is
+    already shared.
     """
     if not getattr(blend, "_indexed", False):
         raise SnapshotError("nothing to save: call build_index() first")
     root = Path(path)
-    if root.exists():
-        if not root.is_dir():
-            raise SnapshotError(f"snapshot path {root} exists and is not a directory")
-        if any(root.iterdir()):
-            raise SnapshotError(
-                f"refusing to overwrite non-empty directory {root}; "
-                "point save() at a fresh path"
-            )
-    root.mkdir(parents=True, exist_ok=True)
-    writer = _Writer(root)
+    if root.exists() and not root.is_dir():
+        raise SnapshotError(f"snapshot path {root} exists and is not a directory")
+    populated = root.is_dir() and any(root.iterdir())
+    if populated and not overwrite:
+        raise SnapshotError(
+            f"refusing to overwrite non-empty directory {root}; "
+            "point save() at a fresh path (or pass overwrite=True for an "
+            "atomic replace)"
+        )
+    if populated:
+        staging = root.parent / f".{root.name}.staging-{os.getpid()}"
+        if staging.exists():
+            shutil.rmtree(staging)
+        target_root = staging
+    else:
+        target_root = root
+    target_root.mkdir(parents=True, exist_ok=True)
+    writer = _Writer(target_root)
     db: Database = blend.db
 
     semantic = getattr(blend, "_semantic", None)
@@ -297,6 +357,7 @@ def save_blend(blend, path: Union[str, Path], include_lake: bool = True) -> Path
     manifest = {
         "format": FORMAT_NAME,
         "format_version": FORMAT_VERSION,
+        "snapshot_id": _snapshot_id(writer.files),
         "backend": db.backend,
         "index_config": {
             field: getattr(config, field) for field in IndexConfig.__dataclass_fields__
@@ -308,9 +369,35 @@ def save_blend(blend, path: Union[str, Path], include_lake: bool = True) -> Path
         "tables": tables_meta,
         "files": writer.files,
     }
-    (root / _MANIFEST).write_text(
+    (target_root / _MANIFEST).write_text(
         json.dumps(manifest, indent=1, sort_keys=False) + "\n", encoding="utf-8"
     )
+    if populated:
+        # Swap the staged snapshot in: retire the old directory by
+        # rename (atomic), move the staging directory into place, then
+        # drop the old payloads. A failure between the renames restores
+        # the original directory.
+        retired = root.parent / f".{root.name}.retired-{os.getpid()}"
+        if retired.exists():
+            shutil.rmtree(retired)
+        os.rename(root, retired)
+        try:
+            os.rename(target_root, root)
+        except Exception:
+            os.rename(retired, root)
+            shutil.rmtree(target_root, ignore_errors=True)
+            raise
+        shutil.rmtree(retired)
+    if include_lake:
+        # Adopt the directory just written as this deployment's base, so
+        # subsequent save() calls into it are incremental. Metadata-only
+        # snapshots are not self-contained and cannot anchor a delta.
+        blend._snapshot_base = SnapshotBase(
+            path=str(root.resolve()),
+            snapshot_id=manifest["snapshot_id"],
+            generation=int(lake_meta["generation"]),
+            live_slots=tuple(slot is not None for slot in lake_meta["slots"]),
+        )
     return root
 
 
@@ -369,6 +456,203 @@ def _save_row_table(writer: _Writer, prefix: str, storage: RowTable) -> dict:
         else None
     )
     return meta
+
+
+# --------------------------------------------------------------------------
+# Incremental (base + delta) persistence
+# --------------------------------------------------------------------------
+
+
+def save_blend_delta(blend, path: Union[str, Path]) -> Path:
+    """Persist only the mutations since *blend*'s base snapshot -- O(delta)
+    where a full :func:`save_blend` is O(lake).
+
+    The delta is the diff between the live lake and the recorded base:
+    per-slot generation stamps mark the slots added or replaced since the
+    base, liveness marks the removals. Each changed slot's table is
+    written as one class-free pickle under ``delta/`` and ``delta.json``
+    records the op list with sizes + CRCs, written atomically
+    (write-to-temp + rename) so a crash leaves the previous delta -- or
+    the bare base -- loadable. Every save rewrites the full
+    diff-from-base (bounded by compaction, which starts a fresh base
+    generation), so saves are idempotent and self-contained.
+    """
+    if not getattr(blend, "_indexed", False):
+        raise SnapshotError("nothing to save: call build_index() first")
+    base: Optional[SnapshotBase] = getattr(blend, "_snapshot_base", None)
+    root = Path(path)
+    if base is None or Path(base.path) != root.resolve():
+        raise SnapshotError(
+            f"cannot write a delta into {root}: this deployment was not "
+            "loaded from that snapshot (an incremental save targets the "
+            "base it was loaded from)"
+        )
+    manifest = read_manifest(root)
+    if manifest.get("snapshot_id") != base.snapshot_id:
+        raise SnapshotError(
+            f"base snapshot {root} changed since this deployment loaded it "
+            f"(snapshot id {manifest.get('snapshot_id')!r} != recorded "
+            f"{base.snapshot_id!r}); refusing an incremental save"
+        )
+    if manifest["lake"].get("payload") is None:
+        raise SnapshotError(
+            f"base snapshot {root} was saved without its lake payload "
+            "(include_lake=False); incremental save needs a self-contained base"
+        )
+    lake = blend.lake
+    writer = _Writer(root)
+    ops: list[dict] = []
+    base_slots = base.live_slots
+    for table_id in range(max(lake.num_slots, len(base_slots))):
+        base_live = table_id < len(base_slots) and base_slots[table_id]
+        live = lake.has_id(table_id)
+        if base_live and not live:
+            ops.append({"op": "remove", "table_id": table_id})
+            continue
+        if not live:
+            continue
+        stamp = lake.slot_stamp(table_id)
+        if base_live and stamp <= base.generation:
+            continue  # untouched since the base snapshot
+        table = lake.by_id(table_id)
+        rel = f"{_DELTA_DIR}/t{table_id}.g{stamp}.pkl"
+        writer.save_pickle(rel, (table.name, list(table.columns), table.rows))
+        ops.append(
+            {
+                "op": "replace" if base_live else "add",
+                "table_id": table_id,
+                "payload": rel,
+            }
+        )
+    delta_manifest = {
+        "format": DELTA_FORMAT_NAME,
+        "format_version": DELTA_FORMAT_VERSION,
+        "base_id": base.snapshot_id,
+        "base_generation": base.generation,
+        "generation": lake.generation,
+        "ops": ops,
+        "files": writer.files,
+    }
+    target = root / _DELTA_MANIFEST
+    staging = root / (_DELTA_MANIFEST + ".tmp")
+    staging.write_text(
+        json.dumps(delta_manifest, indent=1, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    os.replace(staging, target)
+    # Only now drop payloads the new manifest no longer references
+    # (slots that changed again, or were removed, since an earlier
+    # delta save) -- a crash before this point leaves them as orphans
+    # the next successful save collects.
+    keep = set(writer.files)
+    delta_dir = root / _DELTA_DIR
+    if delta_dir.is_dir():
+        for payload in delta_dir.glob("*.pkl"):
+            if f"{_DELTA_DIR}/{payload.name}" not in keep:
+                payload.unlink()
+    return root
+
+
+def read_delta_manifest(path: Union[str, Path]) -> Optional[dict]:
+    """Parse and version-check a snapshot directory's delta manifest;
+    ``None`` when the directory holds no delta layer."""
+    root = Path(path)
+    target = root / _DELTA_MANIFEST
+    if not target.is_file():
+        return None
+    try:
+        manifest = json.loads(target.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SnapshotError(f"cannot parse delta manifest {target}: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("format") != DELTA_FORMAT_NAME:
+        raise SnapshotError(f"{target} is not a {DELTA_FORMAT_NAME} manifest")
+    version = manifest.get("format_version")
+    if version != DELTA_FORMAT_VERSION:
+        raise SnapshotError(
+            f"unsupported delta format version {version!r} in {target}: "
+            f"this build reads version {DELTA_FORMAT_VERSION} only"
+        )
+    for key in ("base_id", "generation", "ops", "files"):
+        if key not in manifest:
+            raise SnapshotError(f"delta manifest {target} lacks the {key!r} section")
+    return manifest
+
+
+def _apply_delta(blend, root: Path, manifest: dict, delta: dict, verify: bool) -> None:
+    """Replay a delta manifest's ops through *blend*'s ordinary lifecycle.
+
+    All removals (and the removal half of replacements) are applied
+    first, then adds in ascending id order -- any live op history
+    converges to the same lake this way, and a dying table's name can
+    never collide with an arriving one. Statistics are deferred through
+    the replay and folded into the snapshot's lazy stats loader, keeping
+    the warm start free of per-token work.
+    """
+    delta_path = root / _DELTA_MANIFEST
+    base_id = manifest.get("snapshot_id")
+    if delta.get("base_id") != base_id:
+        raise SnapshotError(
+            f"delta manifest {delta_path} was written against base snapshot "
+            f"{delta.get('base_id')!r}; this base is {base_id!r}"
+        )
+    files = delta.get("files", {})
+    reader = _Reader(root, files, mmap=False, verify=verify)
+    reader.check_all()
+    removes: list[int] = []
+    adds: list[tuple[int, str]] = []
+    for op in delta.get("ops", ()):
+        kind = op.get("op") if isinstance(op, dict) else None
+        table_id = op.get("table_id") if isinstance(op, dict) else None
+        if kind not in ("add", "remove", "replace") or not isinstance(table_id, int):
+            raise SnapshotError(f"malformed op {op!r} in delta manifest {delta_path}")
+        if kind in ("remove", "replace"):
+            removes.append(table_id)
+        if kind in ("add", "replace"):
+            rel = op.get("payload")
+            if not isinstance(rel, str):
+                raise SnapshotError(
+                    f"op for table id {table_id} in delta manifest {delta_path} "
+                    "lacks a payload"
+                )
+            adds.append((table_id, rel))
+    base_loader = blend._stats_loader
+    blend._stats_loader = None  # defer statistics through the replay
+    replayed: list[tuple[str, Table]] = []
+    try:
+        for table_id in sorted(removes):
+            replayed.append(("remove", blend.remove_table(table_id)))
+        for table_id, rel in sorted(adds):
+            payload = reader.load_pickle(rel)
+            if not (isinstance(payload, (list, tuple)) and len(payload) == 3):
+                raise SnapshotError(
+                    f"delta payload {root / rel} does not hold a "
+                    "(name, columns, rows) table"
+                )
+            name, columns, rows = payload
+            table = Table(name, list(columns), rows)
+            blend.add_table(table, table_id=table_id)
+            replayed.append(("add", table))
+    except SnapshotError:
+        raise
+    except Exception as exc:
+        # A structurally-valid manifest whose ops don't fit the base
+        # (dangling ids, occupied slots, bad cells) must fail the load.
+        raise SnapshotError(
+            f"cannot replay delta manifest {delta_path}: {exc}"
+        ) from exc
+    if base_loader is not None:
+
+        def _stats_with_delta(loader=base_loader, ops=tuple(replayed)):
+            stats = loader()
+            for kind, table in ops:
+                if kind == "remove":
+                    stats.remove_table(table)
+                else:
+                    stats.add_table(table)
+            return stats
+
+        blend._stats_loader = _stats_with_delta
+    blend.lake._generation = int(delta["generation"])
 
 
 # --------------------------------------------------------------------------
@@ -524,6 +808,7 @@ def load_blend(
     hash_size: Optional[int] = None,
     mmap: bool = True,
     verify: bool = True,
+    delta: bool = True,
 ):
     """Restore a :class:`~repro.Blend` deployment from a snapshot.
 
@@ -532,11 +817,22 @@ def load_blend(
     the snapshot matches the deployment the caller expects. ``mmap``
     keeps numeric payloads as read-only file-backed views (copy-on-write
     on first mutation); ``verify`` additionally checks every payload's
-    CRC-32 (sizes are always checked).
+    CRC-32 (sizes are always checked). ``delta`` replays the directory's
+    incremental layer (``delta.json``) on top of the base; pass
+    ``delta=False`` to recover the bare base snapshot when the delta is
+    damaged — the delta manifest is then never even read.
     """
     root = Path(path)
     manifest = read_manifest(root)
     manifest_path = root / _MANIFEST
+    supplied_lake = lake is not None
+    delta_manifest = read_delta_manifest(root) if delta else None
+    if delta_manifest is not None and supplied_lake:
+        raise SnapshotError(
+            f"snapshot {root} carries a delta layer; a supplied lake cannot "
+            "be validated against it — load without a lake, or with "
+            "delta=False"
+        )
 
     if backend is not None and backend != manifest["backend"]:
         raise SnapshotError(
@@ -581,6 +877,7 @@ def load_blend(
         lake = DataLake.from_snapshot(
             payload, lake_meta["name"], lake_meta["generation"]
         )
+    lake.adopt_slot_generations(lake_meta.get("slot_generations"))
 
     db = Database(backend=manifest["backend"])
     for meta in manifest["tables"]:
@@ -628,6 +925,17 @@ def load_blend(
             m=semantic_meta.get("m"),
             ef_construction=semantic_meta.get("ef_construction"),
         )
+    # Record the base identity BEFORE any delta replay: live_slots and
+    # generation describe the on-disk base, which is what the next
+    # incremental save diffs against.
+    blend._snapshot_base = SnapshotBase(
+        path=str(root.resolve()),
+        snapshot_id=manifest.get("snapshot_id", ""),
+        generation=int(lake_meta["generation"]),
+        live_slots=tuple(slot is not None for slot in lake_meta["slots"]),
+    )
+    if delta_manifest is not None:
+        _apply_delta(blend, root, manifest, delta_manifest, verify)
     return blend
 
 

@@ -416,10 +416,132 @@ def test_inconsistent_manifest_hash_width_refused(saved):
         Blend.load(path)
 
 
-def test_save_refuses_non_empty_directory(saved, tmp_path):
+# --------------------------------------------------------------------------
+# Delta-layer corruption: crash recovery never loses the base
+# --------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def saved_delta(saved):
+    """A base snapshot with one incremental save on top of it."""
     blend, path = saved
+    loaded = Blend.load(path)
+    loaded.add_table(Table("fresh_delta", ["a"], [(f"d{i}",) for i in range(5)]))
+    loaded.remove_table(loaded.lake.table_ids()[0])
+    loaded.save(path)
+    return loaded, path
+
+
+def _delta_payload(path: Path) -> str:
+    delta = json.loads((path / "delta.json").read_text())
+    return next(rel for rel in delta["files"] if rel.endswith(".pkl"))
+
+
+def test_truncated_delta_payload_names_file_and_base_survives(saved_delta):
+    _, path = saved_delta
+    rel = _delta_payload(path)
+    target = path / rel
+    target.write_bytes(target.read_bytes()[:-5])
+    with pytest.raises(SnapshotError, match="truncated") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+    base = Blend.load(path, delta=False)  # crash recovery: base intact
+    assert "fresh_delta" not in base.lake
+
+
+def test_bitflipped_delta_payload_names_file_and_base_survives(saved_delta):
+    _, path = saved_delta
+    rel = _delta_payload(path)
+    target = path / rel
+    raw = bytearray(target.read_bytes())
+    raw[-1] ^= 0xFF
+    target.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotError, match="checksum mismatch") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+    Blend.load(path, delta=False)
+
+
+def test_missing_delta_payload_names_file_and_base_survives(saved_delta):
+    _, path = saved_delta
+    rel = _delta_payload(path)
+    (path / rel).unlink()
+    with pytest.raises(SnapshotError, match="missing") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+    Blend.load(path, delta=False)
+
+
+def test_half_written_delta_manifest_refused_and_base_survives(saved_delta):
+    """A torn delta.json (the crash the write-to-temp + rename protocol
+    prevents, simulated anyway) is refused by name, never half-replayed."""
+    _, path = saved_delta
+    target = path / "delta.json"
+    target.write_text(target.read_text()[: len(target.read_text()) // 2])
+    with pytest.raises(SnapshotError, match="delta.json"):
+        Blend.load(path)
+    Blend.load(path, delta=False)
+
+
+def test_delta_version_bump_refused(saved_delta):
+    _, path = saved_delta
+    delta = json.loads((path / "delta.json").read_text())
+    delta["format_version"] += 1
+    (path / "delta.json").write_text(json.dumps(delta))
+    with pytest.raises(SnapshotError, match="delta format version") as excinfo:
+        Blend.load(path)
+    assert "delta.json" in str(excinfo.value)
+    Blend.load(path, delta=False)
+
+
+def test_delta_base_id_mismatch_refused(saved_delta):
+    """A delta.json copied beside a different base must never replay --
+    its ops were diffed against another snapshot's slots."""
+    _, path = saved_delta
+    delta = json.loads((path / "delta.json").read_text())
+    delta["base_id"] = "0" * 16
+    (path / "delta.json").write_text(json.dumps(delta))
+    with pytest.raises(SnapshotError, match="written against base snapshot"):
+        Blend.load(path)
+    Blend.load(path, delta=False)
+
+
+def test_malformed_delta_op_refused(saved_delta):
+    _, path = saved_delta
+    delta = json.loads((path / "delta.json").read_text())
+    delta["ops"].append({"op": "explode", "table_id": 3})
+    (path / "delta.json").write_text(json.dumps(delta))
+    with pytest.raises(SnapshotError, match="malformed op"):
+        Blend.load(path)
+    Blend.load(path, delta=False)
+
+
+def test_dangling_delta_op_refused(saved_delta):
+    """Structurally valid ops that don't fit the base (removing a slot
+    that is already a hole) fail the load as a delta error, not as an
+    internal lake crash."""
+    _, path = saved_delta
+    delta = json.loads((path / "delta.json").read_text())
+    removed = next(op["table_id"] for op in delta["ops"] if op["op"] == "remove")
+    delta["ops"].append({"op": "remove", "table_id": removed})
+    (path / "delta.json").write_text(json.dumps(delta))
+    with pytest.raises(SnapshotError, match="cannot replay"):
+        Blend.load(path)
+    Blend.load(path, delta=False)
+
+
+def test_save_refuses_non_empty_directory(saved, tmp_path):
+    """A full save into a populated directory that is NOT this
+    deployment's base refuses rather than risk a torn overwrite (the
+    base itself gets an incremental save instead -- see the delta
+    tests)."""
+    blend, path = saved
+    other = tmp_path / "occupied"
+    other.mkdir()
+    (other / "precious.txt").write_text("do not clobber")
     with pytest.raises(SnapshotError, match="non-empty"):
-        blend.save(path)
+        blend.save(other)
+    assert (other / "precious.txt").read_text() == "do not clobber"
 
 
 def test_save_requires_built_index(tmp_path):
