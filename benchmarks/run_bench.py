@@ -57,6 +57,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 import bench_delta  # noqa: E402
+import bench_hybrid  # noqa: E402
 import bench_index_build  # noqa: E402
 import bench_maintenance  # noqa: E402
 import bench_seeker  # noqa: E402
@@ -70,6 +71,7 @@ _REPO_ROOT = Path(__file__).resolve().parent.parent
 SUITES = {
     "index": (bench_index_build, _REPO_ROOT / "BENCH_index.json"),
     "seeker": (bench_seeker, _REPO_ROOT / "BENCH_seeker.json"),
+    "hybrid": (bench_hybrid, _REPO_ROOT / "BENCH_seeker.json"),
     "maintenance": (bench_maintenance, _REPO_ROOT / "BENCH_index.json"),
     "snapshot": (bench_snapshot, _REPO_ROOT / "BENCH_index.json"),
     "delta": (bench_delta, _REPO_ROOT / "BENCH_index.json"),

@@ -44,11 +44,24 @@ from bench_snapshot import (  # noqa: E402
 )
 from repro import Blend, Table  # noqa: E402
 from repro.errors import SnapshotError  # noqa: E402
+from repro.index import IndexConfig  # noqa: E402
 from repro.lake.generators import CorpusConfig, generate_corpus  # noqa: E402
 
 DEFAULT_SEED = 71
 DEFAULT_SCALE = 0.25
 BACKENDS = ("column", "row")
+# The artifact ships the vector extension: AllVectors payloads and the
+# manifest's semantic parameters must survive the interpreter hop too.
+INDEX_CONFIG = IndexConfig(semantic=True, semantic_dimensions=16)
+SEMANTIC_PROBE = ["compat", "probe", "token"]
+
+
+def _semantic_results(blend: Blend) -> list[int]:
+    """Deterministic exact-lane semantic ranking (graph-independent:
+    depends only on the stored vectors, not HNSW insertion order)."""
+    return blend.discover(
+        SEMANTIC_PROBE, modalities=("semantic",), k=8, exact=True
+    ).table_ids()
 
 
 def _lake(seed: int, scale: float):
@@ -87,7 +100,7 @@ def _mutate_for_delta(blend: Blend) -> None:
 def save(root: Path, seed: int, scale: float) -> int:
     root.mkdir(parents=True, exist_ok=True)
     for backend in BACKENDS:
-        blend = Blend(_lake(seed, scale), backend=backend)
+        blend = Blend(_lake(seed, scale), backend=backend, index_config=INDEX_CONFIG)
         blend.build_index()
         blend.train_optimizer(samples_per_type=3, seed=seed)
         path = blend.save(root / backend)
@@ -120,7 +133,7 @@ def load(root: Path) -> int:
     sql = "SELECT * FROM AllTables"
     for backend in BACKENDS:
         lake = _lake(seed, scale)
-        base_reference = Blend(lake, backend=backend)
+        base_reference = Blend(lake, backend=backend, index_config=INDEX_CONFIG)
         base_reference.build_index()
         base_results = seeker_results(base_reference)
 
@@ -129,6 +142,8 @@ def load(root: Path) -> int:
         bare = Blend.load(root / backend, backend=backend, delta=False)
         if seeker_results(bare) != base_results:
             raise AssertionError(f"[{backend}] cross-version base results diverge")
+        if _semantic_results(bare) != _semantic_results(base_reference):
+            raise AssertionError(f"[{backend}] cross-version semantic base diverges")
         if bare.db.execute(sql).rows != base_reference.db.execute(sql).rows:
             raise AssertionError(f"[{backend}] cross-version base rows diverge")
 
@@ -143,6 +158,14 @@ def load(root: Path) -> int:
             raise AssertionError(f"[{backend}] cross-version AllTables rows diverge")
         if loaded.stats != reference.stats:
             raise AssertionError(f"[{backend}] cross-version statistics diverge")
+        # The delta replay maintained the vector extension too.
+        if _semantic_results(loaded) != _semantic_results(reference):
+            raise AssertionError(f"[{backend}] cross-version semantic results diverge")
+        vec_sql = "SELECT * FROM AllVectors"
+        if sorted(loaded.db.execute(vec_sql).rows) != sorted(
+            reference.db.execute(vec_sql).rows
+        ):
+            raise AssertionError(f"[{backend}] cross-version AllVectors rows diverge")
         if not loaded.optimizer.cost_model.is_trained():
             raise AssertionError(f"[{backend}] trained cost model lost in transit")
         loaded.compact_index()
@@ -168,6 +191,28 @@ def load(root: Path) -> int:
         print(f"[load] truncation refused as expected: {str(exc)[:88]}")
     else:
         raise AssertionError("truncated snapshot loaded without error")
+    finally:
+        victim.write_bytes(payload)
+
+    # ... including in the vector extension's own payloads.
+    vectors_meta = next(
+        meta for meta in manifest["tables"] if meta["name"] == "AllVectors"
+    )
+    rel = next(
+        column_meta[key]
+        for column_meta in vectors_meta["payload"]
+        for key in ("data", "codes")
+        if key in column_meta
+    )
+    victim = root / BACKENDS[0] / rel
+    payload = victim.read_bytes()
+    victim.write_bytes(payload[: len(payload) - 5])
+    try:
+        Blend.load(root / BACKENDS[0])
+    except SnapshotError as exc:
+        print(f"[load] AllVectors truncation refused as expected: {str(exc)[:70]}")
+    else:
+        raise AssertionError("truncated AllVectors payload loaded without error")
     finally:
         victim.write_bytes(payload)
 

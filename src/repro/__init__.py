@@ -4,7 +4,18 @@ Public API re-exports: ``Blend``, ``Plan``, ``Seekers``, ``Combiners``,
 ``DataLake``, ``Table``, and the embedded ``Database`` engine.
 """
 
-from .core import Blend, Combiners, Plan, ResultList, Seekers, TableHit, parse_plan
+from .core import (
+    Blend,
+    Combiners,
+    DiscoveryResult,
+    HybridSeeker,
+    Plan,
+    ResultList,
+    Seekers,
+    SemanticSeeker,
+    TableHit,
+    parse_plan,
+)
 from .engine import Database
 from .lake import DataLake, Table
 
@@ -13,10 +24,13 @@ __version__ = "1.0.0"
 __all__ = [
     "Blend",
     "Combiners",
+    "DiscoveryResult",
+    "HybridSeeker",
     "Plan",
     "parse_plan",
     "ResultList",
     "Seekers",
+    "SemanticSeeker",
     "TableHit",
     "Database",
     "DataLake",

@@ -23,19 +23,88 @@ names) into a :class:`~.plan.Plan`. Query inputs are bound by name::
 
 Every sub-expression may carry a ``k=<int>`` argument overriding the
 default, e.g. ``SC($departments, k=50)``.
+
+Seekers are resolved through :data:`SEEKER_REGISTRY` -- a by-name table
+of :class:`SeekerSpec` entries -- so new modalities register with
+:func:`register_seeker` instead of patching the parser. Registered specs
+may declare extra keyword arguments (``$ref``, int, float, or
+true/false), which is how the mixed semantic predicates parse::
+
+    SS($topic, k=20)                       # pure semantic search
+    HY($cities, about=$topic, alpha=0.5)   # joinable on X AND about Y
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Mapping, Optional
+from typing import Any, Callable, Mapping, Optional
 
 from ..errors import PlanError
 from .combiners import Combiners
+from .hybrid import HybridSeeker
 from .plan import Plan
 from .seekers import Seekers
+from .semantic import SemanticSeeker
 
-_SEEKER_NAMES = {"KW", "SC", "MC", "C"}
+
+@dataclass(frozen=True)
+class SeekerSpec:
+    """One registered seeker modality: how a grammar name becomes an
+    operator. ``builder(query, k=..., **keywords)`` receives the bound
+    ``$ref`` query plus any declared keyword arguments."""
+
+    name: str
+    builder: Callable[..., Any]
+    keywords: tuple[str, ...] = ()
+
+
+SEEKER_REGISTRY: dict[str, SeekerSpec] = {}
+
+
+def register_seeker(
+    name: str,
+    builder: Callable[..., Any],
+    keywords: tuple[str, ...] = (),
+    replace: bool = False,
+) -> SeekerSpec:
+    """Register a seeker modality under *name* (grammar v2). Future
+    modalities plug in here without touching the tokenizer or parser."""
+    if not name or not all(ch.isalnum() or ch == "_" for ch in name):
+        raise PlanError(f"seeker name {name!r} is not a grammar identifier")
+    if name in SEEKER_REGISTRY and not replace:
+        raise PlanError(f"seeker {name!r} is already registered")
+    spec = SeekerSpec(name=name, builder=builder, keywords=tuple(keywords))
+    SEEKER_REGISTRY[name] = spec
+    return spec
+
+
+def _build_correlation(query: Any, k: int) -> Any:
+    try:
+        keys, targets = query
+    except (TypeError, ValueError):
+        raise PlanError(
+            "the C seeker's binding must be a (keys, targets) pair"
+        ) from None
+    return Seekers.Correlation(keys, targets, k=k)
+
+
+register_seeker("KW", lambda query, k: Seekers.KW(query, k=k))
+register_seeker("SC", lambda query, k: Seekers.SC(query, k=k))
+register_seeker("MC", lambda query, k: Seekers.MC(query, k=k))
+register_seeker("C", _build_correlation)
+register_seeker(
+    "SS",
+    lambda query, k, exact=False: SemanticSeeker(query, k=k, exact=bool(exact)),
+    keywords=("exact",),
+)
+register_seeker(
+    "HY",
+    lambda query, k, about=None, alpha=0.5, exact=True: HybridSeeker(
+        query, about=about, k=k, alpha=float(alpha), exact=bool(exact)
+    ),
+    keywords=("about", "alpha", "exact"),
+)
+
 _COMBINER_ALIASES = {
     "∩": "Intersect",
     "∪": "Union",
@@ -49,7 +118,7 @@ _COMBINER_ALIASES = {
 
 @dataclass(frozen=True)
 class _Token:
-    kind: str  # "name" | "symbol" | "ref" | "int" | "eof"
+    kind: str  # "name" | "symbol" | "ref" | "int" | "float" | "eof"
     value: str
     position: int
 
@@ -84,7 +153,13 @@ def _tokenize(text: str) -> list[_Token]:
             j = i
             while j < n and text[j].isdigit():
                 j += 1
-            tokens.append(_Token("int", text[i:j], i))
+            if j < n and text[j] == "." and j + 1 < n and text[j + 1].isdigit():
+                j += 1
+                while j < n and text[j].isdigit():
+                    j += 1
+                tokens.append(_Token("float", text[i:j], i))
+            else:
+                tokens.append(_Token("int", text[i:j], i))
             i = j
             continue
         if ch.isalpha() or ch == "_":
@@ -155,47 +230,88 @@ class _Parser:
                 f"(position {token.position})"
             )
         name = token.value
-        if name in _SEEKER_NAMES:
-            return self._parse_seeker(name)
+        spec = SEEKER_REGISTRY.get(name)
+        if spec is not None:
+            return self._parse_seeker(spec)
         canonical = _COMBINER_ALIASES.get(name) or _COMBINER_ALIASES.get(name.lower())
         if canonical is not None:
             return self._parse_combiner(canonical)
         raise PlanError(
-            f"unknown operator {name!r}; seekers are {sorted(_SEEKER_NAMES)}, "
+            f"unknown operator {name!r} (position {token.position}); "
+            f"registered seekers are {sorted(SEEKER_REGISTRY)}, "
             "combiners are Intersect/Union/Difference/Counter (or ∩ ∪ \\)"
         )
 
-    def _parse_seeker(self, kind: str) -> str:
+    def _parse_seeker(self, spec: SeekerSpec) -> str:
         self._expect_symbol("(")
         token = self._advance()
         if token.kind != "ref":
             raise PlanError(
-                f"seeker {kind} expects a $binding argument "
+                f"seeker {spec.name} expects a $binding argument "
                 f"(position {token.position})"
             )
         if token.value not in self._bindings:
-            raise PlanError(f"unbound plan input: ${token.value}")
+            raise PlanError(
+                f"unbound plan input: ${token.value} (position {token.position}); "
+                f"bound names are {sorted(self._bindings)}"
+            )
         query = self._bindings[token.value]
-        k = self._parse_optional_k()
-        self._expect_symbol(")")
-
-        if kind == "SC":
-            operator = Seekers.SC(query, k=k)
-        elif kind == "KW":
-            operator = Seekers.KW(query, k=k)
-        elif kind == "MC":
-            operator = Seekers.MC(query, k=k)
-        else:  # C: query binds (keys, targets)
-            try:
-                keys, targets = query
-            except (TypeError, ValueError):
+        k = self._default_k
+        keywords: dict[str, Any] = {}
+        while True:
+            token = self._peek()
+            if not (token.kind == "symbol" and token.value == ","):
+                break
+            self._advance()
+            name_token = self._advance()
+            if name_token.kind != "name":
                 raise PlanError(
-                    "the C seeker's binding must be a (keys, targets) pair"
-                ) from None
-            operator = Seekers.Correlation(keys, targets, k=k)
-        node_name = self._fresh_name(kind.lower())
+                    f"expected <name>=<value> argument, found {name_token.value!r} "
+                    f"(position {name_token.position})"
+                )
+            if name_token.value != "k" and name_token.value not in spec.keywords:
+                accepted = ["k", *spec.keywords]
+                raise PlanError(
+                    f"seeker {spec.name} does not accept argument "
+                    f"{name_token.value!r} (position {name_token.position}); "
+                    f"accepted arguments are {accepted}"
+                )
+            self._expect_symbol("=")
+            if name_token.value == "k":
+                value = self._advance()
+                if value.kind != "int":
+                    raise PlanError(f"k must be an integer (position {value.position})")
+                k = int(value.value)
+            else:
+                keywords[name_token.value] = self._parse_argument_value()
+        self._expect_symbol(")")
+        operator = spec.builder(query, k=k, **keywords)
+        node_name = self._fresh_name(spec.name.lower())
         self._plan.add(node_name, operator)
         return node_name
+
+    def _parse_argument_value(self) -> Any:
+        """A seeker keyword value: ``$ref`` (bound input), int, float, or
+        ``true``/``false``."""
+        token = self._advance()
+        if token.kind == "ref":
+            if token.value not in self._bindings:
+                raise PlanError(
+                    f"unbound plan input: ${token.value} "
+                    f"(position {token.position}); "
+                    f"bound names are {sorted(self._bindings)}"
+                )
+            return self._bindings[token.value]
+        if token.kind == "int":
+            return int(token.value)
+        if token.kind == "float":
+            return float(token.value)
+        if token.kind == "name" and token.value.lower() in ("true", "false"):
+            return token.value.lower() == "true"
+        raise PlanError(
+            f"argument values are $refs, numbers, or true/false; "
+            f"found {token.value!r} (position {token.position})"
+        )
 
     def _parse_combiner(self, kind: str) -> str:
         self._expect_symbol("(")
@@ -221,13 +337,6 @@ class _Parser:
         node_name = self._fresh_name(kind.lower())
         self._plan.add(node_name, combiner_class(k=k if k is not None else self._default_k), inputs)
         return node_name
-
-    def _parse_optional_k(self) -> int:
-        token = self._peek()
-        if token.kind == "symbol" and token.value == ",":
-            self._advance()
-            return self._parse_k_value()
-        return self._default_k
 
     def _parse_k_value(self) -> int:
         token = self._advance()

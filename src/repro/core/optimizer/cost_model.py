@@ -91,8 +91,10 @@ class LinearModel:
 
 # Heuristic fallback multipliers mirror the apriori complexity analysis of
 # §VII-B: KW ~ one scan, SC ~ one scan with a larger |Q|, C ~ three scans,
-# MC ~ x scans + joins + application-level validation.
-_FALLBACK_MULTIPLIER = {"KW": 1.0, "SC": 1.0, "C": 3.0, "MC": 6.0}
+# MC ~ x scans + joins + application-level validation. SS probes the
+# vector index instead of AllTables (sub-scan cost); HY runs one exact
+# lane plus one SS lane and fuses.
+_FALLBACK_MULTIPLIER = {"KW": 1.0, "SC": 1.0, "SS": 0.5, "C": 3.0, "HY": 2.0, "MC": 6.0}
 
 
 class CostModel:

@@ -102,6 +102,9 @@ class ResultList:
 RANKED = "ranked"
 COUNTS = "counts"
 RESOLVED = "resolved"
+FUSED = "fused"
+
+DEFAULT_RRF_K = 60.0
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
 _EMPTY_SCORES = np.empty(0, dtype=np.float64)
@@ -134,6 +137,17 @@ class SeekerPartials:
     through the degenerate one-partial merge unchanged but refuses
     cross-shard merging -- a seeker must emit real partials to shard.
 
+    A fourth kind, ``"fused"``, is the hybrid seeker's partial: a tuple
+    of named, weighted *lanes*, each wrapping an ordinary mergeable
+    partial (``lanes``; ``table_ids``/``scores`` stay empty). Fusion is
+    rank-based, and per-shard ranks are meaningless -- so the merge
+    first merges every lane *across shards* with the standard tails
+    above (each provably shard-invariant), then applies weighted
+    reciprocal-rank fusion (``rrf_k``) to the globally-merged lane
+    rankings. The fused ranking is a deterministic function of
+    shard-invariant inputs, hence itself shard-invariant by
+    construction. ``fetch`` is the per-lane merge depth.
+
     ``group_keys`` (e.g. ColumnId for SC) is carried when the producer
     has it cheaply; the merge does not need it -- rows that tie on
     ``(score, table)`` collapse to the same :class:`TableHit` regardless
@@ -145,15 +159,40 @@ class SeekerPartials:
     scores: np.ndarray = field(default_factory=lambda: _EMPTY_SCORES)
     group_keys: Optional[np.ndarray] = None
     fetch: Optional[int] = None
+    lanes: Optional[tuple["FusionLane", ...]] = None
+    rrf_k: Optional[float] = None
 
     def __post_init__(self) -> None:
-        if self.kind not in (RANKED, COUNTS, RESOLVED):
+        if self.kind not in (RANKED, COUNTS, RESOLVED, FUSED):
             raise SeekerError(f"unknown partials kind: {self.kind!r}")
         if len(self.table_ids) != len(self.scores):
             raise SeekerError("partials table_ids and scores must align")
+        if self.kind == FUSED:
+            if not self.lanes:
+                raise SeekerError("fused partials require at least one lane")
+            if self.fetch is None:
+                raise SeekerError("fused partials require a lane merge depth (fetch)")
+        elif self.lanes is not None:
+            raise SeekerError(f"{self.kind!r} partials cannot carry fusion lanes")
 
     def __len__(self) -> int:
+        if self.kind == FUSED:
+            return sum(len(lane.partials) for lane in self.lanes)
         return len(self.table_ids)
+
+
+@dataclass(frozen=True)
+class FusionLane:
+    """One weighted input of a fused partial: a named modality whose own
+    mergeable partial feeds the reciprocal-rank fusion tail."""
+
+    name: str
+    weight: float
+    partials: SeekerPartials
+
+    def signature(self) -> tuple:
+        """What must match across shards for lanes to merge."""
+        return (self.name, self.weight, self.partials.kind)
 
 
 def ranked_partials(
@@ -201,6 +240,44 @@ def resolved_partials(result: "ResultList") -> SeekerPartials:
     )
 
 
+def fused_partials(
+    lanes: Sequence["FusionLane"],
+    fetch: int,
+    rrf_k: float = DEFAULT_RRF_K,
+) -> SeekerPartials:
+    """Wrap weighted per-lane partials as a fused partial (the hybrid
+    seeker's emission). *fetch* is the depth each lane's global ranking
+    is merged to before fusion."""
+    return SeekerPartials(FUSED, fetch=fetch, lanes=tuple(lanes), rrf_k=float(rrf_k))
+
+
+def fuse_rankings(
+    lanes: Sequence[tuple[float, "ResultList"]],
+    k: int,
+    rrf_k: float = DEFAULT_RRF_K,
+) -> ResultList:
+    """Weighted reciprocal-rank fusion: ``score(t) = sum_l w_l / (rrf_k
+    + rank_l(t))`` over the lanes where *t* appears (ranks are 1-based),
+    ranked ``(score desc, table asc)`` and cut at *k*.
+
+    Zero-weight lanes are skipped entirely, so a degenerate weighting
+    (one lane carries all the mass) reproduces that lane's own table
+    order exactly -- reciprocal rank is strictly decreasing in rank.
+    Lanes accumulate in their given order, so the float sums (and hence
+    the ranking) are bit-reproducible wherever the lane rankings are.
+    """
+    scores: dict[int, float] = {}
+    for weight, ranking in lanes:
+        if weight == 0.0:
+            continue
+        for rank, hit in enumerate(ranking, start=1):
+            scores[hit.table_id] = scores.get(hit.table_id, 0.0) + weight / (
+                rrf_k + rank
+            )
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    return ResultList(TableHit(table_id, score) for table_id, score in ranked[:k])
+
+
 def merge_partials(partials: Sequence[SeekerPartials], k: int) -> ResultList:
     """The single ranking tail: merge per-shard partials into the final
     top-k :class:`ResultList`.
@@ -221,6 +298,28 @@ def merge_partials(partials: Sequence[SeekerPartials], k: int) -> ResultList:
     if len(kinds) != 1:
         raise SeekerError(f"cannot merge partials of mixed kinds: {sorted(kinds)}")
     kind = kinds.pop()
+
+    if kind == FUSED:
+        signatures = {
+            (tuple(lane.signature() for lane in p.lanes), p.rrf_k, p.fetch)
+            for p in parts
+        }
+        if len(signatures) != 1:
+            raise SeekerError(
+                "cannot merge fused partials with diverging lane structure: "
+                f"{sorted(map(str, signatures))}"
+            )
+        template = parts[0]
+        fused_lanes: list[tuple[float, ResultList]] = []
+        for index, lane in enumerate(template.lanes):
+            # Each lane merges across shards through its own standard
+            # tail first; fusion only ever sees *global* lane rankings.
+            lane_ranking = merge_partials(
+                [p.lanes[index].partials for p in parts], template.fetch
+            )
+            fused_lanes.append((lane.weight, lane_ranking))
+        rrf_k = template.rrf_k if template.rrf_k is not None else DEFAULT_RRF_K
+        return fuse_rankings(fused_lanes, k, rrf_k=rrf_k)
 
     if kind == RESOLVED:
         if len(parts) > 1:

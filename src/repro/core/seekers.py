@@ -822,7 +822,7 @@ class Seekers:
     C = CorrelationSeeker
 
 
-SEEKER_RULE_RANK = {"KW": 0, "SS": 1, "SC": 1, "C": 2, "MC": 3}
+SEEKER_RULE_RANK = {"KW": 0, "SS": 1, "SC": 1, "C": 2, "HY": 2, "MC": 3}
 """Rule-based execution order (paper §VII-B): KW first, SC before C, MC
 last -- derived from the operators' index-scan complexities. The semantic
 extension's SS seeker (an ANN look-up, sub-linear) shares SC's tier."""

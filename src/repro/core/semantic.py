@@ -209,6 +209,12 @@ class SemanticIndex:
                 for key, stored in self._vectors.items()
             )
             return [(key, 1.0 - distance) for distance, key in scored[:k]]
+        # The beam must cover at least k candidates or the top-k result
+        # silently truncates to the beam's survivors; clamp per query
+        # rather than trusting the graph's default (the exact lane above
+        # needs no clamp -- it scores every stored vector).
+        if ef is not None and ef < k:
+            ef = k
         return self._hnsw.search(vector, k=k, ef=ef)
 
     def storage_bytes(self) -> int:

@@ -78,10 +78,17 @@ class Blend:
         Statistics are computed here (not lazily) because the paper's
         offline phase owns all corpus-wide scans; the online optimizer
         must only read precomputed state.
+
+        With ``IndexConfig(semantic=True)`` the offline phase also embeds
+        every lake column into ``AllVectors`` + the HNSW (the semantic
+        extension), so build, load, and shard paths configure semantic
+        search uniformly from the one config object.
         """
         report = build_alltables(self.lake, self.db, self.index_config)
         self._indexed = True
         self._stats = LakeStatistics.from_lake(self.lake)
+        if self.index_config.semantic:
+            self.enable_semantic(dimensions=self.index_config.semantic_dimensions)
         return report
 
     @property
@@ -348,10 +355,19 @@ class Blend:
     def enable_semantic(self, dimensions: int = 64, persist: bool = True) -> "Blend":
         """Build the semantic extension (paper §X future work): embed
         every lake column, persist the vectors in-DB as ``AllVectors``,
-        and serve SS seekers from an HNSW over them. Returns self."""
+        and serve SS seekers from an HNSW over them. Returns self.
+
+        Equivalent to building with ``IndexConfig(semantic=True)``; the
+        config is updated to match so snapshots and shard saves carry the
+        semantic setting uniformly."""
+        from dataclasses import replace
+
         from .semantic import SemanticIndex
 
         self._semantic = SemanticIndex(self.lake, dimensions=dimensions)
+        self.index_config = replace(
+            self.index_config, semantic=True, semantic_dimensions=dimensions
+        )
         if persist and self._indexed:
             self._semantic.persist(self.db)
         return self
@@ -397,12 +413,146 @@ class Blend:
         this once before a snapshot starts taking traffic."""
         self.db.warm()
 
-    def semantic_search(self, values: Iterable[Cell], k: int = 10) -> ResultList:
-        """Semantic join/union discovery via the SS seeker extension."""
+    # -- unified discovery facade ---------------------------------------------------
+
+    def discover(
+        self,
+        query,
+        modalities: str | Sequence[str] = ("join",),
+        k: int = 10,
+        *,
+        about: Optional[Iterable[Cell]] = None,
+        alpha: float = 0.5,
+        rrf_k: float = 60.0,
+        fusion: str = "rrf",
+        exact: Optional[bool] = None,
+    ) -> "DiscoveryResult":
+        """One entry point for every discovery modality, returning a typed
+        :class:`~repro.core.hybrid.DiscoveryResult`.
+
+        *modalities* selects among ``"keyword"`` (KW), ``"join"`` (SC),
+        ``"multi_column"`` (MC), ``"semantic"`` (SS), ``"correlation"``
+        (C; *query* binds a ``(keys, targets)`` pair) and ``"hybrid"``
+        (HY -- exact+semantic reciprocal-rank fusion, steered by *about*
+        / *alpha* / *rrf_k*). With several modalities, each runs as one
+        node of a single plan and the per-modality rankings fuse into
+        ``result.output`` by the same reciprocal-rank rule.
+
+        ``fusion="learned"`` weighs lanes (and multi-modality fusion) by
+        the trained cost model's inverse runtime estimates instead of
+        uniformly/alpha. *exact* forces the semantic lane's brute-force
+        mode (defaults: SS approximate, HY exact -- the deterministic
+        sharding mode).
+
+        The legacy task methods (``keyword_search``, ``join_search``,
+        ``semantic_search``, ``multi_column_join_search``) are thin
+        wrappers over this facade.
+        """
+        from .hybrid import DiscoveryResult, HybridSeeker
+        from .results import fuse_rankings
         from .semantic import SemanticSeeker
 
-        plan = Plan().add("ss", SemanticSeeker(values, k=k))
-        return self.run(plan).output
+        if fusion not in ("rrf", "learned"):
+            raise BlendError(f"fusion must be 'rrf' or 'learned', got {fusion!r}")
+        if isinstance(modalities, str):
+            modalities = (modalities,)
+        selected = tuple(dict.fromkeys(modalities))
+        if not selected:
+            raise BlendError("discover() needs at least one modality")
+
+        def _operator(modality: str) -> Seeker:
+            if modality == "keyword":
+                return Seekers.KW(query, k=k)
+            if modality == "join":
+                return Seekers.SC(query, k=k)
+            if modality == "multi_column":
+                return Seekers.MC(query, k=k)
+            if modality == "semantic":
+                values = query if about is None else about
+                return SemanticSeeker(
+                    values, k=k, exact=False if exact is None else exact
+                )
+            if modality == "correlation":
+                try:
+                    keys, targets = query
+                except (TypeError, ValueError):
+                    raise BlendError(
+                        "the correlation modality binds a (keys, targets) pair"
+                    ) from None
+                return Seekers.Correlation(keys, targets, k=k)
+            if modality == "hybrid":
+                seeker = HybridSeeker(
+                    query,
+                    about=about,
+                    k=k,
+                    alpha=alpha,
+                    rrf_k=rrf_k,
+                    exact=True if exact is None else exact,
+                )
+                if fusion == "learned":
+                    seeker.calibrate(self.optimizer.cost_model, self.stats)
+                return seeker
+            raise BlendError(
+                f"unknown discovery modality {modality!r}; one of "
+                "keyword/join/multi_column/semantic/correlation/hybrid"
+            )
+
+        plan = Plan()
+        operators = {modality: _operator(modality) for modality in selected}
+        for modality, operator in operators.items():
+            plan.add(modality, operator)
+        run = self.run(plan)
+        per_modality = {
+            modality: run.result_of(modality) for modality in selected
+        }
+        if len(selected) == 1:
+            output = per_modality[selected[0]]
+        else:
+            if fusion == "learned":
+                estimates = [
+                    max(
+                        self.optimizer.cost_model.estimate(
+                            operators[modality], self.stats
+                        ),
+                        1e-12,
+                    )
+                    for modality in selected
+                ]
+                total = sum(1.0 / estimate for estimate in estimates)
+                weights = [1.0 / estimate / total for estimate in estimates]
+            else:
+                weights = [1.0] * len(selected)
+            output = fuse_rankings(
+                [
+                    (weight, per_modality[modality])
+                    for weight, modality in zip(weights, selected)
+                ],
+                k,
+                rrf_k=rrf_k,
+            )
+        return DiscoveryResult(
+            query=query,
+            modalities=selected,
+            k=k,
+            output=output,
+            per_modality=per_modality,
+        )
+
+    def hybrid_search(
+        self,
+        values: Iterable[Cell],
+        about: Optional[Iterable[Cell]] = None,
+        k: int = 10,
+        alpha: float = 0.5,
+    ) -> ResultList:
+        """Hybrid exact+semantic discovery via the HY fusion seeker."""
+        return self.discover(
+            values, modalities=("hybrid",), k=k, about=about, alpha=alpha
+        ).output
+
+    def semantic_search(self, values: Iterable[Cell], k: int = 10) -> ResultList:
+        """Semantic join/union discovery via the SS seeker extension."""
+        return self.discover(values, modalities=("semantic",), k=k).output
 
     # -- online phase ----------------------------------------------------------
 
@@ -421,21 +571,20 @@ class Blend:
     # -- standard tasks (§VII-A) ---------------------------------------------------
 
     def keyword_search(self, keywords: Iterable[Cell], k: int = 10) -> ResultList:
-        """Simple task: a single KW seeker."""
-        plan = Plan().add("kw", Seekers.KW(keywords, k=k))
-        return self.run(plan).output
+        """Simple task: a single KW seeker (thin ``discover`` wrapper)."""
+        return self.discover(keywords, modalities=("keyword",), k=k).output
 
     def join_search(self, values: Iterable[Cell], k: int = 10) -> ResultList:
-        """Single-column join discovery (the JOSIE task)."""
-        plan = Plan().add("sc", Seekers.SC(values, k=k))
-        return self.run(plan).output
+        """Single-column join discovery (the JOSIE task; thin
+        ``discover`` wrapper)."""
+        return self.discover(values, modalities=("join",), k=k).output
 
     def multi_column_join_search(
         self, rows: Iterable[Sequence[Cell]] | Table, k: int = 10
     ) -> ResultList:
-        """Multi-column join discovery (the MATE task)."""
-        plan = Plan().add("mc", Seekers.MC(rows, k=k))
-        return self.run(plan).output
+        """Multi-column join discovery (the MATE task; thin ``discover``
+        wrapper)."""
+        return self.discover(rows, modalities=("multi_column",), k=k).output
 
     def correlation_search(
         self,

@@ -128,6 +128,11 @@ class IndexConfig:
     vectorized: bool = True  # False: scalar reference path (test oracle)
     workers: Optional[int] = None  # N >= 1: sharded multiprocess build
     pin_workers: bool = False  # force exactly `workers` processes
+    # Semantic extension: build AllVectors + the HNSW alongside AllTables,
+    # so build/load/shard paths configure it uniformly (SS and HY seekers
+    # need it). Blend.enable_semantic() flips this on after the fact.
+    semantic: bool = False
+    semantic_dimensions: int = 64
 
 
 @dataclass(frozen=True)

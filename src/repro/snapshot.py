@@ -705,7 +705,11 @@ def save_sharded(
             shard_lake, backend=blend.db.backend, index_config=blend.index_config
         )
         sub.build_index()
-        if semantic_meta is not None:
+        if semantic_meta is not None and getattr(sub, "_semantic", None) is None:
+            # IndexConfig(semantic=True) already built the shard's vector
+            # index inside build_index(); this branch covers deployments
+            # whose SemanticIndex was installed directly (non-default
+            # graph parameters), rebuilding per shard from the meta.
             from .core.semantic import SemanticIndex
 
             sub._semantic = SemanticIndex(

@@ -103,6 +103,79 @@ class TestParseErrors:
         with pytest.raises(PlanError):
             parse_plan("SC($)", BINDINGS)
 
+    def test_unknown_operator_names_position_and_registry(self):
+        """Grammar v2 PlanErrors carry the token position and the
+        known-names list."""
+        with pytest.raises(
+            PlanError, match=r"position 10.*'HY'.*'KW'.*'MC'.*'SC'.*'SS'"
+        ):
+            parse_plan("Intersect(XYZ($departments))", BINDINGS)
+
+    def test_unbound_reference_lists_bound_names(self):
+        with pytest.raises(PlanError, match=r"position 3.*departments"):
+            parse_plan("SC($ghost)", BINDINGS)
+
+    def test_unknown_keyword_argument_lists_accepted(self):
+        with pytest.raises(
+            PlanError, match=r"does not accept argument 'beta'.*position.*alpha"
+        ):
+            parse_plan("HY($departments, beta=0.5)", BINDINGS)
+        with pytest.raises(PlanError, match="does not accept argument 'about'"):
+            parse_plan("SC($departments, about=$words)", BINDINGS)
+
+
+class TestSeekerRegistry:
+    def test_registry_covers_all_modalities(self):
+        from repro.core.grammar import SEEKER_REGISTRY
+
+        assert set(SEEKER_REGISTRY) >= {"KW", "SC", "MC", "C", "SS", "HY"}
+
+    def test_ss_and_hy_parse(self):
+        plan = parse_plan("SS($words, k=4)", BINDINGS)
+        (node,) = plan.nodes()
+        assert node.operator.kind == "SS"
+        assert node.operator.k == 4
+
+        plan = parse_plan(
+            "HY($departments, about=$words, alpha=0.25, k=7)", BINDINGS
+        )
+        (node,) = plan.nodes()
+        assert node.operator.kind == "HY"
+        assert node.operator.k == 7
+        assert node.operator.alpha == 0.25
+        assert node.operator.semantic_seeker.values == BINDINGS["words"]
+
+    def test_float_and_bool_argument_values(self):
+        plan = parse_plan("SS($words, exact=true)", BINDINGS)
+        (node,) = plan.nodes()
+        assert node.operator.exact is True
+        plan = parse_plan("HY($departments, alpha=1.0)", BINDINGS)
+        (node,) = plan.nodes()
+        assert node.operator.alpha == 1.0
+
+    def test_register_custom_seeker(self):
+        from repro.core.grammar import SEEKER_REGISTRY, register_seeker
+        from repro.core.seekers import Seekers
+
+        name = "ZZTEST"
+        assert name not in SEEKER_REGISTRY
+        try:
+            register_seeker(name, lambda query, k: Seekers.KW(query, k=k))
+            plan = parse_plan(f"{name}($words, k=3)", BINDINGS)
+            (node,) = plan.nodes()
+            assert node.operator.kind == "KW"
+            assert node.operator.k == 3
+            with pytest.raises(PlanError, match="already registered"):
+                register_seeker(name, lambda query, k: Seekers.KW(query, k=k))
+        finally:
+            SEEKER_REGISTRY.pop(name, None)
+
+    def test_register_rejects_non_identifier(self):
+        from repro.core.grammar import register_seeker
+
+        with pytest.raises(PlanError, match="identifier"):
+            register_seeker("BAD NAME", lambda query, k: None)
+
 
 class TestGrammarExecution:
     def test_example1_via_grammar(self, fig1_blend):

@@ -54,6 +54,30 @@ class TestSemanticIndex:
     def test_storage_positive(self, lake):
         assert SemanticIndex(lake).storage_bytes() > 0
 
+    def test_search_clamps_ef_to_k(self):
+        """Regression: ``search_columns(k, ef)`` with ``ef < k`` must still
+        return a full top-k -- the beam is clamped up to k, never allowed
+        to silently truncate the result to the beam's survivors."""
+        from repro.baselines.embeddings import embed_values
+
+        wide = DataLake("wide")
+        for index in range(40):
+            wide.add(
+                Table(
+                    f"t{index}",
+                    ["col"],
+                    [(f"token_{index}_{row}",) for row in range(3)],
+                )
+            )
+        index = SemanticIndex(wide)
+        query = embed_values(["token_7_0", "token_7_1"])
+        k = 25
+        clamped = index.search_columns(query, k=k, ef=2)
+        assert len(clamped) == k
+        # And the clamped beam agrees with the exhaustive oracle.
+        oracle = index.search_columns(query, k=k, exact=True)
+        assert [key for key, _ in clamped] == [key for key, _ in oracle]
+
 
 class TestSemanticSeeker:
     def test_exact_vocabulary_match_ranks_first(self, blend, lake):

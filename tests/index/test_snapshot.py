@@ -265,6 +265,115 @@ def test_semantic_extension_round_trips(tmp_path):
     assert loaded._semantic.snapshot_meta() == blend._semantic.snapshot_meta()
 
 
+def test_semantic_config_flows_through_snapshot(tmp_path):
+    """``IndexConfig(semantic=True)`` makes the vector extension part of
+    the build contract: ``build_index`` constructs it, the manifest
+    records it, and a load restores it without any ``enable_semantic``
+    call -- identical to the explicitly-enabled deployment."""
+    lake = _lake(19)
+    config = IndexConfig(semantic=True, semantic_dimensions=16)
+    blend = Blend(lake, backend="column", index_config=config)
+    blend.build_index()
+    assert blend._semantic is not None
+    assert blend.db.has_table("AllVectors")
+
+    explicit = Blend(_lake(19), backend="column")
+    explicit.build_index()
+    explicit.enable_semantic(dimensions=16)
+    # enable_semantic back-fills the config, so both spellings converge.
+    assert explicit.index_config.semantic is True
+    assert explicit.index_config.semantic_dimensions == 16
+
+    path = blend.save(tmp_path / "snap")
+    loaded = Blend.load(path)
+    assert loaded.index_config == config
+    probe = ["alpha", "beta"]
+    assert (
+        loaded.semantic_search(probe, k=5).table_ids()
+        == blend.semantic_search(probe, k=5).table_ids()
+        == explicit.semantic_search(probe, k=5).table_ids()
+    )
+
+
+@pytest.mark.parametrize("seed", [23, 41])
+def test_semantic_delta_replay_matches_fresh_build(seed, tmp_path):
+    """AllVectors is part of the base+delta lifecycle contract: mutations
+    after load maintain the vector extension, an incremental save records
+    them, and replaying the delta reproduces semantic results identical
+    to a from-scratch build of the final lake (compared through the
+    deterministic exact lane, which depends only on the stored vectors,
+    not on graph insertion order)."""
+    rng = random.Random(seed)
+    config = IndexConfig(semantic=True, semantic_dimensions=16)
+    blend = Blend(_lake(seed), backend="column", index_config=config)
+    blend.build_index()
+    path = blend.save(tmp_path / "snap")
+
+    loaded = Blend.load(path)
+    counter = 0
+    for _ in range(6):
+        live = loaded.lake.table_ids()
+        op = rng.choice(["add", "remove", "replace"])
+        if op == "add" or len(live) <= 4:
+            counter += 1
+            loaded.add_table(_random_table(rng, f"semmut{counter}"))
+        elif op == "remove":
+            loaded.remove_table(rng.choice(live))
+        else:
+            counter += 1
+            loaded.replace_table(rng.choice(live), _random_table(rng, f"semrep{counter}"))
+    loaded.save(path)  # incremental: delta.json beside the base
+
+    replayed = Blend.load(path)
+    fresh = Blend(replayed.lake, backend="column", index_config=config)
+    fresh.build_index()
+
+    probe = ["shared", "tok3", "k7"]
+    for deployment in (loaded, replayed):
+        assert (
+            deployment.discover(probe, modalities=("semantic",), k=6, exact=True).table_ids()
+            == fresh.discover(probe, modalities=("semantic",), k=6, exact=True).table_ids()
+        )
+    # The persisted relation itself replayed to the same sparse rows.
+    sql = "SELECT * FROM AllVectors"
+    assert sorted(replayed.db.execute(sql).rows) == sorted(fresh.db.execute(sql).rows)
+    # Compaction is semantic-neutral.
+    before = replayed.discover(probe, modalities=("semantic",), k=6, exact=True).table_ids()
+    replayed.compact_index()
+    assert (
+        replayed.discover(probe, modalities=("semantic",), k=6, exact=True).table_ids()
+        == before
+    )
+
+
+def test_allvectors_payload_corruption_names_file(tmp_path):
+    """The AllVectors relation rides the same size+CRC gate as every
+    other snapshot payload: a same-size bit flip in a vector payload is
+    refused by file name, never loaded into silently-wrong similarity."""
+    config = IndexConfig(semantic=True, semantic_dimensions=16)
+    blend = Blend(_lake(31), backend="column", index_config=config)
+    blend.build_index()
+    path = Path(blend.save(tmp_path / "snap"))
+
+    manifest = json.loads((path / "manifest.json").read_text())
+    vectors_meta = next(
+        meta for meta in manifest["tables"] if meta["name"] == "AllVectors"
+    )
+    rel = next(
+        column_meta[key]
+        for column_meta in vectors_meta["payload"]
+        for key in ("data", "codes")
+        if key in column_meta
+    )
+    target = path / rel
+    raw = bytearray(target.read_bytes())
+    raw[-1] ^= 0xFF
+    target.write_bytes(bytes(raw))
+    with pytest.raises(SnapshotError, match="checksum mismatch") as excinfo:
+        Blend.load(path)
+    assert rel in str(excinfo.value)
+
+
 def test_shuffled_config_round_trips(tmp_path):
     config = IndexConfig(shuffle_rows=True, shuffle_seed=9)
     blend = Blend(_lake(11), backend="column", index_config=config)

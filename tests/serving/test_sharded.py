@@ -17,6 +17,7 @@ from repro.core.results import (
     ranked_partials,
     resolved_partials,
 )
+from repro.core.hybrid import HybridSeeker
 from repro.core.semantic import SemanticSeeker
 from repro.errors import (
     LakeError,
@@ -67,6 +68,7 @@ def _queries(rng: random.Random) -> list:
         ),
         SemanticSeeker(picks[4:], k=4),
         SemanticSeeker(picks[:2], k=3, exact=True),
+        HybridSeeker(picks[:3], about=picks[3:], k=4, alpha=0.4),
     ]
 
 
